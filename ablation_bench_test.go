@@ -1,0 +1,227 @@
+package dmw
+
+// Ablation benchmarks: quantify the cost of individual design choices in
+// the DMW implementation. Run with:
+//
+//	go test -bench=Ablation -benchmem .
+//
+// Covered ablations:
+//   - auction parallelism (the paper's "parallel and independent"
+//     auctions vs serialized execution);
+//   - bid-set size |W| (more candidate degrees -> more interpolation
+//     rounds and larger sigma -> larger commitment vectors);
+//   - fault headroom c (larger c inflates sigma and with it every
+//     polynomial, share and commitment);
+//   - disclosure fallback (a withholding discloser forces replacement
+//     rounds — the cost of the paper's Theorem 8 recovery path);
+//   - TCP relay vs in-memory fabric (serialization + socket overhead).
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dmw/internal/bidcode"
+	protocol "dmw/internal/dmw"
+	"dmw/internal/group"
+	"dmw/internal/relaynet"
+	"dmw/internal/strategy"
+)
+
+func BenchmarkAblationParallelism(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("auctions=8/parallel=%d", par), func(b *testing.B) {
+			cfg := benchGame(b, PresetTest64, 6, 8, false)
+			cfg.Parallelism = par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := protocol.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBidSetSize(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W=%d", k), func(b *testing.B) {
+			w := make([]int, k)
+			for i := range w {
+				w[i] = i + 1
+			}
+			n := k + 2 // keep the eval-point constraint satisfied
+			if n < 4 {
+				n = 4
+			}
+			cfg := RunConfig{
+				Params:   group.MustPreset(PresetTest64),
+				Bid:      bidcode.Config{W: w, C: 0, N: n},
+				TrueBids: RandomBids(n, 2, w, int64(k)),
+				Seed:     int64(k),
+			}
+			if err := cfg.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			var msgs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Stats.Messages()
+			}
+			b.ReportMetric(float64(msgs), "msgs/run")
+		})
+	}
+}
+
+func BenchmarkAblationFaultHeadroom(b *testing.B) {
+	for _, c := range []int{0, 2, 4, 6} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			w := []int{1, 2}
+			n := c + 4
+			cfg := RunConfig{
+				Params:   group.MustPreset(PresetTest64),
+				Bid:      bidcode.Config{W: w, C: c, N: n},
+				TrueBids: RandomBids(n, 2, w, int64(c)),
+				Seed:     int64(c + 1),
+			}
+			if err := cfg.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			var bytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = res.Stats.Bytes()
+			}
+			b.ReportMetric(float64(cfg.Bid.Sigma()), "sigma")
+			b.ReportMetric(float64(bytes), "wirebytes/run")
+		})
+	}
+}
+
+func BenchmarkAblationDisclosureFallback(b *testing.B) {
+	for _, withhold := range []bool{false, true} {
+		name := "honest"
+		if withhold {
+			name = "withholding-discloser"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchGame(b, PresetTest64, 6, 2, false)
+			if withhold {
+				cfg.Strategies = make([]*Strategy, 6)
+				cfg.Strategies[0] = strategy.WithholdDisclosure()
+			}
+			var msgs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Stats.Messages()
+				for _, a := range res.Auctions {
+					if a.Aborted {
+						b.Fatal("auction aborted; fallback should recover")
+					}
+				}
+			}
+			b.ReportMetric(float64(msgs), "msgs/run")
+		})
+	}
+}
+
+func BenchmarkAblationTransport(b *testing.B) {
+	const n = 4
+	bids := [][]int{{1, 2}, {2, 1}, {2, 2}, {1, 1}}
+
+	b.Run("in-memory", func(b *testing.B) {
+		cfg := RunConfig{
+			Params:   group.MustPreset(PresetTest64),
+			Bid:      bidcode.Config{W: []int{1, 2}, C: 0, N: n},
+			TrueBids: bids,
+			Seed:     3,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := protocol.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("tcp-relay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			relay, err := relaynet.Serve(ln, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for a := 0; a < n; a++ {
+				wg.Add(1)
+				go func(a int) {
+					defer wg.Done()
+					cl, err := relaynet.Dial(relay.Addr().String(), a, relaynet.WithRoundTimeout(30*time.Second))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer cl.Close()
+					cfg := SessionConfig{
+						Params: group.MustPreset(PresetTest64),
+						Bid:    bidcode.Config{W: []int{1, 2}, C: 0, N: n},
+						MyBids: bids[a],
+						Seed:   3,
+					}
+					if _, err := protocol.RunAgentSession(cfg, a, cl); err != nil {
+						b.Error(err)
+					}
+				}(a)
+			}
+			wg.Wait()
+			_ = relay.Close()
+		}
+	})
+}
+
+func BenchmarkAblationEchoVerification(b *testing.B) {
+	for _, echo := range []bool{false, true} {
+		name := "off"
+		if echo {
+			name = "on"
+		}
+		b.Run("echo="+name, func(b *testing.B) {
+			cfg := benchGame(b, PresetTest64, 6, 2, false)
+			cfg.EchoVerification = echo
+			var msgs, rounds int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Stats.Messages()
+				rounds = res.Stats.Rounds()
+				for _, a := range res.Auctions {
+					if a.Aborted {
+						b.Fatal("honest echo run aborted")
+					}
+				}
+			}
+			b.ReportMetric(float64(msgs), "msgs/run")
+			b.ReportMetric(float64(rounds), "rounds/run")
+		})
+	}
+}

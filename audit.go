@@ -1,0 +1,43 @@
+package dmw
+
+import (
+	"io"
+
+	"dmw/internal/audit"
+	protocol "dmw/internal/dmw"
+)
+
+// Offline audit surface: record an execution's published values
+// (RunConfig.Record) and let any third party re-derive and check the
+// outcome without secrets — the "passive verification" the paper's
+// related work calls for in open mechanism marketplaces.
+
+type (
+	// Transcript is the published record of an execution.
+	Transcript = protocol.Transcript
+	// AuditReport is the offline verifier's verdict.
+	AuditReport = audit.Report
+	// AuditFinding is one verification failure.
+	AuditFinding = audit.Finding
+)
+
+// VerifyTranscript re-derives every completed auction from the published
+// transcript and checks the claimed outcomes and payments.
+func VerifyTranscript(params *GroupParams, tr *Transcript) (*AuditReport, error) {
+	return audit.Verify(params, tr)
+}
+
+// SaveTranscript serializes a verifiable execution record as JSON.
+func SaveTranscript(w io.Writer, params *GroupParams, tr *Transcript) error {
+	return audit.Save(w, params, tr)
+}
+
+// LoadTranscript reads a record written by SaveTranscript and returns its
+// parameters and transcript.
+func LoadTranscript(r io.Reader) (*GroupParams, *Transcript, error) {
+	env, err := audit.Load(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return env.Params, env.Transcript, nil
+}

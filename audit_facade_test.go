@@ -1,0 +1,48 @@
+package dmw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAuditThroughFacade(t *testing.T) {
+	bids := RandomBids(6, 2, []int{1, 2, 3}, 9)
+	game, err := NewGame(PresetTest64, []int{1, 2, 3}, 1, bids, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	game.Record = true
+	res, err := Run(game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyTranscript(game.Params, res.Transcript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("honest transcript rejected: %v", rep.Findings)
+	}
+	// JSON round trip through the facade.
+	var buf strings.Builder
+	if err := SaveTranscript(&buf, game.Params, res.Transcript); err != nil {
+		t.Fatal(err)
+	}
+	params, tr, err := LoadTranscript(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = VerifyTranscript(params, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Error("round-tripped transcript rejected")
+	}
+}
+
+func TestLoadTranscriptRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadTranscript(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

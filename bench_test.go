@@ -1,0 +1,257 @@
+package dmw
+
+// Benchmark harness: one benchmark per paper artifact, as indexed in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Table 1 benches report messages/op and group-ops/op as custom metrics
+// so the Theta(mn) vs Theta(mn^2) comparison is visible directly in the
+// benchmark output; cmd/experiments regenerates the full tables with
+// fitted exponents.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmw/internal/bidcode"
+	protocol "dmw/internal/dmw"
+	"dmw/internal/field"
+	"dmw/internal/group"
+	"dmw/internal/mechanism"
+	"dmw/internal/poly"
+	"dmw/internal/privacy"
+	"dmw/internal/sched"
+)
+
+func benchGame(b *testing.B, preset string, n, m int, countOps bool) RunConfig {
+	b.Helper()
+	w := []int{1, 2}
+	cfg := RunConfig{
+		Params:   group.MustPreset(preset),
+		Bid:      bidcode.Config{W: w, C: 0, N: n},
+		TrueBids: RandomBids(n, m, w, int64(n*100+m)),
+		Seed:     int64(n*1000 + m),
+		CountOps: countOps,
+	}
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+// BenchmarkTable1CommunicationDMW regenerates Table 1's communication
+// column (distributed side): messages per run over a sweep of n and m.
+func BenchmarkTable1CommunicationDMW(b *testing.B) {
+	for _, sz := range []struct{ n, m int }{
+		{4, 2}, {8, 2}, {16, 2}, {8, 1}, {8, 4}, {8, 8},
+	} {
+		b.Run(fmt.Sprintf("n=%d/m=%d", sz.n, sz.m), func(b *testing.B) {
+			cfg := benchGame(b, PresetTest64, sz.n, sz.m, false)
+			var msgs, bytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Stats.Messages()
+				bytes = res.Stats.Bytes()
+			}
+			b.ReportMetric(float64(msgs), "msgs/run")
+			b.ReportMetric(float64(bytes), "wirebytes/run")
+			b.ReportMetric(float64(sz.n*sz.m), "minwork-msgs/run")
+		})
+	}
+}
+
+// BenchmarkTable1CommunicationMinWork is the centralized baseline of
+// Table 1's communication column: Theta(mn) bid transmissions and a
+// linear-time mechanism computation.
+func BenchmarkTable1CommunicationMinWork(b *testing.B) {
+	for _, sz := range []struct{ n, m int }{{4, 2}, {8, 2}, {16, 2}, {8, 8}} {
+		b.Run(fmt.Sprintf("n=%d/m=%d", sz.n, sz.m), func(b *testing.B) {
+			bids := RandomBids(sz.n, sz.m, []int{1, 2}, 1)
+			in, err := BidsToInstance(bids)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (MinWork{}).Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sz.n*sz.m), "msgs/run")
+		})
+	}
+}
+
+// BenchmarkTable1ComputationDMW regenerates Table 1's computation column:
+// per-agent group operations over n, and wall time over the parameter
+// size (the log p factor).
+func BenchmarkTable1ComputationDMW(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("ops/n=%d", n), func(b *testing.B) {
+			cfg := benchGame(b, PresetTest64, n, 2, true)
+			var ops float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := protocol.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total uint64
+				for _, c := range res.AgentOps {
+					total += c.Exp() + c.Mul()
+				}
+				ops = float64(total) / float64(len(res.AgentOps))
+			}
+			b.ReportMetric(ops, "groupops/agent")
+		})
+	}
+	for _, preset := range []string{PresetTest64, PresetDemo128, PresetSim256, PresetSecure512} {
+		b.Run("logp/"+preset, func(b *testing.B) {
+			cfg := benchGame(b, preset, 6, 2, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := protocol.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1Equivalence runs the Figure 1 dataflow end to end:
+// a distributed execution plus the centralized reference it must match.
+func BenchmarkFigure1Equivalence(b *testing.B) {
+	cfg := benchGame(b, PresetTest64, 6, 3, false)
+	in, err := BidsToInstance(cfg.TrueBids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := protocol.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref, err := (MinWork{}).Run(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range res.Auctions {
+			if res.Auctions[j].Winner != ref.Schedule.Agent[j] {
+				b.Fatal("distributed and centralized outcomes diverged")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2MessageSequence times a single-task auction, the unit
+// whose message sequence Figure 2 depicts.
+func BenchmarkFigure2MessageSequence(b *testing.B) {
+	cfg := benchGame(b, PresetTest64, 6, 1, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := protocol.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaithfulnessDeviationCheck times one deviation run of the
+// E-faith experiment (a full game with a deviating agent).
+func BenchmarkFaithfulnessDeviationCheck(b *testing.B) {
+	cfg := benchGame(b, PresetTest64, 6, 2, false)
+	cat := DeviationCatalog([]int{1, 2}, 6, 0)
+	cfg.Strategies = make([]*Strategy, 6)
+	cfg.Strategies[0] = cat[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := protocol.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrivacyCollusionAttack times the E-priv coalition attack.
+func BenchmarkPrivacyCollusionAttack(b *testing.B) {
+	params := group.MustPreset(PresetTest64)
+	f, err := field.New(params.Q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bcfg := bidcode.Config{W: []int{1, 2, 3, 4}, C: 2, N: 10}
+	alphas, err := bidcode.Pseudonyms(f, bcfg.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	enc, err := bidcode.Encode(bcfg, 2, f, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := privacy.Attack(f, bcfg, enc, alphas[:6]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApproximationOptimal times the exact-makespan baseline used by
+// the E-approx experiment.
+func BenchmarkApproximationOptimal(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := sched.Uniform(rng, 4, 6, 1, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sched.OptimalMakespan(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegreeResolution times the E-degres primitive: resolving the
+// degree of a summed bid polynomial.
+func BenchmarkDegreeResolution(b *testing.B) {
+	params := group.MustPreset(PresetTest64)
+	f, err := field.New(params.Q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	p, err := poly.NewRandomZeroConst(f, 12, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shares := make([]poly.Share, 16)
+	for i := range shares {
+		x := f.FromInt64(int64(i + 1))
+		shares[i] = poly.Share{Node: x, Value: p.Eval(x)}
+	}
+	candidates := []int{8, 10, 12, 14}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := poly.ResolveDegree(f, shares, candidates)
+		if err != nil || d != 12 {
+			b.Fatal(err, d)
+		}
+	}
+}
+
+// BenchmarkMinWorkCentralizedLarge shows the centralized mechanism's
+// Theta(mn) computation at scale, the reference row of Table 1.
+func BenchmarkMinWorkCentralizedLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := sched.Uniform(rng, 100, 1000, 1, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (mechanism.MinWork{}).Run(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

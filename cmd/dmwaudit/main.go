@@ -1,0 +1,56 @@
+// Command dmwaudit verifies a recorded DMW execution offline: given a
+// transcript envelope (written by dmwsim -transcript), it re-derives
+// every auction's outcome from the published commitments, Lambda/Psi
+// pairs, disclosures and winner-excluded pairs, and checks the claimed
+// outcomes and settled payments — without access to any secret.
+//
+// Usage:
+//
+//	dmwsim -transcript run.json
+//	dmwaudit run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmw/internal/audit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmwaudit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: dmwaudit <transcript.json>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	env, err := audit.Load(f)
+	if err != nil {
+		return err
+	}
+	rep, err := audit.Verify(env.Params, env.Transcript)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dmwaudit: %d auctions checked, %d findings\n", rep.AuctionsChecked, len(rep.Findings))
+	for _, finding := range rep.Findings {
+		fmt.Printf("  FINDING: %s\n", finding)
+	}
+	if rep.OK() {
+		fmt.Println("dmwaudit: transcript VERIFIED — claimed outcomes and payments are consistent with the published record")
+		return nil
+	}
+	return fmt.Errorf("transcript FAILED verification")
+}

@@ -1,0 +1,54 @@
+// Command dmwparams generates fresh Schnorr-group parameters with
+// crypto/rand and writes them as a JSON file that dmwnode processes can
+// share (the paper's Phase I publication). For reproducible experiments
+// use the built-in presets instead.
+//
+// Usage:
+//
+//	dmwparams -bits 512 -out params.json
+//	dmwnode -params params.json ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmw/internal/group"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmwparams:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		pBits = flag.Int("bits", 512, "modulus size in bits")
+		qBits = flag.Int("qbits", 0, "subgroup order size in bits (default bits-8)")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	pr, err := group.Generate(*pBits, *qBits, nil)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := group.SaveParams(w, pr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dmwparams: generated %d-bit parameters (q: %d bits)\n",
+		pr.P.BitLen(), pr.Q.BitLen())
+	return nil
+}

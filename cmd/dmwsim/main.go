@@ -1,0 +1,128 @@
+// Command dmwsim runs one end-to-end Distributed MinWork execution on a
+// randomly generated workload and prints the schedule, prices, payments,
+// utilities, and communication costs.
+//
+// Usage:
+//
+//	dmwsim [-n agents] [-m tasks] [-w maxbid] [-c faults] [-preset name] [-seed s] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmw"
+	"dmw/internal/audit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmwsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n          = flag.Int("n", 6, "number of agents (machines)")
+		m          = flag.Int("m", 3, "number of tasks")
+		maxBid     = flag.Int("w", 4, "bid set W = {1..w}")
+		c          = flag.Int("c", 1, "maximum number of faulty agents")
+		preset     = flag.String("preset", dmw.PresetDemo128, "group parameter preset")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", false, "print per-round protocol logs")
+		transcript = flag.String("transcript", "", "write a verifiable transcript envelope (JSON) to this file")
+	)
+	flag.Parse()
+
+	w := make([]int, *maxBid)
+	for i := range w {
+		w[i] = i + 1
+	}
+	bids := dmw.RandomBids(*n, *m, w, *seed)
+	game, err := dmw.NewGame(*preset, w, *c, bids, *seed)
+	if err != nil {
+		return err
+	}
+	game.CountOps = true
+	game.Record = *transcript != ""
+
+	fmt.Printf("Distributed MinWork: n=%d agents, m=%d tasks, W=%v, c=%d, preset=%s\n\n",
+		*n, *m, w, *c, *preset)
+	fmt.Println("true values (agent x task):")
+	for i, row := range bids {
+		fmt.Printf("  A%-2d %v\n", i+1, row)
+	}
+
+	res, err := dmw.Run(game)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nauction outcomes:")
+	for _, a := range res.Auctions {
+		if a.Aborted {
+			fmt.Printf("  T%-2d ABORTED (%s)\n", a.Task+1, a.AbortReason)
+			continue
+		}
+		fmt.Printf("  T%-2d -> A%-2d  first price %d, second price %d\n",
+			a.Task+1, a.Winner+1, a.FirstPrice, a.SecondPrice)
+	}
+
+	fmt.Println("\npayments and utilities:")
+	for i := 0; i < *n; i++ {
+		fmt.Printf("  A%-2d payment %-4d utility %-4d agreed=%v\n",
+			i+1, res.Settlement.Issued[i], res.Utilities[i], res.Settlement.Agreed[i])
+	}
+
+	fmt.Printf("\ncommunication: %d point-to-point messages, %d payload bytes\n",
+		res.Stats.Messages(), res.Stats.Bytes())
+	if res.AgentOps != nil {
+		var exp, mul uint64
+		for _, ops := range res.AgentOps {
+			exp += ops.Exp()
+			mul += ops.Mul()
+		}
+		fmt.Printf("computation:   %d modular exponentiations, %d multiplications (all agents)\n", exp, mul)
+	}
+
+	// Centralized reference.
+	ref, err := dmw.RunCentralized(bids)
+	if err != nil {
+		return err
+	}
+	same := true
+	for j, a := range res.Auctions {
+		if a.Aborted || a.Winner != ref.Schedule.Agent[j] {
+			same = false
+		}
+	}
+	fmt.Printf("matches centralized MinWork outcome: %v\n", same)
+
+	if *transcript != "" {
+		f, err := os.Create(*transcript)
+		if err != nil {
+			return err
+		}
+		if err := audit.Save(f, game.Params, res.Transcript); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("transcript written to %s (verify with: dmwaudit %s)\n", *transcript, *transcript)
+	}
+
+	if *verbose {
+		fmt.Println("\nprotocol round logs (agent 1's view):")
+		for j, log := range res.RoundLogs {
+			fmt.Printf("  auction %d:\n", j+1)
+			for _, line := range log {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command experiments runs the reproduction suite: every table and figure
+// artifact of the paper plus one empirical validation per theorem (see
+// DESIGN.md's experiment index). EXPERIMENTS.md records the output of a
+// full run.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-quick] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dmw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		only   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick  = flag.Bool("quick", false, "reduced sweeps and trial counts")
+		seed   = flag.Int64("seed", 12345, "random seed")
+		csvDir = flag.String("csv", "", "also write every table as CSV into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	cfg := dmw.ExperimentConfig{Quick: *quick, Seed: *seed}
+	ids := dmw.ExperimentIDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+
+	failures := 0
+	for _, id := range ids {
+		rep, err := dmw.RunExperiment(strings.TrimSpace(id), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		if *csvDir != "" {
+			for ti, tab := range rep.Tables {
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s-%d.csv", rep.ID, ti))
+				f, err := os.Create(name)
+				if err != nil {
+					return err
+				}
+				if err := tab.CSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+		}
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed their verdict", failures)
+	}
+	fmt.Printf("all %d experiments passed\n", len(ids))
+	return nil
+}

@@ -1,0 +1,56 @@
+package dmw
+
+import (
+	"net"
+	"time"
+
+	protocol "dmw/internal/dmw"
+	"dmw/internal/payment"
+	"dmw/internal/relaynet"
+	"dmw/internal/transport"
+)
+
+// Real-network deployment surface: run each agent in its own process,
+// connected through a relay that provides the synchronous-round fabric
+// (see package relaynet for the trust model). cmd/dmwrelay and
+// cmd/dmwnode wrap this API.
+
+type (
+	// SessionConfig configures one agent's participation in a deployed
+	// mechanism execution (the agent knows only its OWN true values).
+	SessionConfig = protocol.SessionConfig
+	// SessionResult is one agent's view of the whole execution.
+	SessionResult = protocol.SessionResult
+	// Conn is the transport interface agents run over.
+	Conn = transport.Conn
+	// Relay is the round-fabric server for TCP deployments.
+	Relay = relaynet.Relay
+	// RelayClient is an agent's TCP connection to a Relay.
+	RelayClient = relaynet.Client
+	// PaymentClaim is one agent's submitted Phase IV payment vector.
+	PaymentClaim = payment.Claim
+	// PaymentSettlement is the payment infrastructure's decision.
+	PaymentSettlement = payment.Settlement
+)
+
+// RunAgentSession plays one agent through the full mechanism over any
+// transport (in-memory endpoint or TCP relay client).
+func RunAgentSession(cfg SessionConfig, agent int, conn Conn) (*SessionResult, error) {
+	return protocol.RunAgentSession(cfg, agent, conn)
+}
+
+// ServeRelay starts a round-fabric relay for n agents on the listener.
+func ServeRelay(ln net.Listener, n int) (*Relay, error) {
+	return relaynet.Serve(ln, n)
+}
+
+// DialRelay connects agent id to a relay with the given round timeout.
+func DialRelay(addr string, id int, roundTimeout time.Duration) (*RelayClient, error) {
+	return relaynet.Dial(addr, id, relaynet.WithRoundTimeout(roundTimeout))
+}
+
+// SettlePayments applies the payment infrastructure's unanimity rule to
+// the submitted claims.
+func SettlePayments(claims []PaymentClaim, n int) (*PaymentSettlement, error) {
+	return payment.Settle(claims, n)
+}

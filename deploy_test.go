@@ -1,0 +1,141 @@
+package dmw
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dmw/internal/bidcode"
+)
+
+// TestDeployFacadeTCP runs a full deployment through the public facade:
+// relay + sessions + settlement.
+func TestDeployFacadeTCP(t *testing.T) {
+	bids := [][]int{
+		{1, 2},
+		{2, 1},
+		{2, 2},
+		{1, 1},
+	}
+	n := len(bids)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := ServeRelay(ln, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	results := make([]*SessionResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := DialRelay(relay.Addr().String(), i, 30*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			cfg := SessionConfig{
+				Params: mustPreset(t, PresetTest64),
+				Bid:    BidConfig{W: []int{1, 2}, C: 0, N: n},
+				MyBids: bids[i],
+				Seed:   5,
+			}
+			results[i], errs[i] = RunAgentSession(cfg, i, cl)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	// Settlement through the facade.
+	st, err := SettlePayments(relay.Claims(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Unanimous() {
+		t.Error("facade TCP settlement not unanimous")
+	}
+	// Reference outcome.
+	ref, err := RunCentralized(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range results[0].Views {
+		v := results[0].Views[j]
+		if v.Aborted || v.Winner != ref.Schedule.Agent[j] {
+			t.Errorf("task %d: view %+v vs MinWork winner %d", j, v, ref.Schedule.Agent[j])
+		}
+	}
+	for i := range st.Issued {
+		if st.Issued[i] != ref.Payments[i] {
+			t.Errorf("payment[%d] = %d, want %d", i, st.Issued[i], ref.Payments[i])
+		}
+	}
+}
+
+func mustPreset(t *testing.T, name string) *GroupParams {
+	t.Helper()
+	pr, err := PresetGroup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestEquivalenceAcrossConfigurations widens the F1 check over several
+// (n, c, W) configurations.
+func TestEquivalenceAcrossConfigurations(t *testing.T) {
+	configs := []struct {
+		n, c int
+		w    []int
+	}{
+		{4, 0, []int{1, 2}},
+		{6, 1, []int{1, 2, 3, 4}},
+		{8, 2, []int{1, 2, 3, 4, 5}},
+		{10, 3, []int{2, 4, 6}},
+		{5, 0, []int{1, 3}},
+	}
+	for _, cc := range configs {
+		cc := cc
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			bids := RandomBids(cc.n, 2, cc.w, int64(cc.n*7+cc.c))
+			game, err := NewGame(PresetTest64, cc.w, cc.c, bids, int64(cc.n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(game)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := RunCentralized(bids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, a := range res.Auctions {
+				if a.Aborted {
+					t.Fatalf("n=%d c=%d W=%v task %d aborted: %s", cc.n, cc.c, cc.w, j, a.AbortReason)
+				}
+				if a.Winner != ref.Schedule.Agent[j] {
+					t.Errorf("n=%d c=%d: task %d winner %d, MinWork %d", cc.n, cc.c, j, a.Winner, ref.Schedule.Agent[j])
+				}
+				if int64(a.SecondPrice) != ref.SecondPrice[j] {
+					t.Errorf("n=%d c=%d: task %d price %d, MinWork %d", cc.n, cc.c, j, a.SecondPrice, ref.SecondPrice[j])
+				}
+			}
+		})
+	}
+}
+
+// Keep bidcode import meaningful: BidConfig alias must be the real type.
+var _ = bidcode.Config(BidConfig{})

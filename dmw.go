@@ -1,0 +1,194 @@
+// Package dmw is a Go implementation of Distributed MinWork (DMW), the
+// distributed algorithmic mechanism for scheduling on unrelated machines
+// of Carroll and Grosu (PODC 2005 brief announcement; full version in
+// J. Parallel Distrib. Comput. 71 (2011) 397-406).
+//
+// DMW removes MinWork's trusted central administrator: the agents
+// themselves compute the schedule and the Vickrey payments by running one
+// distributed second-price auction per task over a cryptographic
+// substrate (bids encoded in polynomial degrees, Pedersen commitments,
+// distributed Lagrange degree resolution). The implementation is faithful
+// — following the protocol is an ex post Nash equilibrium — and protects
+// losing agents' bids below a collusion threshold.
+//
+// # Quick start
+//
+//	game, err := dmw.NewGame(dmw.PresetDemo128, []int{1, 2, 3, 4}, 1, trueBids, 42)
+//	if err != nil { ... }
+//	res, err := dmw.Run(game)
+//	if err != nil { ... }
+//	fmt.Println(res.Outcome.Schedule.Agent, res.Outcome.Payments)
+//
+// The centralized baseline is available as MinWork, the full experiment
+// harness as Experiments*, and deviation strategies for robustness
+// studies in internal/strategy (re-exported constructors below).
+package dmw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmw/internal/bidcode"
+	protocol "dmw/internal/dmw"
+	"dmw/internal/experiment"
+	"dmw/internal/group"
+	"dmw/internal/mechanism"
+	"dmw/internal/privacy"
+	"dmw/internal/sched"
+	"dmw/internal/strategy"
+)
+
+// Group parameter presets (deterministic, reproducible). See
+// GenerateGroupParams for fresh parameters.
+const (
+	PresetTiny16    = group.PresetTiny16
+	PresetTest64    = group.PresetTest64
+	PresetDemo128   = group.PresetDemo128
+	PresetSim256    = group.PresetSim256
+	PresetSecure512 = group.PresetSecure512
+)
+
+// Core protocol types.
+type (
+	// RunConfig configures one distributed mechanism execution.
+	RunConfig = protocol.RunConfig
+	// Result is the outcome of a distributed execution.
+	Result = protocol.Result
+	// AuctionOutcome is one task's consensus auction result.
+	AuctionOutcome = protocol.AuctionOutcome
+	// GroupParams are the published cryptographic parameters.
+	GroupParams = group.Params
+	// BidConfig is the published bid-encoding configuration (W, c, n).
+	BidConfig = bidcode.Config
+	// Strategy is an agent strategy; the zero value is the suggested
+	// (honest) strategy.
+	Strategy = strategy.Hooks
+)
+
+// Scheduling substrate types.
+type (
+	// Instance is a scheduling-on-unrelated-machines problem.
+	Instance = sched.Instance
+	// Schedule maps tasks to agents.
+	Schedule = sched.Schedule
+	// Outcome is a mechanism outcome (schedule, payments, prices).
+	Outcome = mechanism.Outcome
+	// MinWork is the centralized Nisan-Ronen mechanism.
+	MinWork = mechanism.MinWork
+)
+
+// Experiment harness types.
+type (
+	// ExperimentConfig scales the reproduction experiments.
+	ExperimentConfig = experiment.Config
+	// ExperimentReport is one experiment's tables and verdict.
+	ExperimentReport = experiment.Report
+)
+
+// Privacy analysis types.
+type (
+	// CollusionResult reports what a coalition learned about a bid.
+	CollusionResult = privacy.AttackResult
+)
+
+// Run executes the distributed mechanism; see protocol.Run.
+func Run(cfg RunConfig) (*Result, error) { return protocol.Run(cfg) }
+
+// PresetGroup returns a named deterministic parameter set.
+func PresetGroup(name string) (*GroupParams, error) { return group.Preset(name) }
+
+// GenerateGroupParams creates fresh Schnorr-group parameters of the given
+// modulus size using crypto/rand.
+func GenerateGroupParams(pBits, qBits int) (*GroupParams, error) {
+	return group.Generate(pBits, qBits, nil)
+}
+
+// NewGame assembles a RunConfig for the common case: a named preset, a
+// bid set W with fault bound c, and the agents' true (discretized) values.
+func NewGame(preset string, w []int, c int, trueBids [][]int, seed int64) (RunConfig, error) {
+	params, err := group.Preset(preset)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	cfg := RunConfig{
+		Params:   params,
+		Bid:      bidcode.Config{W: w, C: c, N: len(trueBids)},
+		TrueBids: trueBids,
+		Seed:     seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return RunConfig{}, err
+	}
+	return cfg, nil
+}
+
+// RandomBids draws an n-agent, m-task true-value matrix uniformly from W,
+// a convenient workload for simulations.
+func RandomBids(n, m int, w []int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, m)
+		for j := range out[i] {
+			out[i][j] = w[rng.Intn(len(w))]
+		}
+	}
+	return out
+}
+
+// BidsToInstance converts a discrete true-value matrix into a scheduling
+// instance for the centralized mechanism and the schedule-quality
+// helpers.
+func BidsToInstance(bids [][]int) (*Instance, error) {
+	if len(bids) == 0 || len(bids[0]) == 0 {
+		return nil, fmt.Errorf("dmw: empty bid matrix")
+	}
+	in := sched.NewInstance(len(bids), len(bids[0]))
+	for i, row := range bids {
+		if len(row) != len(bids[0]) {
+			return nil, fmt.Errorf("dmw: ragged bid matrix at row %d", i)
+		}
+		for j, v := range row {
+			in.Time[i][j] = int64(v)
+		}
+	}
+	return in, nil
+}
+
+// RunCentralized executes the centralized MinWork baseline on the given
+// true-value matrix.
+func RunCentralized(bids [][]int) (*Outcome, error) {
+	in, err := BidsToInstance(bids)
+	if err != nil {
+		return nil, err
+	}
+	return MinWork{}.Run(in)
+}
+
+// Utility returns agent i's quasilinear utility for an outcome under its
+// true values.
+func Utility(out *Outcome, truth *Instance, agent int) int64 {
+	return mechanism.Utility(out, truth, agent)
+}
+
+// Suggested returns the honest strategy.
+func Suggested() *Strategy { return strategy.Suggested() }
+
+// DeviationCatalog returns the full catalog of deviating strategies used
+// by the faithfulness experiments, parameterized by the deviating agent.
+func DeviationCatalog(w []int, n, deviator int) []*Strategy {
+	return strategy.Catalog(w, n, deviator)
+}
+
+// ExperimentIDs lists the reproduction experiments in DESIGN.md order.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// RunExperiment executes one reproduction experiment by ID.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentReport, error) {
+	return experiment.Run(id, cfg)
+}
+
+// RunAllExperiments executes the whole reproduction suite.
+func RunAllExperiments(cfg ExperimentConfig) ([]*ExperimentReport, error) {
+	return experiment.RunAll(cfg)
+}

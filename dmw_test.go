@@ -1,0 +1,147 @@
+package dmw
+
+import (
+	"testing"
+)
+
+func TestNewGameAndRun(t *testing.T) {
+	bids := [][]int{
+		{1, 3},
+		{2, 1},
+		{3, 2},
+		{2, 3},
+		{1, 2},
+		{3, 3},
+	}
+	game, err := NewGame(PresetTest64, []int{1, 2, 3}, 1, bids, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunCentralized(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, a := range res.Auctions {
+		if a.Aborted {
+			t.Fatalf("task %d aborted: %s", j, a.AbortReason)
+		}
+		if a.Winner != ref.Schedule.Agent[j] {
+			t.Errorf("task %d: DMW winner %d, MinWork %d", j, a.Winner, ref.Schedule.Agent[j])
+		}
+	}
+	for i := range ref.Payments {
+		if res.Outcome.Payments[i] != ref.Payments[i] {
+			t.Errorf("payment[%d]: DMW %d, MinWork %d", i, res.Outcome.Payments[i], ref.Payments[i])
+		}
+	}
+}
+
+func TestNewGameRejectsBadConfig(t *testing.T) {
+	if _, err := NewGame("nope", []int{1}, 0, [][]int{{1}, {1}}, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := NewGame(PresetTest64, []int{1}, 0, [][]int{{2}, {2}}, 1); err == nil {
+		t.Error("bids outside W accepted")
+	}
+	if _, err := NewGame(PresetTest64, []int{9}, 0, [][]int{{9}, {9}}, 1); err == nil {
+		t.Error("oversized w_k accepted")
+	}
+}
+
+func TestRandomBidsInW(t *testing.T) {
+	w := []int{2, 5}
+	bids := RandomBids(4, 6, w, 3)
+	if len(bids) != 4 || len(bids[0]) != 6 {
+		t.Fatalf("shape = %dx%d", len(bids), len(bids[0]))
+	}
+	for _, row := range bids {
+		for _, v := range row {
+			if v != 2 && v != 5 {
+				t.Fatalf("bid %d not in W", v)
+			}
+		}
+	}
+	// Deterministic per seed.
+	again := RandomBids(4, 6, w, 3)
+	for i := range bids {
+		for j := range bids[i] {
+			if bids[i][j] != again[i][j] {
+				t.Fatal("RandomBids not deterministic")
+			}
+		}
+	}
+}
+
+func TestBidsToInstanceValidation(t *testing.T) {
+	if _, err := BidsToInstance(nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := BidsToInstance([][]int{{1, 2}, {1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	in, err := BidsToInstance([][]int{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Time[1][0] != 3 {
+		t.Error("conversion wrong")
+	}
+}
+
+func TestUtilityThroughFacade(t *testing.T) {
+	bids := [][]int{{1}, {4}}
+	out, err := RunCentralized(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := BidsToInstance(bids)
+	if got := Utility(out, in, 0); got != 3 {
+		t.Errorf("winner utility = %d, want 3", got)
+	}
+}
+
+func TestDeviationCatalogNonEmpty(t *testing.T) {
+	cat := DeviationCatalog([]int{1, 2}, 4, 0)
+	if len(cat) < 10 {
+		t.Errorf("catalog has only %d entries", len(cat))
+	}
+	if !Suggested().IsSuggested() {
+		t.Error("Suggested() is not suggested")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(ids))
+	}
+	rep, err := RunExperiment("f1", ExperimentConfig{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Errorf("f1 failed:\n%s", rep)
+	}
+}
+
+func TestGenerateGroupParams(t *testing.T) {
+	pr, err := GenerateGroupParams(32, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresetGroup(t *testing.T) {
+	for _, name := range []string{PresetTiny16, PresetTest64, PresetDemo128, PresetSim256, PresetSecure512} {
+		if _, err := PresetGroup(name); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+}

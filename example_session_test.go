@@ -1,0 +1,62 @@
+package dmw_test
+
+import (
+	"fmt"
+	"sync"
+
+	"dmw"
+	"dmw/internal/transport"
+)
+
+// ExampleRunAgentSession shows the deployment-shaped API: each agent
+// plays its own session over a transport connection, knowing only its own
+// true values. Here the fabric is in-memory; cmd/dmwnode uses the same
+// call over a TCP relay.
+func ExampleRunAgentSession() {
+	myBids := [][]int{
+		{1, 2},
+		{2, 1},
+		{2, 2},
+		{1, 1},
+	}
+	n := len(myBids)
+	nw, err := transport.New(n)
+	if err != nil {
+		panic(err)
+	}
+	params, err := dmw.PresetGroup(dmw.PresetTest64)
+	if err != nil {
+		panic(err)
+	}
+	results := make([]*dmw.SessionResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ep, err := nw.Endpoint(i)
+		if err != nil {
+			panic(err)
+		}
+		cfg := dmw.SessionConfig{
+			Params: params,
+			Bid:    dmw.BidConfig{W: []int{1, 2}, C: 0, N: n},
+			MyBids: myBids[i],
+			Seed:   5,
+		}
+		wg.Add(1)
+		go func(i int, ep *transport.Endpoint, cfg dmw.SessionConfig) {
+			defer wg.Done()
+			res, err := dmw.RunAgentSession(cfg, i, ep)
+			if err != nil {
+				panic(err)
+			}
+			results[i] = res
+		}(i, ep, cfg)
+	}
+	wg.Wait()
+	// Every agent independently derived the same outcome.
+	for _, v := range results[0].Views {
+		fmt.Printf("task %d -> agent %d at price %d\n", v.Task, v.Winner, v.SecondPrice)
+	}
+	// Output:
+	// task 0 -> agent 0 at price 1
+	// task 1 -> agent 1 at price 1
+}

@@ -1,0 +1,71 @@
+package dmw_test
+
+import (
+	"fmt"
+
+	"dmw"
+)
+
+// ExampleRun demonstrates the core flow: publish parameters, run the
+// distributed mechanism, read the schedule and payments.
+func ExampleRun() {
+	trueValues := [][]int{
+		{1, 3},
+		{2, 1},
+		{3, 2},
+		{2, 3},
+		{3, 2},
+		{2, 2},
+	}
+	game, err := dmw.NewGame(dmw.PresetTest64, []int{1, 2, 3}, 1, trueValues, 7)
+	if err != nil {
+		panic(err)
+	}
+	res, err := dmw.Run(game)
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range res.Auctions {
+		fmt.Printf("task %d -> agent %d at price %d\n", a.Task, a.Winner, a.SecondPrice)
+	}
+	// Output:
+	// task 0 -> agent 0 at price 2
+	// task 1 -> agent 1 at price 2
+}
+
+// ExampleRunCentralized shows the MinWork baseline that the distributed
+// mechanism provably reproduces.
+func ExampleRunCentralized() {
+	out, err := dmw.RunCentralized([][]int{
+		{1, 3},
+		{2, 1},
+		{3, 2},
+		{2, 3},
+		{3, 2},
+		{2, 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("allocation:", out.Schedule.Agent)
+	fmt.Println("payments:", out.Payments)
+	// Output:
+	// allocation: [0 1]
+	// payments: [2 2 0 0 0 0]
+}
+
+// ExampleMyersonPayments computes truthful payments for the monotone
+// related-machines rule.
+func ExampleMyersonPayments() {
+	sizes := []int64{6, 4}
+	bids := []int64{2, 4}
+	pay, schedule, err := dmw.MyersonPayments(dmw.FastestMachine{}, sizes, bids, []int64{1, 2, 3, 4, 5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("winner tasks:", schedule.TasksOf(0))
+	fmt.Println("payments:", pay)
+	// Output:
+	// winner tasks: [0 1]
+	// payments: [40 0]
+}

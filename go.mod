@@ -1,0 +1,3 @@
+module dmw
+
+go 1.22

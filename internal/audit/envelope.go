@@ -1,0 +1,54 @@
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	protocol "dmw/internal/dmw"
+	"dmw/internal/group"
+)
+
+// Envelope is the serialized form of a verifiable execution record: the
+// published group parameters plus the transcript. Everything in it is
+// public, so the file can be handed to any third party.
+type Envelope struct {
+	// Version guards the on-disk format.
+	Version int `json:"version"`
+	// Params are the published cryptographic parameters.
+	Params *group.Params `json:"params"`
+	// Transcript is the published execution record.
+	Transcript *protocol.Transcript `json:"transcript"`
+}
+
+// envelopeVersion is the current format version.
+const envelopeVersion = 1
+
+// Save writes an envelope as indented JSON.
+func Save(w io.Writer, params *group.Params, tr *protocol.Transcript) error {
+	if params == nil || tr == nil {
+		return errors.New("audit: nil params or transcript")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Envelope{Version: envelopeVersion, Params: params, Transcript: tr})
+}
+
+// Load reads an envelope written by Save.
+func Load(r io.Reader) (*Envelope, error) {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("audit: decoding envelope: %w", err)
+	}
+	if env.Version != envelopeVersion {
+		return nil, fmt.Errorf("audit: unsupported envelope version %d", env.Version)
+	}
+	if env.Params == nil || env.Transcript == nil {
+		return nil, errors.New("audit: incomplete envelope")
+	}
+	if err := env.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("audit: envelope parameters: %w", err)
+	}
+	return &env, nil
+}

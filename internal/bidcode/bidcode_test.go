@@ -1,0 +1,271 @@
+package bidcode
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmw/internal/field"
+	"dmw/internal/poly"
+)
+
+var testQ = big.NewInt(2003)
+
+func testConfig() Config {
+	return Config{W: []int{1, 2, 3, 4}, C: 1, N: 8}
+}
+
+func testFld(t *testing.T) *field.Field {
+	t.Helper()
+	return field.MustNew(testQ)
+}
+
+func TestSigma(t *testing.T) {
+	cfg := testConfig()
+	if got := cfg.Sigma(); got != 6 { // w_k + c + 1 = 4 + 1 + 1
+		t.Errorf("Sigma = %d, want 6", got)
+	}
+	if got := (Config{}).Sigma(); got != 0 {
+		t.Errorf("empty Sigma = %d, want 0", got)
+	}
+}
+
+func TestMaxSharesNeeded(t *testing.T) {
+	cfg := testConfig()
+	if got := cfg.MaxSharesNeeded(); got != 6 { // sigma - w1 + 1 = 6 - 1 + 1
+		t.Errorf("MaxSharesNeeded = %d, want 6", got)
+	}
+	if got := (Config{}).MaxSharesNeeded(); got != 0 {
+		t.Errorf("empty MaxSharesNeeded = %d, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid", testConfig(), false},
+		{"valid no faults", Config{W: []int{1, 2}, C: 0, N: 4}, false},
+		{"too few agents", Config{W: []int{1}, C: 0, N: 1}, true},
+		{"negative c", Config{W: []int{1}, C: -1, N: 4}, true},
+		{"c >= n", Config{W: []int{1}, C: 4, N: 4}, true},
+		{"empty W", Config{C: 0, N: 4}, true},
+		{"zero bid", Config{W: []int{0, 1}, C: 0, N: 4}, true},
+		{"descending W", Config{W: []int{2, 1}, C: 0, N: 4}, true},
+		{"duplicate W", Config{W: []int{1, 1}, C: 0, N: 4}, true},
+		{"wk too large", Config{W: []int{1, 5}, C: 1, N: 5}, true},
+		{"not enough eval points", Config{W: []int{1, 4}, C: 2, N: 6}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestContains(t *testing.T) {
+	cfg := testConfig()
+	for _, w := range cfg.W {
+		if !cfg.Contains(w) {
+			t.Errorf("Contains(%d) = false", w)
+		}
+	}
+	for _, y := range []int{0, 5, -1, 100} {
+		if cfg.Contains(y) {
+			t.Errorf("Contains(%d) = true", y)
+		}
+	}
+}
+
+func TestNearestBid(t *testing.T) {
+	cfg := Config{W: []int{2, 4, 8}, C: 0, N: 12}
+	tests := []struct {
+		v    int64
+		want int
+	}{
+		{1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 8}, {100, 8},
+	}
+	for _, tt := range tests {
+		if got := cfg.NearestBid(tt.v); got != tt.want {
+			t.Errorf("NearestBid(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestDegreeCandidates(t *testing.T) {
+	cfg := testConfig() // sigma = 6, W = 1..4
+	got := cfg.DegreeCandidates()
+	want := []int{2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEncodeDegrees(t *testing.T) {
+	cfg := testConfig()
+	f := testFld(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, y := range cfg.W {
+		b, err := Encode(cfg, y, f, rng)
+		if err != nil {
+			t.Fatalf("Encode(%d): %v", y, err)
+		}
+		sigma := cfg.Sigma()
+		if b.Tau != sigma-y {
+			t.Errorf("Tau = %d, want %d", b.Tau, sigma-y)
+		}
+		if got := b.E.Degree(); got != sigma-y {
+			t.Errorf("deg e = %d, want %d", got, sigma-y)
+		}
+		if got := b.F.Degree(); got != y {
+			t.Errorf("deg f = %d, want %d", got, y)
+		}
+		if got := b.G.Degree(); got != sigma {
+			t.Errorf("deg g = %d, want %d", got, sigma)
+		}
+		if got := b.H.Degree(); got != sigma {
+			t.Errorf("deg h = %d, want %d", got, sigma)
+		}
+		for _, p := range []*poly.Poly{b.E, b.F, b.G, b.H} {
+			if p.Coeff(0).Sign() != 0 {
+				t.Error("polynomial has nonzero constant term")
+			}
+		}
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	cfg := testConfig()
+	f := testFld(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Encode(cfg, 7, f, rng); err == nil {
+		t.Error("Encode accepted bid outside W")
+	}
+	bad := Config{W: []int{1}, C: 5, N: 3}
+	if _, err := Encode(bad, 1, f, rng); err == nil {
+		t.Error("Encode accepted invalid config")
+	}
+}
+
+func TestShareForMatchesPolynomials(t *testing.T) {
+	cfg := testConfig()
+	f := testFld(t)
+	rng := rand.New(rand.NewSource(3))
+	b, err := Encode(cfg, 2, f, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := big.NewInt(5)
+	s := b.ShareFor(alpha)
+	if s.E.Cmp(b.E.Eval(alpha)) != 0 || s.F.Cmp(b.F.Eval(alpha)) != 0 ||
+		s.G.Cmp(b.G.Eval(alpha)) != 0 || s.H.Cmp(b.H.Eval(alpha)) != 0 {
+		t.Error("ShareFor disagrees with direct evaluation")
+	}
+}
+
+func TestSharesFor(t *testing.T) {
+	cfg := testConfig()
+	f := testFld(t)
+	rng := rand.New(rand.NewSource(4))
+	b, _ := Encode(cfg, 1, f, rng)
+	alphas, err := Pseudonyms(f, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := b.SharesFor(alphas)
+	if len(shares) != cfg.N {
+		t.Fatalf("got %d shares, want %d", len(shares), cfg.N)
+	}
+	for i, s := range shares {
+		if s.E.Cmp(b.E.Eval(alphas[i])) != 0 {
+			t.Errorf("share %d mismatch", i)
+		}
+	}
+}
+
+func TestShareCloneIsDeep(t *testing.T) {
+	s := Share{E: big.NewInt(1), F: big.NewInt(2), G: big.NewInt(3), H: big.NewInt(4)}
+	c := s.Clone()
+	c.E.SetInt64(99)
+	if s.E.Int64() != 1 {
+		t.Error("Clone aliased E")
+	}
+	var empty Share
+	if got := empty.Clone(); got.E != nil {
+		t.Error("Clone of empty share fabricated values")
+	}
+}
+
+func TestShareWireSize(t *testing.T) {
+	s := Share{E: big.NewInt(255), F: big.NewInt(256), G: big.NewInt(1), H: nil}
+	// 255 -> 1 byte, 256 -> 2 bytes, 1 -> 1 byte, nil -> 0.
+	if got := s.WireSize(); got != 4 {
+		t.Errorf("WireSize = %d, want 4", got)
+	}
+}
+
+func TestPseudonymsDistinctNonzero(t *testing.T) {
+	f := testFld(t)
+	ps, err := Pseudonyms(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Sign() == 0 {
+			t.Error("zero pseudonym")
+		}
+		k := p.String()
+		if seen[k] {
+			t.Errorf("duplicate pseudonym %s", k)
+		}
+		seen[k] = true
+	}
+	if _, err := Pseudonyms(f, 3000); err == nil {
+		t.Error("Pseudonyms accepted n >= q")
+	}
+}
+
+// Property: encoding any allowed bid and resolving the degree of e over
+// the candidate set recovers sigma - y exactly, i.e. the round trip
+// bid -> polynomial degree -> resolved bid is the identity.
+func TestEncodeResolveRoundTripProperty(t *testing.T) {
+	cfg := testConfig()
+	f := field.MustNew(testQ)
+	alphas, err := Pseudonyms(f, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		y := cfg.W[r.Intn(len(cfg.W))]
+		b, err := Encode(cfg, y, f, r)
+		if err != nil {
+			return false
+		}
+		shares := make([]poly.Share, len(alphas))
+		for i, a := range alphas {
+			shares[i] = poly.Share{Node: a, Value: b.E.Eval(a)}
+		}
+		d, err := poly.ResolveDegree(f, shares, cfg.DegreeCandidates())
+		if err != nil {
+			return false
+		}
+		return cfg.Sigma()-d == y
+	}
+	qc := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(check, qc); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package centralnet
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dmw/internal/mechanism"
+	"dmw/internal/sched"
+)
+
+func startServer(t *testing.T, n, m int) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve(ln, n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestServeValidates(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Serve(ln, 1, 2); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Serve(ln, 3, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestCentralizedAuctionOverTCP(t *testing.T) {
+	bids := [][]int64{
+		{1, 5},
+		{3, 2},
+		{4, 7},
+	}
+	n, m := len(bids), len(bids[0])
+	s := startServer(t, n, m)
+
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = SubmitBids(s.Addr().String(), i, bids[i], 10*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference mechanism run.
+	in := sched.NewInstance(n, m)
+	for i := range bids {
+		copy(in.Time[i], bids[i])
+	}
+	ref, err := mechanism.MinWork{}.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		for j := 0; j < m; j++ {
+			if res.Winner[j] != ref.Schedule.Agent[j] {
+				t.Errorf("agent %d sees task %d winner %d, want %d", i, j, res.Winner[j], ref.Schedule.Agent[j])
+			}
+			if res.SecondPrice[j] != ref.SecondPrice[j] {
+				t.Errorf("agent %d sees task %d price %d, want %d", i, j, res.SecondPrice[j], ref.SecondPrice[j])
+			}
+		}
+		if res.Payment != ref.Payments[i] {
+			t.Errorf("agent %d payment %d, want %d", i, res.Payment, ref.Payments[i])
+		}
+	}
+
+	// Theta(mn) accounting: m values per agent in, one result out each.
+	want := int64(n*m + n)
+	if got := s.Messages(); got != want {
+		t.Errorf("messages = %d, want %d", got, want)
+	}
+}
+
+func TestSubmitBidsValidation(t *testing.T) {
+	s := startServer(t, 2, 1)
+	if _, err := SubmitBids(s.Addr().String(), 0, nil, time.Second); err == nil {
+		t.Error("empty bids accepted")
+	}
+	// Wrong m: server drops the connection; client times out or EOFs.
+	if _, err := SubmitBids(s.Addr().String(), 0, []int64{1, 2, 3}, 500*time.Millisecond); err == nil {
+		t.Error("wrong task count accepted")
+	}
+}
+
+func TestDuplicateAgentRejected(t *testing.T) {
+	s := startServer(t, 2, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := SubmitBids(s.Addr().String(), 0, []int64{1}, 5*time.Second)
+		done <- err
+	}()
+	// Second submission with the same id is dropped by the server.
+	if _, err := SubmitBids(s.Addr().String(), 0, []int64{2}, 500*time.Millisecond); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	// The auction never completes (agent 1 missing); close and drain.
+	_ = s.Close()
+	<-done
+}

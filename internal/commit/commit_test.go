@@ -1,0 +1,326 @@
+package commit
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/group"
+)
+
+func testSetup(t *testing.T) (*group.Group, bidcode.Config, []*big.Int) {
+	t.Helper()
+	g := group.MustNew(group.MustPreset(group.PresetTest64))
+	cfg := bidcode.Config{W: []int{1, 2, 3, 4}, C: 1, N: 8}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alphas, err := bidcode.Pseudonyms(g.Scalars(), cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, cfg, alphas
+}
+
+func encode(t *testing.T, g *group.Group, cfg bidcode.Config, y int, seed int64) *bidcode.EncodedBid {
+	t.Helper()
+	b, err := bidcode.Encode(cfg, y, g.Scalars(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestHonestSharesVerify(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	sigma := cfg.Sigma()
+	for _, y := range cfg.W {
+		b := encode(t, g, cfg, y, int64(y))
+		c, err := New(g, b, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range alphas {
+			pw := PowersOf(g.Scalars(), alpha, sigma)
+			if err := c.VerifyShare(g, pw, b.ShareFor(alpha)); err != nil {
+				t.Errorf("bid %d, alpha %v: %v", y, alpha, err)
+			}
+		}
+	}
+}
+
+func TestTamperedShareFailsCorrectCheck(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	sigma := cfg.Sigma()
+	b := encode(t, g, cfg, 2, 7)
+	c, err := New(g, b, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := PowersOf(g.Scalars(), alphas[0], sigma)
+
+	tests := []struct {
+		name   string
+		mutate func(*bidcode.Share)
+		want   error
+	}{
+		{"tamper E", func(s *bidcode.Share) { s.E.Add(s.E, big.NewInt(1)) }, ErrProductCheck},
+		{"tamper F", func(s *bidcode.Share) { s.F.Add(s.F, big.NewInt(1)) }, ErrProductCheck},
+		{"tamper G", func(s *bidcode.Share) { s.G.Add(s.G, big.NewInt(1)) }, ErrProductCheck},
+		{"tamper H", func(s *bidcode.Share) { s.H.Add(s.H, big.NewInt(1)) }, ErrEShareCheck},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := b.ShareFor(alphas[0]).Clone()
+			tt.mutate(&s)
+			err := c.VerifyShare(g, pw, s)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestIncompleteShareRejected(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	sigma := cfg.Sigma()
+	b := encode(t, g, cfg, 1, 9)
+	c, _ := New(g, b, sigma)
+	pw := PowersOf(g.Scalars(), alphas[0], sigma)
+	s := b.ShareFor(alphas[0])
+	s.H = nil
+	if err := c.VerifyShare(g, pw, s); err == nil {
+		t.Error("incomplete share verified")
+	}
+}
+
+func TestTamperedCommitmentFails(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	sigma := cfg.Sigma()
+	b := encode(t, g, cfg, 3, 11)
+	c, _ := New(g, b, sigma)
+	pw := PowersOf(g.Scalars(), alphas[2], sigma)
+	s := b.ShareFor(alphas[2])
+
+	bad := c.Clone()
+	bad.O[1] = g.Mul(bad.O[1], g.Params().Z1)
+	if err := bad.VerifyShare(g, pw, s); !errors.Is(err, ErrProductCheck) {
+		t.Errorf("tampered O: error = %v, want ErrProductCheck", err)
+	}
+	bad = c.Clone()
+	bad.Q[0] = g.Mul(bad.Q[0], g.Params().Z1)
+	if err := bad.VerifyShare(g, pw, s); !errors.Is(err, ErrEShareCheck) {
+		t.Errorf("tampered Q: error = %v, want ErrEShareCheck", err)
+	}
+	bad = c.Clone()
+	bad.R[3] = g.Mul(bad.R[3], g.Params().Z2)
+	if err := bad.VerifyShare(g, pw, s); !errors.Is(err, ErrFShareCheck) {
+		t.Errorf("tampered R: error = %v, want ErrFShareCheck", err)
+	}
+}
+
+func TestNewRejectsOversizedPolys(t *testing.T) {
+	g, cfg, _ := testSetup(t)
+	b := encode(t, g, cfg, 1, 13)
+	if _, err := New(g, b, 2); err == nil {
+		t.Error("New accepted sigma smaller than polynomial degrees")
+	}
+	if _, err := New(g, b, 0); err == nil {
+		t.Error("New accepted sigma = 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, cfg, _ := testSetup(t)
+	b := encode(t, g, cfg, 2, 15)
+	c, _ := New(g, b, cfg.Sigma())
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+	var nilc *Commitments
+	if err := nilc.Validate(); err == nil {
+		t.Error("nil commitments validated")
+	}
+	bad := c.Clone()
+	bad.Q = bad.Q[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("length-mismatched commitments validated")
+	}
+	bad = c.Clone()
+	bad.R[0] = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil-element commitments validated")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g, cfg, _ := testSetup(t)
+	b := encode(t, g, cfg, 2, 17)
+	c, _ := New(g, b, cfg.Sigma())
+	cp := c.Clone()
+	cp.O[0].SetInt64(1)
+	if c.O[0].Cmp(big.NewInt(1)) == 0 {
+		t.Error("Clone aliased elements")
+	}
+}
+
+func TestWireSizePositive(t *testing.T) {
+	g, cfg, _ := testSetup(t)
+	b := encode(t, g, cfg, 2, 19)
+	c, _ := New(g, b, cfg.Sigma())
+	if c.WireSize() <= 0 {
+		t.Error("WireSize not positive")
+	}
+}
+
+func TestPowersOf(t *testing.T) {
+	g, _, _ := testSetup(t)
+	f := g.Scalars()
+	pw := PowersOf(f, big.NewInt(3), 4)
+	want := []int64{3, 9, 27, 81}
+	for i, w := range want {
+		if pw[i].Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("PowersOf[%d] = %v, want %d", i, pw[i], w)
+		}
+	}
+}
+
+// buildAll creates n encoded bids with their commitments and the honest
+// Lambda/Psi values for one pseudonym index.
+func buildAll(t *testing.T, g *group.Group, cfg bidcode.Config, bids []int) ([]*bidcode.EncodedBid, []*Commitments) {
+	t.Helper()
+	sigma := cfg.Sigma()
+	encs := make([]*bidcode.EncodedBid, len(bids))
+	comms := make([]*Commitments, len(bids))
+	for i, y := range bids {
+		encs[i] = encode(t, g, cfg, y, int64(100+i))
+		c, err := New(g, encs[i], sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[i] = c
+	}
+	return encs, comms
+}
+
+func lambdaPsiAt(g *group.Group, encs []*bidcode.EncodedBid, alpha *big.Int, exclude int) (*big.Int, *big.Int) {
+	f := g.Scalars()
+	esum, hsum := new(big.Int), new(big.Int)
+	for k, b := range encs {
+		if k == exclude {
+			continue
+		}
+		esum = f.Add(esum, b.E.Eval(alpha))
+		hsum = f.Add(hsum, b.H.Eval(alpha))
+	}
+	return g.Pow1(esum), g.Pow2(hsum)
+}
+
+func TestVerifyLambdaPsi(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	bids := []int{2, 1, 3, 4, 2, 3, 1, 4}
+	encs, comms := buildAll(t, g, cfg, bids)
+	sigma := cfg.Sigma()
+	for i, alpha := range alphas {
+		pw := PowersOf(g.Scalars(), alpha, sigma)
+		lambda, psi := lambdaPsiAt(g, encs, alpha, -1)
+		if err := VerifyLambdaPsi(g, comms, pw, lambda, psi, -1); err != nil {
+			t.Errorf("agent %d: %v", i, err)
+		}
+		// A corrupted Lambda must fail.
+		if err := VerifyLambdaPsi(g, comms, pw, g.Mul(lambda, g.Params().Z1), psi, -1); !errors.Is(err, ErrLambdaPsiCheck) {
+			t.Errorf("agent %d: corrupted lambda error = %v", i, err)
+		}
+	}
+}
+
+func TestVerifyLambdaPsiExcludesWinner(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	bids := []int{2, 1, 3, 4, 2, 3, 1, 4}
+	encs, comms := buildAll(t, g, cfg, bids)
+	sigma := cfg.Sigma()
+	const winner = 1
+	pw := PowersOf(g.Scalars(), alphas[0], sigma)
+	lambda, psi := lambdaPsiAt(g, encs, alphas[0], winner)
+	if err := VerifyLambdaPsi(g, comms, pw, lambda, psi, winner); err != nil {
+		t.Error(err)
+	}
+	// The same pair must fail without the exclusion.
+	if err := VerifyLambdaPsi(g, comms, pw, lambda, psi, -1); !errors.Is(err, ErrLambdaPsiCheck) {
+		t.Errorf("error = %v, want ErrLambdaPsiCheck", err)
+	}
+}
+
+func TestVerifyLambdaPsiNilInputs(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	_, comms := buildAll(t, g, cfg, []int{1, 2, 1, 2, 1, 2, 1, 2})
+	pw := PowersOf(g.Scalars(), alphas[0], cfg.Sigma())
+	if err := VerifyLambdaPsi(g, comms, pw, nil, big.NewInt(1), -1); err == nil {
+		t.Error("nil lambda accepted")
+	}
+}
+
+func TestVerifyDisclosure(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	bids := []int{2, 1, 3, 4, 2, 3, 1, 4}
+	encs, comms := buildAll(t, g, cfg, bids)
+	sigma := cfg.Sigma()
+	// Agent k discloses the f-shares it received: f_l(alpha_k) for all l.
+	const k = 3
+	alpha := alphas[k]
+	pw := PowersOf(g.Scalars(), alpha, sigma)
+	fShares := make([]*big.Int, len(encs))
+	hsum := new(big.Int)
+	f := g.Scalars()
+	for l, b := range encs {
+		fShares[l] = b.F.Eval(alpha)
+		hsum = f.Add(hsum, b.H.Eval(alpha))
+	}
+	psi := g.Pow2(hsum)
+	if err := VerifyDisclosure(g, comms, pw, fShares, psi); err != nil {
+		t.Error(err)
+	}
+	// Tampering any disclosed share must fail.
+	bad := make([]*big.Int, len(fShares))
+	copy(bad, fShares)
+	bad[2] = f.Add(bad[2], big.NewInt(1))
+	if err := VerifyDisclosure(g, comms, pw, bad, psi); !errors.Is(err, ErrDisclosureCheck) {
+		t.Errorf("error = %v, want ErrDisclosureCheck", err)
+	}
+	// Wrong count rejected.
+	if err := VerifyDisclosure(g, comms, pw, fShares[:3], psi); err == nil {
+		t.Error("short disclosure accepted")
+	}
+	// Nil share rejected.
+	bad[2] = nil
+	if err := VerifyDisclosure(g, comms, pw, bad, psi); err == nil {
+		t.Error("nil disclosed share accepted")
+	}
+	if err := VerifyDisclosure(g, comms, pw, fShares, nil); err == nil {
+		t.Error("nil psi accepted")
+	}
+}
+
+func BenchmarkVerifyShare(b *testing.B) {
+	g := group.MustNew(group.MustPreset(group.PresetTest64))
+	cfg := bidcode.Config{W: []int{1, 2, 3, 4}, C: 1, N: 8}
+	enc, err := bidcode.Encode(cfg, 2, g.Scalars(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(g, enc, cfg.Sigma())
+	if err != nil {
+		b.Fatal(err)
+	}
+	alpha := big.NewInt(5)
+	pw := PowersOf(g.Scalars(), alpha, cfg.Sigma())
+	s := enc.ShareFor(alpha)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.VerifyShare(g, pw, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package commit
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"dmw/internal/group"
+)
+
+// GammaTable lazily caches the Gamma_{k,l} evaluations (equation (8)'s
+// right-hand side: agent l's Q-commitments evaluated at pseudonym k).
+// The protocol consumes the same Gamma values twice per auction — once
+// verifying the Lambda/Psi publications (equation (11)) and once
+// verifying the winner-excluded pairs (equation (15) against (11)) — so
+// caching halves the dominant O(n^2 sigma) verification cost.
+// BenchmarkGammaCache quantifies the saving.
+//
+// A GammaTable is NOT safe for concurrent use; each agent builds its own.
+type GammaTable struct {
+	g      *group.Group
+	powers [][]*big.Int // powers[k] = PowersOf(alpha_k, sigma)
+	comms  []*Commitments
+	vals   [][]*big.Int // vals[k][l], nil until computed
+}
+
+// NewGammaTable builds an empty cache over the published commitments and
+// precomputed pseudonym powers.
+func NewGammaTable(g *group.Group, comms []*Commitments, powers [][]*big.Int) (*GammaTable, error) {
+	if len(comms) != len(powers) {
+		return nil, fmt.Errorf("commit: %d commitment sets vs %d power vectors", len(comms), len(powers))
+	}
+	vals := make([][]*big.Int, len(powers))
+	for k := range vals {
+		vals[k] = make([]*big.Int, len(comms))
+	}
+	return &GammaTable{g: g, powers: powers, comms: comms, vals: vals}, nil
+}
+
+// At returns Gamma_{k,l}, computing and caching it on first use.
+func (t *GammaTable) At(k, l int) (*big.Int, error) {
+	if k < 0 || k >= len(t.vals) || l < 0 || l >= len(t.comms) {
+		return nil, fmt.Errorf("commit: gamma index (%d,%d) out of range", k, l)
+	}
+	if v := t.vals[k][l]; v != nil {
+		return v, nil
+	}
+	c := t.comms[l]
+	if c == nil {
+		return nil, errors.New("commit: missing commitments")
+	}
+	v, err := c.Gamma(t.g, t.powers[k])
+	if err != nil {
+		return nil, err
+	}
+	t.vals[k][l] = v
+	return v, nil
+}
+
+// VerifyLambdaPsi is the cached variant of the package-level function:
+// it checks prod_l Gamma_{k,l} = lambda*psi at pseudonym k, optionally
+// excluding one agent's contribution (the second-price variant).
+func (t *GammaTable) VerifyLambdaPsi(k int, lambda, psi *big.Int, exclude int) error {
+	if lambda == nil || psi == nil {
+		return errors.New("commit: nil lambda or psi")
+	}
+	prod := t.g.One()
+	for l := range t.comms {
+		if l == exclude {
+			continue
+		}
+		gamma, err := t.At(k, l)
+		if err != nil {
+			return err
+		}
+		prod = t.g.Mul(prod, gamma)
+	}
+	if !t.g.Equal(prod, t.g.Mul(lambda, psi)) {
+		return ErrLambdaPsiCheck
+	}
+	return nil
+}

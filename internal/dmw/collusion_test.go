@@ -1,0 +1,140 @@
+package dmw
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/field"
+	"dmw/internal/group"
+	"dmw/internal/poly"
+	"dmw/internal/strategy"
+)
+
+// TestInVivoCollusion runs the Theorem 10 attack inside a real protocol
+// execution: a coalition of agents records the shares it receives via the
+// (non-deviating) ObserveShare hook, pools them afterwards, and runs
+// degree resolution against a losing agent's f-polynomial. A coalition of
+// size y+1 recovers the victim's bid y; a smaller one learns nothing.
+func TestInVivoCollusion(t *testing.T) {
+	const (
+		n      = 8
+		victim = 5
+	)
+	cfg := RunConfig{
+		Params: group.MustPreset(group.PresetTest64),
+		Bid:    bidcode.Config{W: []int{1, 2, 3, 4}, C: 2, N: n},
+		TrueBids: [][]int{
+			{1}, {3}, {4}, {2}, {4}, {2}, {3}, {4},
+		},
+		Seed: 77,
+	}
+	// Coalition: agents 1 and 2 (victim bids 2, so y+1 = 3 observers
+	// are needed; we start with 2 and then extend to 3).
+	type obs struct {
+		mu     sync.Mutex
+		shares map[int]bidcode.Share // observer -> share from victim
+	}
+	rec := &obs{shares: map[int]bidcode.Share{}}
+	observer := func(me int) *strategy.Hooks {
+		return &strategy.Hooks{
+			Name: "observer",
+			ObserveShare: func(task, from int, s bidcode.Share) {
+				if task == 0 && from == victim {
+					rec.mu.Lock()
+					rec.shares[me] = s
+					rec.mu.Unlock()
+				}
+			},
+		}
+	}
+	run := func(coalition []int) map[int]bidcode.Share {
+		rec.mu.Lock()
+		rec.shares = map[int]bidcode.Share{}
+		rec.mu.Unlock()
+		cfg.Strategies = make([]*strategy.Hooks, n)
+		for _, i := range coalition {
+			cfg.Strategies[i] = observer(i)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Auctions[0].Aborted {
+			t.Fatalf("observation aborted the auction: %s", res.Auctions[0].AbortReason)
+		}
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		out := make(map[int]bidcode.Share, len(rec.shares))
+		for k, v := range rec.shares {
+			out[k] = v
+		}
+		return out
+	}
+
+	f := field.MustNew(cfg.Params.Q)
+	alphas, err := bidcode.Pseudonyms(f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := func(shares map[int]bidcode.Share) (int, bool) {
+		pts := make([]poly.Share, 0, len(shares))
+		for i, s := range shares {
+			pts = append(pts, poly.Share{Node: alphas[i], Value: new(big.Int).Set(s.F)})
+		}
+		// Candidates: the bid values themselves (degrees of f).
+		var cands []int
+		for _, w := range cfg.Bid.W {
+			if w+1 <= len(pts) {
+				cands = append(cands, w)
+			}
+		}
+		if len(cands) == 0 {
+			return 0, false
+		}
+		d, err := poly.ResolveDegree(f, pts, cands)
+		if err != nil {
+			return 0, false
+		}
+		return d, true
+	}
+
+	// Coalition of 2: cannot resolve bid 2 (needs 3 points).
+	small := run([]int{1, 2})
+	if len(small) != 2 {
+		t.Fatalf("coalition recorded %d shares, want 2", len(small))
+	}
+	if bid, ok := attack(small); ok && bid == cfg.TrueBids[victim][0] {
+		t.Errorf("coalition of 2 recovered bid %d", bid)
+	}
+
+	// Coalition of 3: recovers the victim's bid 2 exactly.
+	large := run([]int{1, 2, 6})
+	if len(large) != 3 {
+		t.Fatalf("coalition recorded %d shares, want 3", len(large))
+	}
+	bid, ok := attack(large)
+	if !ok || bid != cfg.TrueBids[victim][0] {
+		t.Errorf("coalition of 3 recovered (%d, %v), want (%d, true)", bid, ok, cfg.TrueBids[victim][0])
+	}
+}
+
+// TestObserveShareIsNotADeviation: pure observation leaves the outcome
+// identical to the honest run and counts as suggested behaviour.
+func TestObserveShareIsNotADeviation(t *testing.T) {
+	h := &strategy.Hooks{ObserveShare: func(int, int, bidcode.Share) {}}
+	if !h.IsSuggested() {
+		t.Error("observer counted as deviation")
+	}
+	honest := mustRun(t, baseConfig(55))
+	cfg := baseConfig(55)
+	cfg.Strategies = make([]*strategy.Hooks, cfg.Bid.N)
+	cfg.Strategies[2] = h
+	res := mustRun(t, cfg)
+	for j := range res.Auctions {
+		if res.Auctions[j] != honest.Auctions[j] {
+			t.Errorf("observation changed task %d outcome", j)
+		}
+	}
+}

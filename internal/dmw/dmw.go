@@ -1,0 +1,470 @@
+// Package dmw implements Distributed MinWork (DMW), the distributed
+// scheduling mechanism of Carroll and Grosu: a faithful, fully
+// distributed implementation of Nisan and Ronen's MinWork in which the
+// agents themselves compute the schedule and payments by running one
+// distributed Vickrey auction per task (Section 3 of the paper).
+//
+// A Run simulates the n agents as goroutines communicating over the
+// synchronous-round network of package transport. The four protocol
+// phases map onto rounds as follows:
+//
+//	Phase I   Initialization   — RunConfig carries the published
+//	                             parameters (group, pseudonyms, W, c).
+//	Phase II  Bidding          — round 1: shares (p2p) + commitments.
+//	Phase III Allocating Tasks — round 2: Lambda/Psi; round 3+:
+//	                             disclosures (with replacement rounds);
+//	                             one round for the second-price pairs.
+//	Phase IV  Payments         — one session-wide round of payment
+//	                             claims, settled by unanimity.
+//
+// The m auctions are parallel and independent, exactly as the paper
+// frames MinWork ("a set of parallel and independent Vickrey auctions");
+// each runs on its own network whose statistics are merged.
+package dmw
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/commit"
+	"dmw/internal/group"
+	"dmw/internal/mechanism"
+	"dmw/internal/payment"
+	"dmw/internal/sched"
+	"dmw/internal/strategy"
+	"dmw/internal/transport"
+)
+
+// RunConfig describes one execution of the distributed mechanism.
+type RunConfig struct {
+	// Params are the published cryptographic parameters (Phase I).
+	Params *group.Params
+	// Bid is the published bid-encoding configuration: W, c, n.
+	Bid bidcode.Config
+	// TrueBids[i][j] is agent i's true (already discretized) value for
+	// task j; every entry must be in Bid.W.
+	TrueBids [][]int
+	// Strategies[i] is agent i's strategy; nil means the suggested
+	// strategy. A nil or short slice defaults everyone to suggested.
+	Strategies []*strategy.Hooks
+	// Seed makes the run reproducible; polynomial coefficients derive
+	// from it per (agent, task).
+	Seed int64
+	// Parallelism bounds the number of concurrently running auctions;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// CountOps attaches per-agent group-operation counters (Theorem 12
+	// accounting).
+	CountOps bool
+	// Record captures the published values of every auction into
+	// Result.Transcript for offline verification (package audit).
+	Record bool
+	// EchoVerification appends a digest-exchange round after every round
+	// that carries published values, hardening the run against an
+	// equivocating broadcast medium (see echo.go for the threat model).
+	EchoVerification bool
+	// Delays, when non-nil, installs a per-link one-way latency matrix
+	// for the virtual-clock model; Result.Stats.VirtualTime() then
+	// reports the simulated end-to-end time of the slowest auction
+	// chain (auctions are parallel).
+	Delays [][]time.Duration
+}
+
+// Tasks returns m.
+func (c *RunConfig) Tasks() int {
+	if len(c.TrueBids) == 0 {
+		return 0
+	}
+	return len(c.TrueBids[0])
+}
+
+// Validate checks the configuration's coherence.
+func (c *RunConfig) Validate() error {
+	if c.Params == nil {
+		return errors.New("dmw: nil group parameters")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Bid.Validate(); err != nil {
+		return err
+	}
+	if len(c.TrueBids) != c.Bid.N {
+		return fmt.Errorf("dmw: %d bid rows for %d agents", len(c.TrueBids), c.Bid.N)
+	}
+	m := c.Tasks()
+	if m == 0 {
+		return errors.New("dmw: no tasks")
+	}
+	for i, row := range c.TrueBids {
+		if len(row) != m {
+			return fmt.Errorf("dmw: agent %d has %d bids, want %d", i, len(row), m)
+		}
+		for j, y := range row {
+			if !c.Bid.Contains(y) {
+				return fmt.Errorf("dmw: TrueBids[%d][%d] = %d not in W", i, j, y)
+			}
+		}
+	}
+	if len(c.Strategies) != 0 && len(c.Strategies) != c.Bid.N {
+		return fmt.Errorf("dmw: %d strategies for %d agents", len(c.Strategies), c.Bid.N)
+	}
+	if c.Delays != nil && len(c.Delays) != c.Bid.N {
+		return fmt.Errorf("dmw: delay matrix has %d rows for %d agents", len(c.Delays), c.Bid.N)
+	}
+	return nil
+}
+
+func (c *RunConfig) strategyFor(i int) *strategy.Hooks {
+	if i < len(c.Strategies) && c.Strategies[i] != nil {
+		return c.Strategies[i]
+	}
+	return &strategy.Hooks{}
+}
+
+// Result is the outcome of one distributed mechanism execution.
+type Result struct {
+	// Outcome assembles the consensus schedule, issued payments, and
+	// per-task prices in the centralized mechanism's format, enabling
+	// direct comparison with MinWork (experiment F1).
+	Outcome *mechanism.Outcome
+	// Auctions holds the consensus per-task auction outcomes.
+	Auctions []AuctionOutcome
+	// Utilities[i] is agent i's realized utility against its true
+	// values, with voided executions counted as zero.
+	Utilities []int64
+	// Settlement is the payment infrastructure's Phase IV decision.
+	Settlement *payment.Settlement
+	// Stats aggregates communication over all auctions and the payment
+	// round.
+	Stats *transport.Stats
+	// AgentOps[i] counts agent i's group operations when
+	// RunConfig.CountOps is set; nil otherwise.
+	AgentOps []*group.Counter
+	// RoundLogs[j] is a narrative of auction j's rounds from agent 0's
+	// perspective (experiment F2 checks it against Fig. 2).
+	RoundLogs [][]string
+	// Transcript holds the published record of the run when
+	// RunConfig.Record is set; nil otherwise.
+	Transcript *Transcript
+}
+
+// Run executes the distributed mechanism.
+func Run(cfg RunConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := cfg.Bid.N, cfg.Tasks()
+	g, err := group.New(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	f := g.Scalars()
+	alphas, err := bidcode.Pseudonyms(f, n)
+	if err != nil {
+		return nil, err
+	}
+	sigma := cfg.Bid.Sigma()
+	// Precompute pseudonym powers once; they are shared read-only.
+	sharedPowers := precomputePowers(g, alphas, sigma)
+
+	var counters []*group.Counter
+	if cfg.CountOps {
+		counters = make([]*group.Counter, n)
+		for i := range counters {
+			counters[i] = &group.Counter{}
+		}
+	}
+
+	stats := &transport.Stats{}
+	viewsByAgent := make([][]*AuctionOutcome, n)
+	for i := range viewsByAgent {
+		viewsByAgent[i] = make([]*AuctionOutcome, m)
+	}
+	roundLogs := make([][]string, m)
+	var transcripts []*AuctionTranscript
+	if cfg.Record {
+		transcripts = make([]*AuctionTranscript, m)
+		for j := range transcripts {
+			transcripts[j] = newAuctionTranscript(j, n)
+		}
+	}
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var (
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		runErr error
+	)
+	recordErr := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	for task := 0; task < m; task++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(task int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			nw, err := transport.New(n)
+			if err != nil {
+				recordErr(err)
+				return
+			}
+			if cfg.Delays != nil {
+				if err := nw.SetDelays(cfg.Delays); err != nil {
+					recordErr(err)
+					return
+				}
+			}
+			env := &auctionEnv{
+				task:   task,
+				n:      n,
+				cfg:    cfg.Bid,
+				alphas: alphas,
+				powers: sharedPowers,
+				echo:   cfg.EchoVerification,
+			}
+			var agentWG sync.WaitGroup
+			logs := make([][]string, n)
+			for i := 0; i < n; i++ {
+				ep, err := nw.Endpoint(i)
+				if err != nil {
+					recordErr(err)
+					return
+				}
+				agentWG.Add(1)
+				go func(i int, ep *transport.Endpoint) {
+					defer agentWG.Done()
+					ag := g
+					if counters != nil {
+						ag = g.WithCounter(counters[i])
+					}
+					rng := rand.New(rand.NewSource(subSeed(cfg.Seed, i, task)))
+					var rec *AuctionTranscript
+					if transcripts != nil && i == 0 {
+						rec = transcripts[task]
+					}
+					view, log, err := runAgentAuction(env, i, ag, ep, cfg.strategyFor(i), cfg.TrueBids[i][task], rng, rec)
+					if err != nil {
+						recordErr(err)
+						ep.Crash()
+						view = &AuctionOutcome{Task: task, Aborted: true, AbortReason: "internal error", Winner: -1}
+					}
+					viewsByAgent[i][task] = view
+					logs[i] = log
+				}(i, ep)
+			}
+			agentWG.Wait()
+			stats.Merge(nw.Stats())
+			roundLogs[task] = logs[0]
+		}(task)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Consensus per auction: all non-crashed views must agree.
+	consensus := make([]AuctionOutcome, m)
+	for j := 0; j < m; j++ {
+		var ref *AuctionOutcome
+		diverged := false
+		for i := 0; i < n; i++ {
+			v := viewsByAgent[i][j]
+			if v.AbortReason == "crashed" {
+				continue
+			}
+			if ref == nil {
+				ref = v
+			} else if !ref.sameDecision(v) {
+				diverged = true
+			}
+		}
+		switch {
+		case ref == nil:
+			consensus[j] = AuctionOutcome{Task: j, Aborted: true, AbortReason: "all agents crashed", Winner: -1}
+		case diverged:
+			consensus[j] = AuctionOutcome{Task: j, Aborted: true, AbortReason: "view divergence", Winner: -1}
+		default:
+			consensus[j] = *ref
+		}
+	}
+
+	// Phase IV: payment claims, one session-wide round.
+	settlement, claims, err := settlePayments(cfg, viewsByAgent, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Auctions:   consensus,
+		Settlement: settlement,
+		Stats:      stats,
+		AgentOps:   counters,
+		RoundLogs:  roundLogs,
+	}
+	if transcripts != nil {
+		tr := &Transcript{Bid: cfg.Bid, Auctions: transcripts, Claims: claims}
+		for j := range transcripts {
+			transcripts[j].Claimed = consensus[j]
+		}
+		res.Transcript = tr
+	}
+	res.assembleOutcome(cfg)
+	return res, nil
+}
+
+// settlePayments runs the Phase IV claim round over a fresh network and
+// applies the unanimity rule.
+func settlePayments(cfg RunConfig, viewsByAgent [][]*AuctionOutcome, stats *transport.Stats) (*payment.Settlement, []payment.Claim, error) {
+	n := cfg.Bid.N
+	nw, err := transport.New(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	claimsCh := make(chan payment.Claim, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ep, err := nw.Endpoint(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		wg.Add(1)
+		go func(i int, ep *transport.Endpoint) {
+			defer wg.Done()
+			hooks := cfg.strategyFor(i)
+			if crashed(viewsByAgent[i]) {
+				ep.Crash()
+				return
+			}
+			p := claimFromViews(viewsByAgent[i], n)
+			if hooks.TamperPaymentClaim != nil {
+				hooks.TamperPaymentClaim(p)
+			}
+			if !hooks.OmitPaymentClaim {
+				if err := ep.Broadcast(transport.KindPaymentClaim, -1, PaymentClaimPayload{Payments: p}); err == nil {
+					claimsCh <- payment.Claim{From: i, Payments: p}
+				}
+			}
+			ep.FinishRound()
+		}(i, ep)
+	}
+	wg.Wait()
+	close(claimsCh)
+	stats.Merge(nw.Stats())
+
+	var claims []payment.Claim
+	for c := range claimsCh {
+		claims = append(claims, c)
+	}
+	if len(claims) == 0 {
+		// Nobody claimed (e.g. everyone crashed): nothing is dispensed.
+		return &payment.Settlement{Issued: make([]int64, n), Agreed: make([]bool, n)}, nil, nil
+	}
+	st, err := payment.Settle(claims, n)
+	return st, claims, err
+}
+
+func crashed(views []*AuctionOutcome) bool {
+	for _, v := range views {
+		if v != nil && v.AbortReason == "crashed" {
+			return true
+		}
+	}
+	return false
+}
+
+// claimFromViews computes the payment vector an agent derives from its
+// own auction views: P_i = sum of second prices of the tasks i won.
+func claimFromViews(views []*AuctionOutcome, n int) []int64 {
+	p := make([]int64, n)
+	for _, v := range views {
+		if v == nil || v.Aborted || v.Winner < 0 || v.Winner >= n {
+			continue
+		}
+		p[v.Winner] += int64(v.SecondPrice)
+	}
+	return p
+}
+
+// assembleOutcome builds the mechanism.Outcome and utilities from the
+// consensus auctions and the payment settlement. An agent whose payment
+// was disputed does not execute its tasks (its assignments are voided),
+// so a suggested-strategy agent never realizes negative utility.
+func (r *Result) assembleOutcome(cfg RunConfig) {
+	n, m := cfg.Bid.N, cfg.Tasks()
+	out := &mechanism.Outcome{
+		Schedule:    sched.NewSchedule(m),
+		Payments:    make([]int64, n),
+		FirstPrice:  make([]int64, m),
+		SecondPrice: make([]int64, m),
+	}
+	copy(out.Payments, r.Settlement.Issued)
+	for j, a := range r.Auctions {
+		if a.Aborted || a.Winner < 0 {
+			continue
+		}
+		out.FirstPrice[j] = int64(a.FirstPrice)
+		out.SecondPrice[j] = int64(a.SecondPrice)
+		if r.Settlement.Agreed[a.Winner] {
+			out.Schedule.Agent[j] = a.Winner
+		}
+	}
+	r.Outcome = out
+
+	r.Utilities = make([]int64, n)
+	for i := 0; i < n; i++ {
+		if !r.Settlement.Agreed[i] {
+			continue // voided: no execution, no payment -> 0
+		}
+		u := r.Settlement.Issued[i]
+		for j, a := range r.Auctions {
+			if !a.Aborted && a.Winner == i {
+				u -= int64(cfg.TrueBids[i][j])
+			}
+		}
+		r.Utilities[i] = u
+	}
+}
+
+// precomputePowers computes PowersOf for every pseudonym once per run.
+func precomputePowers(g *group.Group, alphas []*big.Int, sigma int) [][]*big.Int {
+	out := make([][]*big.Int, len(alphas))
+	for i, a := range alphas {
+		out[i] = commit.PowersOf(g.Scalars(), a, sigma)
+	}
+	return out
+}
+
+// subSeed derives a per-(agent, task) seed from the master seed with a
+// splitmix64-style mix, so results are independent of auction scheduling
+// order.
+func subSeed(master int64, agent, task int) int64 {
+	z := uint64(master)
+	z += 0x9e3779b97f4a7c15 * uint64(agent+1)
+	z += 0xbf58476d1ce4e5b9 * uint64(task+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return int64(z)
+}

@@ -1,0 +1,155 @@
+package dmw
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"sort"
+
+	"dmw/internal/transport"
+)
+
+// Echo verification hardens DMW against an equivocating broadcast
+// medium. The paper assumes an obedient broadcast channel (Theorem 3
+// rests on it); the TCP relay preserves non-equivocation only if the
+// relay itself is honest. With EchoVerification enabled, agents append a
+// digest-exchange round after every round that carries published values:
+// each agent hashes the publications it received (plus its own) and
+// broadcasts the digest; any mismatch proves someone saw a different
+// "broadcast" and the auction aborts. This is the classic echo step of
+// reliable-broadcast protocols, cut down to one round because the
+// protocol already aborts on any inconsistency.
+//
+// Private point-to-point shares are excluded from the digest — they
+// legitimately differ per recipient.
+
+// EchoPayload carries the digest of a round's published messages.
+type EchoPayload struct {
+	Digest [sha256.Size]byte
+}
+
+// WireSize implements transport.Sizer.
+func (p EchoPayload) WireSize() int { return sha256.Size }
+
+var _ transport.Sizer = EchoPayload{}
+
+// publishedKind reports whether a message kind is a publication (subject
+// to echo verification) rather than a private transmission.
+func publishedKind(k transport.Kind) bool {
+	switch k {
+	case transport.KindCommitments, transport.KindLambdaPsi,
+		transport.KindDisclosure, transport.KindSecondPrice,
+		transport.KindAbort:
+		return true
+	default:
+		return false
+	}
+}
+
+// digestPublished canonically hashes the published messages of one round:
+// messages are sorted by (From, Kind, Task) — the transport's delivery
+// order — and each contributes its header plus a canonical payload
+// serialization.
+func digestPublished(msgs []transport.Message) [sha256.Size]byte {
+	sorted := make([]transport.Message, 0, len(msgs))
+	for _, m := range msgs {
+		if publishedKind(m.Kind) {
+			sorted = append(sorted, m)
+		}
+	}
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].From != sorted[b].From {
+			return sorted[a].From < sorted[b].From
+		}
+		if sorted[a].Kind != sorted[b].Kind {
+			return sorted[a].Kind < sorted[b].Kind
+		}
+		return sorted[a].Task < sorted[b].Task
+	})
+	h := sha256.New()
+	var hdr [12]byte
+	for _, m := range sorted {
+		binary.BigEndian.PutUint32(hdr[0:], uint32(m.From))
+		binary.BigEndian.PutUint32(hdr[4:], uint32(m.Kind))
+		binary.BigEndian.PutUint32(hdr[8:], uint32(m.Task))
+		h.Write(hdr[:])
+		hashPayload(h, m.Payload)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// hashPayload writes a canonical serialization of a published payload.
+func hashPayload(h interface{ Write([]byte) (int, error) }, payload any) {
+	writeBig := func(v *big.Int) {
+		if v == nil {
+			h.Write([]byte{0xFF})
+			return
+		}
+		b := v.Bytes()
+		var ln [4]byte
+		binary.BigEndian.PutUint32(ln[:], uint32(len(b)))
+		h.Write(ln[:])
+		h.Write(b)
+	}
+	switch p := payload.(type) {
+	case CommitmentsPayload:
+		if p.C == nil {
+			h.Write([]byte{0xFE})
+			return
+		}
+		for _, vec := range [][]*big.Int{p.C.O, p.C.Q, p.C.R} {
+			for _, v := range vec {
+				writeBig(v)
+			}
+		}
+	case LambdaPsiPayload:
+		writeBig(p.Lambda)
+		writeBig(p.Psi)
+	case DisclosurePayload:
+		for _, v := range p.F {
+			writeBig(v)
+		}
+	case SecondPricePayload:
+		writeBig(p.Lambda)
+		writeBig(p.Psi)
+	case AbortPayload:
+		h.Write([]byte(p.Reason))
+	default:
+		h.Write([]byte{0xFD})
+	}
+}
+
+// echoRound runs one digest-exchange round over the published messages
+// the agent observed (its own publications included via ownDigestInput).
+// It returns a non-empty abort reason when any peer's digest differs.
+// Deviating digests are injected through the strategy's TamperEcho hook.
+func (a *agentRun) echoRound(observed []transport.Message) (string, error) {
+	digest := digestPublished(observed)
+	if a.hooks.TamperEcho != nil {
+		a.hooks.TamperEcho(a.env.task, digest[:])
+	}
+	if err := a.ep.Broadcast(transport.KindEcho, a.env.task, EchoPayload{Digest: digest}); err != nil {
+		return "", err
+	}
+	msgs := a.ep.FinishRound()
+	a.logf("echo round: broadcast digest of published values")
+	for _, m := range msgs {
+		if m.Task != a.env.task {
+			continue
+		}
+		switch p := m.Payload.(type) {
+		case EchoPayload:
+			if p.Digest != digest {
+				return "echo digest mismatch with agent (equivocation or tampered broadcast)", nil
+			}
+		case AbortPayload:
+			a.abortSeen = true
+		}
+	}
+	if a.abortSeen {
+		return "peer aborted during echo verification", nil
+	}
+	return "", nil
+}

@@ -1,0 +1,177 @@
+package dmw
+
+import (
+	"sync"
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/group"
+	"dmw/internal/payment"
+	"dmw/internal/strategy"
+	"dmw/internal/transport"
+)
+
+// runSessions plays every agent's session over one shared in-memory
+// network, the same deployment shape as the TCP relay.
+func runSessions(t *testing.T, bids [][]int, strategies []*strategy.Hooks, seed int64) []*SessionResult {
+	t.Helper()
+	n := len(bids)
+	nw, err := transport.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*SessionResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ep, err := nw.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := SessionConfig{
+			Params: group.MustPreset(group.PresetTest64),
+			Bid:    bidcode.Config{W: []int{1, 2, 3, 4}, C: 1, N: n},
+			MyBids: bids[i],
+			Seed:   seed,
+		}
+		if strategies != nil {
+			cfg.Strategy = strategies[i]
+		}
+		wg.Add(1)
+		go func(i int, ep *transport.Endpoint, cfg SessionConfig) {
+			defer wg.Done()
+			results[i], errs[i] = RunAgentSession(cfg, i, ep)
+		}(i, ep, cfg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d session: %v", i, err)
+		}
+	}
+	return results
+}
+
+var sessionBids = [][]int{
+	{1, 4, 2},
+	{3, 2, 2},
+	{4, 4, 3},
+	{2, 3, 1},
+	{4, 1, 4},
+	{3, 4, 2},
+}
+
+func TestSessionsMatchMonolithicRun(t *testing.T) {
+	results := runSessions(t, sessionBids, nil, 42)
+
+	// Reference: the RunConfig-based engine with the same seed.
+	ref := mustRun(t, RunConfig{
+		Params:   group.MustPreset(group.PresetTest64),
+		Bid:      bidcode.Config{W: []int{1, 2, 3, 4}, C: 1, N: 6},
+		TrueBids: sessionBids,
+		Seed:     42,
+	})
+	for i, res := range results {
+		for j, v := range res.Views {
+			if *v != ref.Auctions[j] {
+				t.Errorf("agent %d task %d: session view %+v != run %+v", i, j, v, ref.Auctions[j])
+			}
+		}
+	}
+}
+
+func TestSessionViewsAgreeAndSettle(t *testing.T) {
+	results := runSessions(t, sessionBids, nil, 7)
+	// All views agree.
+	for j := range results[0].Views {
+		for i := 1; i < len(results); i++ {
+			if *results[i].Views[j] != *results[0].Views[j] {
+				t.Fatalf("task %d: view divergence between agents 0 and %d", j, i)
+			}
+		}
+	}
+	// Claims settle unanimously.
+	var claims []payment.Claim
+	for i, r := range results {
+		if r.Claim == nil {
+			t.Fatalf("agent %d submitted no claim", i)
+		}
+		claims = append(claims, payment.Claim{From: i, Payments: r.Claim})
+	}
+	st, err := payment.Settle(claims, len(results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Unanimous() {
+		t.Error("honest sessions did not settle unanimously")
+	}
+}
+
+func TestSessionWithDeviatorAborts(t *testing.T) {
+	strategies := make([]*strategy.Hooks, 6)
+	strategies[2] = strategy.CorruptAllShares()
+	results := runSessions(t, sessionBids, strategies, 9)
+	for i, r := range results {
+		for j, v := range r.Views {
+			if !v.Aborted {
+				t.Errorf("agent %d task %d not aborted despite corrupt shares", i, j)
+			}
+		}
+	}
+}
+
+func TestSessionCrashPropagatesAcrossTasks(t *testing.T) {
+	strategies := make([]*strategy.Hooks, 6)
+	strategies[4] = strategy.CrashFault()
+	results := runSessions(t, sessionBids, strategies, 11)
+	// The crashed agent's own views are all "crashed" and it files no
+	// claim.
+	for _, v := range results[4].Views {
+		if v.AbortReason != "crashed" {
+			t.Errorf("crashed agent view: %+v", v)
+		}
+	}
+	if results[4].Claim != nil {
+		t.Error("crashed agent submitted a claim")
+	}
+	// Everyone else aborts every auction.
+	for j := range results[0].Views {
+		if !results[0].Views[j].Aborted {
+			t.Errorf("task %d completed despite crash", j)
+		}
+	}
+}
+
+func TestSessionConfigValidate(t *testing.T) {
+	good := SessionConfig{
+		Params: group.MustPreset(group.PresetTest64),
+		Bid:    bidcode.Config{W: []int{1, 2}, C: 0, N: 4},
+		MyBids: []int{1, 2},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Params = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil params accepted")
+	}
+	bad = good
+	bad.MyBids = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no tasks accepted")
+	}
+	bad = good
+	bad.MyBids = []int{7}
+	if err := bad.Validate(); err == nil {
+		t.Error("bid outside W accepted")
+	}
+	if _, err := RunAgentSession(good, 9, nil); err == nil {
+		t.Error("out-of-range agent accepted")
+	}
+	nw, _ := transport.New(4)
+	ep, _ := nw.Endpoint(0)
+	if _, err := RunAgentSession(SessionConfig{}, 0, ep); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

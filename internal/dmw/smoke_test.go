@@ -1,0 +1,46 @@
+package dmw
+
+import (
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/group"
+)
+
+func TestSmokeHonestRun(t *testing.T) {
+	cfg := RunConfig{
+		Params: group.MustPreset(group.PresetTest64),
+		Bid:    bidcode.Config{W: []int{1, 2, 3, 4}, C: 1, N: 6},
+		TrueBids: [][]int{
+			{1, 4},
+			{3, 2},
+			{4, 4},
+			{2, 3},
+			{4, 1},
+			{3, 4},
+		},
+		Seed: 42,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, a := range res.Auctions {
+		t.Logf("task %d: aborted=%v winner=%d y*=%d y**=%d reason=%q",
+			j, a.Aborted, a.Winner, a.FirstPrice, a.SecondPrice, a.AbortReason)
+	}
+	t.Logf("payments: %v agreed: %v", res.Settlement.Issued, res.Settlement.Agreed)
+	t.Logf("utilities: %v", res.Utilities)
+	t.Logf("messages: %d bytes: %d", res.Stats.Messages(), res.Stats.Bytes())
+	// Task 0: min bid 1 by agent 0; second price 2 (agent 3).
+	if a := res.Auctions[0]; a.Aborted || a.Winner != 0 || a.FirstPrice != 1 || a.SecondPrice != 2 {
+		t.Errorf("task 0 outcome wrong: %+v", a)
+	}
+	// Task 1: min bid 1 by agent 4; second price 2 (agent 1).
+	if a := res.Auctions[1]; a.Aborted || a.Winner != 4 || a.FirstPrice != 1 || a.SecondPrice != 2 {
+		t.Errorf("task 1 outcome wrong: %+v", a)
+	}
+	if res.Utilities[0] != 1 { // paid 2, cost 1
+		t.Errorf("agent 0 utility = %d, want 1", res.Utilities[0])
+	}
+}

@@ -1,0 +1,91 @@
+package dmw
+
+import (
+	"math/big"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/commit"
+	"dmw/internal/payment"
+)
+
+// Transcript captures everything PUBLISHED during a mechanism execution —
+// commitments, Lambda/Psi pairs, disclosures, winner-excluded pairs, and
+// payment claims. Because every protocol decision is a deterministic
+// function of the published values (the private shares only feed them),
+// a third party can re-derive and check the outcome offline: see package
+// audit. This realizes the "passive verification" idea the paper cites
+// from Kang and Parkes for open mechanism marketplaces.
+type Transcript struct {
+	// Bid is the published configuration (Phase I).
+	Bid bidcode.Config
+	// Auctions holds one record per task.
+	Auctions []*AuctionTranscript
+	// Claims are the Phase IV payment claims.
+	Claims []payment.Claim
+}
+
+// AuctionTranscript is the published record of one task's auction.
+type AuctionTranscript struct {
+	Task int
+	// Commitments[k] is agent k's published O/Q/R triple (nil if the
+	// agent withheld it).
+	Commitments []*commit.Commitments
+	// Lambda[k], Psi[k] are agent k's step III.2 publication.
+	Lambda, Psi []*big.Int
+	// Disclosures maps a disclosing agent to its published f-share
+	// vector (step III.3).
+	Disclosures map[int][]*big.Int
+	// BarLambda[k], BarPsi[k] are agent k's winner-excluded pair
+	// (step III.4).
+	BarLambda, BarPsi []*big.Int
+	// Claimed is the outcome the agents computed; audit.Verify
+	// re-derives it from the published values above.
+	Claimed AuctionOutcome
+}
+
+// newAuctionTranscript allocates an empty record for n agents.
+func newAuctionTranscript(task, n int) *AuctionTranscript {
+	return &AuctionTranscript{
+		Task:        task,
+		Commitments: make([]*commit.Commitments, n),
+		Lambda:      make([]*big.Int, n),
+		Psi:         make([]*big.Int, n),
+		Disclosures: make(map[int][]*big.Int),
+		BarLambda:   make([]*big.Int, n),
+		BarPsi:      make([]*big.Int, n),
+	}
+}
+
+// record helpers called from the auction engine when recording is on.
+
+func (tr *AuctionTranscript) recordBidding(a *agentRun) {
+	if tr == nil {
+		return
+	}
+	copy(tr.Commitments, a.comms)
+}
+
+func (tr *AuctionTranscript) recordLambdaPsi(a *agentRun) {
+	if tr == nil {
+		return
+	}
+	copy(tr.Lambda, a.lambdas)
+	copy(tr.Psi, a.psis)
+}
+
+func (tr *AuctionTranscript) recordDisclosure(k int, f []*big.Int) {
+	if tr == nil {
+		return
+	}
+	if _, ok := tr.Disclosures[k]; !ok {
+		tr.Disclosures[k] = f
+	}
+}
+
+func (tr *AuctionTranscript) recordSecondPrice(barLambda, barPsi []*big.Int) {
+	if tr == nil {
+		return
+	}
+	copy(tr.BarLambda, barLambda)
+	copy(tr.BarPsi, barPsi)
+}

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 12345} }
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(registry) {
+		t.Errorf("IDs() has %d entries, registry %d", len(ids), len(registry))
+	}
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			t.Errorf("ordered id %q not in registry", id)
+		}
+	}
+	// Callers must not be able to corrupt the order.
+	ids[0] = "hacked"
+	if IDs()[0] == "hacked" {
+		t.Error("IDs() exposes internal slice")
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+// Every experiment must run to completion and pass its verdict in quick
+// mode; this is the end-to-end reproduction check.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Errorf("report id %q, want %q", rep.ID, id)
+			}
+			if !rep.Pass {
+				t.Errorf("experiment failed its verdict:\n%s", rep)
+			}
+			if len(rep.Tables) == 0 {
+				t.Error("experiment produced no tables")
+			}
+			out := rep.String()
+			if !strings.Contains(out, id) || !strings.Contains(out, "PASS") {
+				t.Errorf("report rendering missing id/status:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	reps, err := RunAll(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(IDs()) {
+		t.Errorf("RunAll returned %d reports, want %d", len(reps), len(IDs()))
+	}
+}

@@ -1,0 +1,218 @@
+// Package field implements arithmetic in the prime-order scalar field Z_q
+// used for all exponent arithmetic in the DMW protocol.
+//
+// In the protocol of Carroll and Grosu, bids are encoded in the degree of
+// random polynomials whose coefficients are scalars, and all verification
+// identities compare exponents of the order-q generators z1, z2 of the
+// Schnorr group. Every exponent therefore lives in Z_q, which this package
+// models. Group (mod p) arithmetic lives in package group.
+//
+// A Field value is immutable after construction and safe for concurrent use.
+// All methods allocate fresh big.Int results; arguments are never mutated.
+package field
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Field is the prime field Z_q. The zero value is unusable; construct one
+// with New.
+type Field struct {
+	q *big.Int
+}
+
+var (
+	// ErrNotPrime is returned by New when the proposed modulus fails the
+	// probabilistic primality test.
+	ErrNotPrime = errors.New("field: modulus is not prime")
+
+	// ErrNoInverse is returned when inverting an element that is not a
+	// unit (i.e. zero mod q).
+	ErrNoInverse = errors.New("field: element has no multiplicative inverse")
+
+	// ErrDuplicatePoint is returned by LagrangeAtZero when two
+	// interpolation nodes coincide, which makes the Lagrange basis
+	// undefined.
+	ErrDuplicatePoint = errors.New("field: duplicate interpolation node")
+
+	// ErrZeroPoint is returned when an interpolation node is zero; the
+	// protocol interpolates at zero, so zero is never a valid node.
+	ErrZeroPoint = errors.New("field: interpolation node must be nonzero")
+)
+
+// New constructs the field Z_q. The modulus must be a prime of at least two
+// bits. New copies q, so callers may reuse the argument.
+func New(q *big.Int) (*Field, error) {
+	if q == nil {
+		return nil, errors.New("field: nil modulus")
+	}
+	if q.BitLen() < 2 {
+		return nil, fmt.Errorf("field: modulus %v too small", q)
+	}
+	if !q.ProbablyPrime(32) {
+		return nil, ErrNotPrime
+	}
+	return &Field{q: new(big.Int).Set(q)}, nil
+}
+
+// MustNew is like New but panics on error. It is intended for package-level
+// test fixtures and presets whose moduli are known-good constants.
+func MustNew(q *big.Int) *Field {
+	f, err := New(q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Q returns a copy of the field modulus.
+func (f *Field) Q() *big.Int { return new(big.Int).Set(f.q) }
+
+// BitLen returns the bit length of the modulus.
+func (f *Field) BitLen() int { return f.q.BitLen() }
+
+// Reduce returns x mod q as a fresh value in [0, q).
+func (f *Field) Reduce(x *big.Int) *big.Int {
+	return new(big.Int).Mod(x, f.q)
+}
+
+// FromInt64 embeds a machine integer into the field.
+func (f *Field) FromInt64(x int64) *big.Int {
+	return f.Reduce(big.NewInt(x))
+}
+
+// Add returns a+b mod q.
+func (f *Field) Add(a, b *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Add(a, b))
+}
+
+// Sub returns a-b mod q.
+func (f *Field) Sub(a, b *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Sub(a, b))
+}
+
+// Neg returns -a mod q.
+func (f *Field) Neg(a *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Neg(a))
+}
+
+// Mul returns a*b mod q.
+func (f *Field) Mul(a, b *big.Int) *big.Int {
+	return f.Reduce(new(big.Int).Mul(a, b))
+}
+
+// Inv returns the multiplicative inverse of a mod q.
+func (f *Field) Inv(a *big.Int) (*big.Int, error) {
+	r := f.Reduce(a)
+	if r.Sign() == 0 {
+		return nil, ErrNoInverse
+	}
+	return r.ModInverse(r, f.q), nil
+}
+
+// Div returns a/b mod q.
+func (f *Field) Div(a, b *big.Int) (*big.Int, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return nil, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Equal reports whether a == b in the field.
+func (f *Field) Equal(a, b *big.Int) bool {
+	return f.Reduce(a).Cmp(f.Reduce(b)) == 0
+}
+
+// IsZero reports whether a reduces to zero.
+func (f *Field) IsZero(a *big.Int) bool {
+	return f.Reduce(a).Sign() == 0
+}
+
+// Rand returns a uniformly random field element in [0, q) drawn from src.
+// If src is nil, crypto/rand is used.
+func (f *Field) Rand(src io.Reader) (*big.Int, error) {
+	if src == nil {
+		src = rand.Reader
+	}
+	return rand.Int(src, f.q)
+}
+
+// RandNonZero returns a uniformly random unit in [1, q).
+func (f *Field) RandNonZero(src io.Reader) (*big.Int, error) {
+	if src == nil {
+		src = rand.Reader
+	}
+	qm1 := new(big.Int).Sub(f.q, big.NewInt(1))
+	r, err := rand.Int(src, qm1)
+	if err != nil {
+		return nil, fmt.Errorf("field: drawing random unit: %w", err)
+	}
+	return r.Add(r, big.NewInt(1)), nil
+}
+
+// LagrangeAtZero computes the Lagrange basis coefficients for interpolation
+// at x = 0 over the given nodes:
+//
+//	rho_k = prod_{i != k} alpha_i / (alpha_i - alpha_k)  (mod q)
+//
+// These are the coefficients rho_k of equation (12) in the paper: for any
+// polynomial f of degree <= len(nodes)-1,
+// f(0) = sum_k rho_k * f(alpha_k).
+//
+// Nodes must be distinct and nonzero mod q.
+func (f *Field) LagrangeAtZero(nodes []*big.Int) ([]*big.Int, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, errors.New("field: no interpolation nodes")
+	}
+	red := make([]*big.Int, n)
+	for i, a := range nodes {
+		red[i] = f.Reduce(a)
+		if red[i].Sign() == 0 {
+			return nil, ErrZeroPoint
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if red[i].Cmp(red[j]) == 0 {
+				return nil, ErrDuplicatePoint
+			}
+		}
+	}
+	coeffs := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		for i := 0; i < n; i++ {
+			if i == k {
+				continue
+			}
+			num = f.Mul(num, red[i])
+			den = f.Mul(den, f.Sub(red[i], red[k]))
+		}
+		q, err := f.Div(num, den)
+		if err != nil {
+			return nil, fmt.Errorf("field: lagrange coefficient %d: %w", k, err)
+		}
+		coeffs[k] = q
+	}
+	return coeffs, nil
+}
+
+// InnerProduct returns sum_k a_k*b_k mod q. The slices must have equal
+// length.
+func (f *Field) InnerProduct(a, b []*big.Int) (*big.Int, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("field: inner product length mismatch %d != %d", len(a), len(b))
+	}
+	acc := new(big.Int)
+	for i := range a {
+		acc.Add(acc, new(big.Int).Mul(a[i], b[i]))
+	}
+	return f.Reduce(acc), nil
+}

@@ -1,0 +1,85 @@
+package group
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the fixed-base tables agree with big.Int.Exp for random
+// exponents across every preset.
+func TestFixedBaseMatchesExp(t *testing.T) {
+	for _, name := range []string{PresetTiny16, PresetTest64, PresetDemo128} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pr := MustPreset(name)
+			g := MustNew(pr)
+			check := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				e, err := g.Scalars().Rand(rng)
+				if err != nil {
+					return false
+				}
+				want1 := new(big.Int).Exp(pr.Z1, e, pr.P)
+				want2 := new(big.Int).Exp(pr.Z2, e, pr.P)
+				return g.Pow1(e).Cmp(want1) == 0 && g.Pow2(e).Cmp(want2) == 0
+			}
+			cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(3))}
+			if err := quick.Check(check, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestFixedBaseEdgeExponents(t *testing.T) {
+	pr := MustPreset(PresetTest64)
+	g := MustNew(pr)
+	edges := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(pr.Q, big.NewInt(1)),
+		new(big.Int).Set(pr.Q), // reduces to 0
+	}
+	for _, e := range edges {
+		want := new(big.Int).Exp(pr.Z1, new(big.Int).Mod(e, pr.Q), pr.P)
+		if got := g.Pow1(e); got.Cmp(want) != 0 {
+			t.Errorf("Pow1(%v) = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestFixedBaseSharedAcrossCounterViews(t *testing.T) {
+	g := MustNew(MustPreset(PresetTest64))
+	var c Counter
+	gc := g.WithCounter(&c)
+	e := big.NewInt(123456)
+	if gc.Pow1(e).Cmp(g.Pow1(e)) != 0 {
+		t.Error("counter view disagrees with base view")
+	}
+	if c.Exp() != 1 {
+		t.Errorf("counter recorded %d exps, want 1", c.Exp())
+	}
+}
+
+// BenchmarkFixedBaseSpeedup quantifies the gain of the windowed tables
+// over generic modular exponentiation for the protocol's fixed bases.
+func BenchmarkFixedBaseSpeedup(b *testing.B) {
+	for _, name := range []string{PresetTest64, PresetSim256, PresetSecure512} {
+		pr := MustPreset(name)
+		g := MustNew(pr)
+		e := new(big.Int).Sub(pr.Q, big.NewInt(12345))
+		b.Run(name+"/generic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				new(big.Int).Exp(pr.Z1, e, pr.P)
+			}
+		})
+		b.Run(name+"/fixedbase", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Pow1(e)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package group
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SaveParams writes the parameters as indented JSON. The values are
+// public (Phase I publishes them), so the file needs no protection beyond
+// integrity.
+func SaveParams(w io.Writer, pr *Params) error {
+	if err := pr.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pr)
+}
+
+// LoadParams reads and validates parameters written by SaveParams.
+func LoadParams(r io.Reader) (*Params, error) {
+	var pr Params
+	if err := json.NewDecoder(r).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("group: decoding parameters: %w", err)
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, fmt.Errorf("group: loaded parameters invalid: %w", err)
+	}
+	return &pr, nil
+}
+
+// ErrNoParams is returned by ResolveParams when neither source is given.
+var ErrNoParams = errors.New("group: no parameters specified")
+
+// ResolveParams picks parameters for a CLI: a file path takes precedence
+// over a preset name; both empty is an error.
+func ResolveParams(file, preset string, open func(string) (io.ReadCloser, error)) (*Params, error) {
+	switch {
+	case file != "":
+		f, err := open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return LoadParams(f)
+	case preset != "":
+		return Preset(preset)
+	default:
+		return nil, ErrNoParams
+	}
+}

@@ -1,0 +1,110 @@
+package group
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Preset names for the deterministic parameter sets shipped with the
+// library. Experiments use these so results are reproducible run-to-run;
+// Generate produces fresh parameters when reproducibility is not needed.
+const (
+	// PresetTiny16 is deliberately insecure: a 16-bit p used only by the
+	// degree-resolution false-positive experiment (E-degres), where the
+	// 1/p failure probability must be large enough to measure.
+	PresetTiny16 = "Tiny16"
+	// PresetTest64 keeps unit tests fast.
+	PresetTest64 = "Test64"
+	// PresetDemo128 is the default for examples and the CLI.
+	PresetDemo128 = "Demo128"
+	// PresetSim256 is the default for cost experiments (Table 1).
+	PresetSim256 = "Sim256"
+	// PresetSecure512 approaches deployment-scale parameters.
+	PresetSecure512 = "Secure512"
+)
+
+type presetHex struct {
+	P, Q, Z1, Z2 string
+}
+
+// Parameters generated once with Generate (crypto/rand) and frozen here so
+// that experiments are reproducible.
+var presets = map[string]presetHex{
+	"Test64": {
+		P:  "8008a76754f58df7",
+		Q:  "ca1ecdfc1bcf",
+		Z1: "2f22011dd8f6e6b",
+		Z2: "6ae7210dc5ad6c2b",
+	},
+	"Demo128": {
+		P:  "80359fb67734881b3ffb706951f42e9b",
+		Q:  "f80478a6a92638c24b13d0fa6867",
+		Z1: "6eb18465cf350d30fcfafe2b184fdb61",
+		Z2: "6e1f0ea90e739188ad6184d8db281cf6",
+	},
+	"Sim256": {
+		P:  "8000004c927327f2a077b98580bc8f8cc5cffe06d818e1d896746596f099aba9",
+		Q:  "e462d13d9ce3f7cd8ad0e30a01f0f21d6e2c9d5c4b047e391e5ab291",
+		Z1: "616da591bded503e2b0b83f6aae0d29d95984bf083dd381bfca494c307d08629",
+		Z2: "613089035bdc2dd79919c84a208324580204df3659baa7e937d581a72466bdc4",
+	},
+	"Secure512": {
+		P:  "8000000b5ddc3a2c9a9bf9d4e0d570db99712905c4749218716640ca3713f588c9e65187c00bd1b2978cdca8021dab29c852a4d13ad8c7869ac5778e52dde4c1",
+		Q:  "e4f8ada3cf96024752b0c3f878dd4a1cb6fcb4a741e669252d748e36620c638b34d9a8b4de7d88dd5093dc4f3b9bd58af077c483a5a46d97e997d1a7",
+		Z1: "c49d29c28a5cea51661391e90591e58c9460b06c5e6b8c632f6d2941e4a979b30a7f567b5637fafebabc36aeaf5b3128ee57e7b39da62493c87ba3e9caf1bdb",
+		Z2: "1b1cb899b1d363addd3bf1df43a1347224189f753b7a21502fb2b503e24cb3439a4b079df940248f96c6d666d2009cac7c79cd17cf26678a802d5ad4e5f9154e",
+	},
+	"Tiny16": {
+		P:  "8d23",
+		Q:  "e1d",
+		Z1: "8795",
+		Z2: "4676",
+	},
+}
+
+// PresetNames returns the available preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named deterministic parameter set.
+func Preset(name string) (*Params, error) {
+	h, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("group: unknown preset %q (have %v)", name, PresetNames())
+	}
+	pr := &Params{
+		P:  mustHex(h.P),
+		Q:  mustHex(h.Q),
+		Z1: mustHex(h.Z1),
+		Z2: mustHex(h.Z2),
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, fmt.Errorf("group: preset %q corrupt: %w", name, err)
+	}
+	return pr, nil
+}
+
+// MustPreset is like Preset but panics on error; preset constants are
+// compile-time fixtures so failure indicates a corrupted build.
+func MustPreset(name string) *Params {
+	pr, err := Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+func mustHex(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic(fmt.Sprintf("group: invalid preset hex constant %q", s))
+	}
+	return v
+}

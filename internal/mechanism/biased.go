@@ -1,0 +1,141 @@
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dmw/internal/sched"
+)
+
+// TwoMachineBiased is the randomized mechanism of Nisan and Ronen for
+// scheduling on two unrelated machines, which the paper's related-work
+// section cites as the 7/4-approximation that beats every deterministic
+// truthful mechanism. Per task, a fair coin picks a "favored" machine;
+// the favored machine wins iff its bid is at most beta times the other's
+// (beta = 4/3), and the winner is paid its threshold price — beta*other
+// for the favored machine, other/beta for the unfavored one. Because each
+// machine faces a posted price independent of its own report, the
+// mechanism is truthful for every coin outcome (universally truthful).
+//
+// Payments are rationals with denominator BetaNum*BetaDen; RandomOutcome
+// reports them as exact scaled integers to stay in integer arithmetic.
+type TwoMachineBiased struct {
+	// BetaNum/BetaDen is the bias beta > 1. The zero value means 4/3.
+	BetaNum, BetaDen int64
+}
+
+// beta returns the bias as a validated pair.
+func (t TwoMachineBiased) beta() (int64, int64, error) {
+	num, den := t.BetaNum, t.BetaDen
+	if num == 0 && den == 0 {
+		num, den = 4, 3
+	}
+	if num <= 0 || den <= 0 || num <= den {
+		return 0, 0, fmt.Errorf("mechanism: bias %d/%d must be > 1", num, den)
+	}
+	return num, den, nil
+}
+
+// Name identifies the mechanism in reports.
+func (t TwoMachineBiased) Name() string { return "NR-TwoMachineBiased" }
+
+// RandomOutcome is the result of one coin realization. Payments are
+// scaled by PayScale to remain exact integers.
+type RandomOutcome struct {
+	Schedule *sched.Schedule
+	// PayScaled[i] * 1/PayScale is agent i's payment.
+	PayScaled []int64
+	// PayScale is BetaNum*BetaDen.
+	PayScale int64
+}
+
+// RunWithCoins executes the mechanism for an explicit coin vector:
+// coins[j] = true favors machine 0 for task j. Exposing the coins makes
+// universal truthfulness testable realization by realization.
+func (t TwoMachineBiased) RunWithCoins(bids *sched.Instance, coins []bool) (*RandomOutcome, error) {
+	if err := bids.Validate(); err != nil {
+		return nil, err
+	}
+	if bids.Agents() != 2 {
+		return nil, fmt.Errorf("mechanism: TwoMachineBiased needs exactly 2 agents, got %d", bids.Agents())
+	}
+	m := bids.Tasks()
+	if len(coins) != m {
+		return nil, fmt.Errorf("mechanism: %d coins for %d tasks", len(coins), m)
+	}
+	num, den, err := t.beta()
+	if err != nil {
+		return nil, err
+	}
+	scale := num * den
+	out := &RandomOutcome{
+		Schedule:  sched.NewSchedule(m),
+		PayScaled: make([]int64, 2),
+		PayScale:  scale,
+	}
+	for j := 0; j < m; j++ {
+		fav, oth := 0, 1
+		if !coins[j] {
+			fav, oth = 1, 0
+		}
+		tf, to := bids.Time[fav][j], bids.Time[oth][j]
+		// Favored wins iff tf <= beta*to, i.e. den*tf <= num*to.
+		if den*tf <= num*to {
+			out.Schedule.Agent[j] = fav
+			// Paid beta*to = (num*to/den); scaled by num*den -> num*num*to.
+			out.PayScaled[fav] += num * num * to
+		} else {
+			out.Schedule.Agent[j] = oth
+			// Paid tf/beta = den*tf/num; scaled -> den*den*tf.
+			out.PayScaled[oth] += den * den * tf
+		}
+	}
+	return out, nil
+}
+
+// Run draws coins from rng (required) and executes one realization.
+func (t TwoMachineBiased) Run(bids *sched.Instance, rng *rand.Rand) (*RandomOutcome, error) {
+	if rng == nil {
+		return nil, errors.New("mechanism: nil rng")
+	}
+	coins := make([]bool, bids.Tasks())
+	for j := range coins {
+		coins[j] = rng.Intn(2) == 0
+	}
+	return t.RunWithCoins(bids, coins)
+}
+
+// ScaledUtility returns agent i's utility under true values, scaled by
+// out.PayScale (so it stays an exact integer): payment - cost.
+func (out *RandomOutcome) ScaledUtility(truth *sched.Instance, i int) int64 {
+	u := out.PayScaled[i]
+	for _, j := range out.Schedule.TasksOf(i) {
+		u -= out.PayScale * truth.Time[i][j]
+	}
+	return u
+}
+
+// ExpectedMakespan returns the expectation of the schedule makespan over
+// all 2^m coin vectors, computed exactly (m must be small) as a rational
+// numerator over 2^m.
+func (t TwoMachineBiased) ExpectedMakespan(bids *sched.Instance) (num int64, den int64, err error) {
+	m := bids.Tasks()
+	if m > 20 {
+		return 0, 0, fmt.Errorf("mechanism: %d tasks too many for exact expectation", m)
+	}
+	total := int64(0)
+	coins := make([]bool, m)
+	count := int64(1) << m
+	for mask := int64(0); mask < count; mask++ {
+		for j := 0; j < m; j++ {
+			coins[j] = mask&(1<<j) != 0
+		}
+		out, err := t.RunWithCoins(bids, coins)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += out.Schedule.Makespan(bids)
+	}
+	return total, count, nil
+}

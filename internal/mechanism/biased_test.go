@@ -1,0 +1,173 @@
+package mechanism
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmw/internal/sched"
+)
+
+func TestBiasedValidation(t *testing.T) {
+	good := inst([]int64{1, 2}, []int64{2, 1})
+	if _, err := (TwoMachineBiased{}).RunWithCoins(good, []bool{true}); err == nil {
+		t.Error("coin/task mismatch accepted")
+	}
+	three := inst([]int64{1}, []int64{1}, []int64{1})
+	if _, err := (TwoMachineBiased{}).RunWithCoins(three, []bool{true}); err == nil {
+		t.Error("3 machines accepted")
+	}
+	if _, err := (TwoMachineBiased{BetaNum: 1, BetaDen: 2}).RunWithCoins(good, []bool{true, true}); err == nil {
+		t.Error("beta < 1 accepted")
+	}
+	if _, err := (TwoMachineBiased{}).Run(good, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestBiasedAllocationRule(t *testing.T) {
+	// beta = 4/3. Task where favored bid 4, other bid 3: 3*4 <= 4*3 -> favored wins.
+	b := TwoMachineBiased{}
+	bids := inst([]int64{4, 5}, []int64{3, 3})
+	out, err := b.RunWithCoins(bids, []bool{true, true}) // favor machine 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schedule.Agent[0] != 0 {
+		t.Errorf("task 0 -> %d, want favored 0 (4 <= 4/3*3)", out.Schedule.Agent[0])
+	}
+	// Task 1: favored bid 5 > 4/3*3 = 4 -> other wins.
+	if out.Schedule.Agent[1] != 1 {
+		t.Errorf("task 1 -> %d, want 1", out.Schedule.Agent[1])
+	}
+	// Payments (scale 12): favored winner paid beta*to = 4 -> 48;
+	// unfavored winner paid tf/beta = 15/4 -> 45.
+	if out.PayScale != 12 {
+		t.Fatalf("scale = %d", out.PayScale)
+	}
+	if out.PayScaled[0] != 48 {
+		t.Errorf("machine 0 paid %d/12, want 48/12", out.PayScaled[0])
+	}
+	if out.PayScaled[1] != 45 {
+		t.Errorf("machine 1 paid %d/12, want 45/12", out.PayScaled[1])
+	}
+}
+
+// Property: the mechanism is universally truthful — for every coin
+// realization, no machine gains by misreporting any single task's value.
+func TestBiasedUniversallyTruthfulProperty(t *testing.T) {
+	b := TwoMachineBiased{}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(3)
+		truth := sched.Uniform(rng, 2, m, 1, 8)
+		coins := make([]bool, m)
+		for j := range coins {
+			coins[j] = rng.Intn(2) == 0
+		}
+		base, err := b.RunWithCoins(truth, coins)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2; i++ {
+			u0 := base.ScaledUtility(truth, i)
+			for j := 0; j < m; j++ {
+				for lie := int64(1); lie <= 10; lie++ {
+					if lie == truth.Time[i][j] {
+						continue
+					}
+					trial := truth.Clone()
+					trial.Time[i][j] = lie
+					out, err := b.RunWithCoins(trial, coins)
+					if err != nil {
+						return false
+					}
+					if out.ScaledUtility(truth, i) > u0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(19))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: voluntary participation holds per realization.
+func TestBiasedVoluntaryParticipation(t *testing.T) {
+	b := TwoMachineBiased{}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(4)
+		truth := sched.Uniform(rng, 2, m, 1, 9)
+		out, err := b.Run(truth, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if out.ScaledUtility(truth, i) < 0 {
+				t.Fatalf("machine %d has negative utility", i)
+			}
+		}
+	}
+}
+
+// TestBiasedBeatsDeterministicBound: the expected makespan stays within
+// 7/4 of optimal on random instances — beating the factor-2 lower bound
+// for deterministic truthful mechanisms on two machines.
+func TestBiasedExpectedApproximation(t *testing.T) {
+	b := TwoMachineBiased{}
+	rng := rand.New(rand.NewSource(29))
+	worst := 0.0
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(3)
+		truth := sched.Uniform(rng, 2, m, 1, 9)
+		num, den, err := b.ExpectedMakespan(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := sched.OptimalMakespan(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(num) / float64(den) / float64(opt)
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Logf("worst expected makespan ratio over 40 random instances: %.3f", worst)
+	if worst > 1.75+1e-9 {
+		t.Errorf("expected approximation ratio %.3f exceeds 7/4", worst)
+	}
+}
+
+// TestBiasedBetterThanMinWorkOnAdversarialInstance: on MinWork's
+// worst-case family restricted to two machines, randomization helps.
+func TestBiasedOnWorstCaseFamily(t *testing.T) {
+	b := TwoMachineBiased{}
+	in := sched.ApproxWorstCase(2) // 2 tasks: (1,2) costs
+	num, den, err := b.ExpectedMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := sched.MinWorkSchedule(in).Makespan(in)
+	expected := float64(num) / float64(den)
+	if expected > float64(mw) {
+		t.Errorf("biased expected makespan %.2f worse than MinWork %d", expected, mw)
+	}
+}
+
+func TestExpectedMakespanRejectsHuge(t *testing.T) {
+	in := sched.NewInstance(2, 25)
+	for i := range in.Time {
+		for j := range in.Time[i] {
+			in.Time[i][j] = 1
+		}
+	}
+	if _, _, err := (TwoMachineBiased{}).ExpectedMakespan(in); err == nil {
+		t.Error("25-task exact expectation accepted")
+	}
+}

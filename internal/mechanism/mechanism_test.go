@@ -1,0 +1,191 @@
+package mechanism
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmw/internal/sched"
+)
+
+func inst(rows ...[]int64) *sched.Instance {
+	return &sched.Instance{Time: rows}
+}
+
+func TestMinWorkAllocationAndPayments(t *testing.T) {
+	// 3 agents, 2 tasks.
+	truth := inst(
+		[]int64{1, 5},
+		[]int64{3, 2},
+		[]int64{4, 7},
+	)
+	out, err := MinWork{}.Run(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Schedule.Agent; got[0] != 0 || got[1] != 1 {
+		t.Errorf("allocation = %v, want [0 1]", got)
+	}
+	if out.FirstPrice[0] != 1 || out.SecondPrice[0] != 3 {
+		t.Errorf("task 0 prices = (%d,%d), want (1,3)", out.FirstPrice[0], out.SecondPrice[0])
+	}
+	if out.FirstPrice[1] != 2 || out.SecondPrice[1] != 5 {
+		t.Errorf("task 1 prices = (%d,%d), want (2,5)", out.FirstPrice[1], out.SecondPrice[1])
+	}
+	if out.Payments[0] != 3 || out.Payments[1] != 5 || out.Payments[2] != 0 {
+		t.Errorf("payments = %v, want [3 5 0]", out.Payments)
+	}
+}
+
+func TestMinWorkTieBreaksToLowerIndex(t *testing.T) {
+	truth := inst(
+		[]int64{2},
+		[]int64{2},
+	)
+	out, err := MinWork{}.Run(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schedule.Agent[0] != 0 {
+		t.Errorf("tie went to agent %d, want 0", out.Schedule.Agent[0])
+	}
+	if out.SecondPrice[0] != 2 {
+		t.Errorf("second price = %d, want 2", out.SecondPrice[0])
+	}
+}
+
+func TestMinWorkRejectsBadInput(t *testing.T) {
+	if _, err := (MinWork{}).Run(&sched.Instance{}); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := (MinWork{}).Run(inst([]int64{1, 2})); err == nil {
+		t.Error("single agent accepted (no second price exists)")
+	}
+}
+
+func TestUtilityOfWinnerAndLoser(t *testing.T) {
+	truth := inst(
+		[]int64{1},
+		[]int64{4},
+	)
+	out, err := MinWork{}.Run(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Winner: paid 4, spends 1 -> utility 3. Loser: 0.
+	if got := Utility(out, truth, 0); got != 3 {
+		t.Errorf("winner utility = %d, want 3", got)
+	}
+	if got := Utility(out, truth, 1); got != 0 {
+		t.Errorf("loser utility = %d, want 0", got)
+	}
+	us := Utilities(out, truth)
+	if us[0] != 3 || us[1] != 0 {
+		t.Errorf("Utilities = %v", us)
+	}
+}
+
+func TestValuationSumsAssignedTasks(t *testing.T) {
+	truth := inst(
+		[]int64{1, 2, 8},
+		[]int64{9, 9, 3},
+	)
+	out, err := MinWork{}.Run(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Valuation(out, truth, 0); got != -3 {
+		t.Errorf("valuation = %d, want -3", got)
+	}
+}
+
+func TestMinWorkTruthfulOnFixedInstances(t *testing.T) {
+	tests := []struct {
+		name  string
+		truth *sched.Instance
+	}{
+		{"distinct", inst([]int64{1, 5}, []int64{3, 2}, []int64{4, 7})},
+		{"ties", inst([]int64{2, 2}, []int64{2, 2})},
+		{"dominant agent", inst([]int64{1, 1, 1}, []int64{5, 5, 5})},
+	}
+	candidates := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for i := 0; i < tt.truth.Agents(); i++ {
+				gain, rep, err := DeviationGain(MinWork{}, tt.truth, i, candidates)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gain > 0 {
+					t.Errorf("agent %d gains %d by reporting %v", i, gain, rep)
+				}
+			}
+		})
+	}
+}
+
+// Property: MinWork is truthful — no agent on a random instance can gain
+// by any single-task misreport (Theorem 2).
+func TestMinWorkTruthfulProperty(t *testing.T) {
+	candidates := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(3)
+		truth := sched.Uniform(rng, n, m, 1, 10)
+		for i := 0; i < n; i++ {
+			gain, _, err := DeviationGain(MinWork{}, truth, i, candidates)
+			if err != nil || gain > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: voluntary participation — truthful agents never end with
+// negative utility (Definition 4; winners are paid at least their cost).
+func TestVoluntaryParticipationProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := sched.Uniform(rng, 2+rng.Intn(4), 1+rng.Intn(5), 1, 20)
+		bad, err := CheckVoluntaryParticipation(MinWork{}, truth)
+		return err == nil && bad == -1
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviationGainValidatesArgs(t *testing.T) {
+	truth := inst([]int64{1}, []int64{2})
+	if _, _, err := DeviationGain(MinWork{}, truth, 5, []int64{1}); err == nil {
+		t.Error("out-of-range agent accepted")
+	}
+	if _, _, err := DeviationGain(MinWork{}, &sched.Instance{}, 0, []int64{1}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestMinWorkMatchesSchedHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		truth := sched.Uniform(rng, 4, 6, 1, 9)
+		out, err := MinWork{}.Run(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := sched.MinWorkSchedule(truth)
+		for j := range ref.Agent {
+			if out.Schedule.Agent[j] != ref.Agent[j] {
+				t.Fatalf("trial %d task %d: mechanism %d != sched helper %d",
+					trial, j, out.Schedule.Agent[j], ref.Agent[j])
+			}
+		}
+	}
+}

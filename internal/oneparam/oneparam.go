@@ -1,0 +1,331 @@
+// Package oneparam implements the one-parameter mechanism-design toolkit
+// for scheduling on RELATED machines, the future-work direction the paper
+// names explicitly ("Of particular interest is designing distributed
+// versions of the centralized mechanism for scheduling on related
+// machines proposed in [4]", i.e. Archer and Tardos, FOCS 2001).
+//
+// In the related-machines model each agent has a single private
+// parameter: its cost per unit of work (the inverse of its speed). A task
+// j of size r_j takes r_j * t_i time on agent i with per-unit cost t_i.
+// Archer and Tardos characterize truthfulness in this domain:
+//
+//   - an allocation rule is implementable iff it is MONOTONE: the total
+//     work w_i assigned to agent i never increases when its reported
+//     per-unit cost b_i increases;
+//   - the unique payments making a normalized monotone rule truthful are
+//     Myerson payments, P_i(b) = b_i*w_i(b_i) + integral_{b_i}^inf w_i(u) du,
+//     which for a discrete bid space becomes a finite threshold sum.
+//
+// The package provides the general machinery — monotonicity verification
+// over discrete bid spaces, Myerson payment computation for any
+// allocation rule, and a truthfulness checker — plus two allocation
+// rules: FastestMachine (monotone, the related-machines analogue of
+// MinWork's min-work objective) and OptMakespan (the exact makespan
+// optimum, which is famously NOT monotone; the tests exhibit concrete
+// non-monotonicity witnesses, reproducing the observation that motivates
+// the whole Archer-Tardos line of work).
+package oneparam
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dmw/internal/sched"
+)
+
+// Problem is a related-machines instance: task sizes plus each agent's
+// true per-unit cost (inverse speed).
+type Problem struct {
+	// Sizes[j] is task j's work requirement r_j.
+	Sizes []int64
+	// TrueCosts[i] is agent i's private per-unit cost t_i.
+	TrueCosts []int64
+}
+
+// Validate checks shape and positivity.
+func (p *Problem) Validate() error {
+	if p == nil || len(p.Sizes) == 0 {
+		return errors.New("oneparam: no tasks")
+	}
+	if len(p.TrueCosts) < 2 {
+		return errors.New("oneparam: need at least 2 agents")
+	}
+	for j, r := range p.Sizes {
+		if r <= 0 {
+			return fmt.Errorf("oneparam: task %d has size %d", j, r)
+		}
+	}
+	for i, c := range p.TrueCosts {
+		if c <= 0 {
+			return fmt.Errorf("oneparam: agent %d has cost %d", i, c)
+		}
+	}
+	return nil
+}
+
+// TotalWork returns the sum of task sizes.
+func (p *Problem) TotalWork() int64 {
+	var s int64
+	for _, r := range p.Sizes {
+		s += r
+	}
+	return s
+}
+
+// Allocation is an allocation rule for related machines: given the task
+// sizes and the reported per-unit costs, return the schedule.
+type Allocation interface {
+	// Name identifies the rule in reports.
+	Name() string
+	// Allocate returns a complete schedule for the given reports.
+	Allocate(sizes []int64, bids []int64) (*sched.Schedule, error)
+}
+
+// WorkOf returns the total work (sum of assigned task sizes) agent i
+// receives under schedule s.
+func WorkOf(s *sched.Schedule, sizes []int64, i int) int64 {
+	var w int64
+	for j, a := range s.Agent {
+		if a == i {
+			w += sizes[j]
+		}
+	}
+	return w
+}
+
+// FastestMachine assigns every task to the agent with the lowest reported
+// per-unit cost (ties to the lowest index). It is the related-machines
+// analogue of MinWork's allocation: it minimizes total cost, is trivially
+// monotone (work is all-or-nothing, decreasing in own bid), and is an
+// n-approximation for the makespan.
+type FastestMachine struct{}
+
+var _ Allocation = FastestMachine{}
+
+// Name implements Allocation.
+func (FastestMachine) Name() string { return "FastestMachine" }
+
+// Allocate implements Allocation.
+func (FastestMachine) Allocate(sizes []int64, bids []int64) (*sched.Schedule, error) {
+	if len(bids) == 0 {
+		return nil, errors.New("oneparam: no bids")
+	}
+	best := 0
+	for i := 1; i < len(bids); i++ {
+		if bids[i] < bids[best] {
+			best = i
+		}
+	}
+	s := sched.NewSchedule(len(sizes))
+	for j := range sizes {
+		s.Agent[j] = best
+	}
+	return s, nil
+}
+
+// OptMakespan computes the exact makespan-optimal allocation for the
+// reported costs by branch and bound. It is NOT monotone (see the tests
+// for witnesses), so no payment scheme can make it truthful — the
+// Archer-Tardos impossibility this package demonstrates.
+type OptMakespan struct{}
+
+var _ Allocation = OptMakespan{}
+
+// Name implements Allocation.
+func (OptMakespan) Name() string { return "OptMakespan" }
+
+// Allocate implements Allocation.
+func (OptMakespan) Allocate(sizes []int64, bids []int64) (*sched.Schedule, error) {
+	in := sched.NewInstance(len(bids), len(sizes))
+	for i := range bids {
+		for j := range sizes {
+			in.Time[i][j] = bids[i] * sizes[j]
+		}
+	}
+	s, _, err := sched.OptimalMakespan(in)
+	return s, err
+}
+
+// LPTGreedy is longest-processing-time list scheduling on the reported
+// speeds: tasks in decreasing size, each to the machine that would finish
+// it earliest. A good makespan heuristic but, like OptMakespan, not
+// monotone in general.
+type LPTGreedy struct{}
+
+var _ Allocation = LPTGreedy{}
+
+// Name implements Allocation.
+func (LPTGreedy) Name() string { return "LPTGreedy" }
+
+// Allocate implements Allocation.
+func (LPTGreedy) Allocate(sizes []int64, bids []int64) (*sched.Schedule, error) {
+	if len(bids) == 0 {
+		return nil, errors.New("oneparam: no bids")
+	}
+	order := make([]int, len(sizes))
+	for j := range order {
+		order[j] = j
+	}
+	// Sort task indices by decreasing size (stable by index for ties).
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0 && sizes[order[b]] > sizes[order[b-1]]; b-- {
+			order[b], order[b-1] = order[b-1], order[b]
+		}
+	}
+	s := sched.NewSchedule(len(sizes))
+	finish := make([]int64, len(bids))
+	for _, j := range order {
+		best, bestT := 0, finish[0]+bids[0]*sizes[j]
+		for i := 1; i < len(bids); i++ {
+			if t := finish[i] + bids[i]*sizes[j]; t < bestT {
+				best, bestT = i, t
+			}
+		}
+		s.Agent[j] = best
+		finish[best] = bestT
+	}
+	return s, nil
+}
+
+// CheckMonotone exhaustively verifies the Archer-Tardos monotonicity
+// condition for one agent over a discrete bid space: holding the others'
+// bids fixed, the agent's assigned work must be non-increasing in its own
+// bid. It returns a witness (loBid, hiBid) with work(hi) > work(lo) if
+// monotonicity fails, or nil.
+func CheckMonotone(rule Allocation, sizes []int64, bids []int64, agent int, space []int64) (*MonotoneViolation, error) {
+	if agent < 0 || agent >= len(bids) {
+		return nil, fmt.Errorf("oneparam: agent %d out of range", agent)
+	}
+	trial := make([]int64, len(bids))
+	copy(trial, bids)
+	prevWork := int64(-1)
+	prevBid := int64(0)
+	for _, b := range space {
+		if b <= 0 {
+			return nil, fmt.Errorf("oneparam: non-positive bid %d in space", b)
+		}
+		if b <= prevBid && prevWork >= 0 {
+			return nil, errors.New("oneparam: bid space must be strictly ascending")
+		}
+		trial[agent] = b
+		s, err := rule.Allocate(sizes, trial)
+		if err != nil {
+			return nil, err
+		}
+		w := WorkOf(s, sizes, agent)
+		if prevWork >= 0 && w > prevWork {
+			return &MonotoneViolation{
+				Agent: agent, LoBid: prevBid, HiBid: b, LoWork: prevWork, HiWork: w,
+			}, nil
+		}
+		prevWork, prevBid = w, b
+	}
+	return nil, nil
+}
+
+// MonotoneViolation is a concrete non-monotonicity witness: raising the
+// bid from LoBid to HiBid increased the agent's assigned work.
+type MonotoneViolation struct {
+	Agent          int
+	LoBid, HiBid   int64
+	LoWork, HiWork int64
+}
+
+func (v *MonotoneViolation) String() string {
+	return fmt.Sprintf("agent %d: bid %d -> work %d, but bid %d -> work %d",
+		v.Agent, v.LoBid, v.LoWork, v.HiBid, v.HiWork)
+}
+
+// MyersonPayments computes the unique truthful payments for a monotone
+// allocation rule over a discrete bid space (strictly ascending; the
+// space's maximum acts as the integration cutoff):
+//
+//	P_i = b_i*w_i(b_i) + sum over space values u > b_i of
+//	      w_i(u) * (next(u) - u residual)   — the discrete threshold sum
+//
+// Concretely, with space u_0 < u_1 < ... < u_K and b_i = u_k:
+//
+//	P_i = u_k*w_i(u_k) + sum_{l=k}^{K-1} w_i(u_{l+1}) * (u_{l+1} - u_l)
+//
+// (work is piecewise constant on the discrete space, changing only at
+// space points; w_i beyond u_K is taken as w_i(u_K)·0 = dropped, i.e.
+// agents bidding the maximum are paid exactly cost if they still win).
+// Every reported bid must be a member of the space.
+func MyersonPayments(rule Allocation, sizes []int64, bids []int64, space []int64) ([]int64, *sched.Schedule, error) {
+	s, err := rule.Allocate(sizes, bids)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := make(map[int64]int, len(space))
+	prev := int64(math.MinInt64)
+	for k, u := range space {
+		if u <= prev {
+			return nil, nil, errors.New("oneparam: bid space must be strictly ascending")
+		}
+		idx[u] = k
+		prev = u
+	}
+	pay := make([]int64, len(bids))
+	trial := make([]int64, len(bids))
+	for i := range bids {
+		k, ok := idx[bids[i]]
+		if !ok {
+			return nil, nil, fmt.Errorf("oneparam: bid %d of agent %d not in space", bids[i], i)
+		}
+		w := WorkOf(s, sizes, i)
+		p := bids[i] * w
+		copy(trial, bids)
+		for l := k; l+1 < len(space); l++ {
+			trial[i] = space[l+1]
+			sl, err := rule.Allocate(sizes, trial)
+			if err != nil {
+				return nil, nil, err
+			}
+			p += WorkOf(sl, sizes, i) * (space[l+1] - space[l])
+		}
+		pay[i] = p
+	}
+	return pay, s, nil
+}
+
+// Utility returns agent i's quasilinear utility under truthful costs:
+// payment minus cost of executing the assigned work.
+func Utility(pay []int64, s *sched.Schedule, sizes []int64, trueCosts []int64, i int) int64 {
+	return pay[i] - trueCosts[i]*WorkOf(s, sizes, i)
+}
+
+// CheckTruthful verifies that no single-agent misreport within the bid
+// space improves utility under Myerson payments. It returns the largest
+// gain found (0 for a truthful mechanism) and a witness report.
+func CheckTruthful(rule Allocation, p *Problem, space []int64) (int64, []int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	base, sBase, err := MyersonPayments(rule, p.Sizes, p.TrueCosts, space)
+	if err != nil {
+		return 0, nil, err
+	}
+	var bestGain int64
+	var witness []int64
+	trial := make([]int64, len(p.TrueCosts))
+	for i := range p.TrueCosts {
+		u0 := Utility(base, sBase, p.Sizes, p.TrueCosts, i)
+		for _, b := range space {
+			if b == p.TrueCosts[i] {
+				continue
+			}
+			copy(trial, p.TrueCosts)
+			trial[i] = b
+			pay, s, err := MyersonPayments(rule, p.Sizes, trial, space)
+			if err != nil {
+				return 0, nil, err
+			}
+			if gain := Utility(pay, s, p.Sizes, p.TrueCosts, i) - u0; gain > bestGain {
+				bestGain = gain
+				witness = append([]int64(nil), trial...)
+			}
+		}
+	}
+	return bestGain, witness, nil
+}

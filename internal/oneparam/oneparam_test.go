@@ -1,0 +1,297 @@
+package oneparam
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmw/internal/sched"
+)
+
+var space = []int64{1, 2, 3, 4, 5}
+
+func problem(sizes []int64, costs []int64) *Problem {
+	return &Problem{Sizes: sizes, TrueCosts: costs}
+}
+
+func TestProblemValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *Problem
+	}{
+		{"nil", nil},
+		{"no tasks", problem(nil, []int64{1, 2})},
+		{"one agent", problem([]int64{1}, []int64{1})},
+		{"zero size", problem([]int64{0}, []int64{1, 2})},
+		{"zero cost", problem([]int64{1}, []int64{0, 2})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); err == nil {
+				t.Error("invalid problem validated")
+			}
+		})
+	}
+	if err := problem([]int64{3, 1}, []int64{1, 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastestMachineAllocatesAllToCheapest(t *testing.T) {
+	s, err := FastestMachine{}.Allocate([]int64{5, 3, 2}, []int64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, a := range s.Agent {
+		if a != 1 {
+			t.Errorf("task %d -> agent %d, want 1", j, a)
+		}
+	}
+	if w := WorkOf(s, []int64{5, 3, 2}, 1); w != 10 {
+		t.Errorf("work = %d, want 10", w)
+	}
+	if _, err := (FastestMachine{}).Allocate([]int64{1}, nil); err == nil {
+		t.Error("no bids accepted")
+	}
+}
+
+func TestFastestMachineTieBreaksLow(t *testing.T) {
+	s, err := FastestMachine{}.Allocate([]int64{1}, []int64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Agent[0] != 0 {
+		t.Errorf("tie to agent %d, want 0", s.Agent[0])
+	}
+}
+
+func TestFastestMachineIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(3)
+		sizes := []int64{1 + rng.Int63n(5), 1 + rng.Int63n(5), 1 + rng.Int63n(5)}
+		bids := make([]int64, n)
+		for i := range bids {
+			bids[i] = space[rng.Intn(len(space))]
+		}
+		for i := 0; i < n; i++ {
+			v, err := CheckMonotone(FastestMachine{}, sizes, bids, i, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != nil {
+				t.Fatalf("FastestMachine non-monotone: %v", v)
+			}
+		}
+	}
+}
+
+// TestOptMakespanIsNotMonotone reproduces the foundational observation of
+// Archer-Tardos: the exact makespan-optimal allocation violates
+// monotonicity, so it cannot be made truthful by any payments. The search
+// exhibits a concrete witness.
+func TestOptMakespanIsNotMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	found := false
+	var witness *MonotoneViolation
+	for trial := 0; trial < 300 && !found; trial++ {
+		n := 2 + rng.Intn(2)
+		m := 2 + rng.Intn(3)
+		sizes := make([]int64, m)
+		for j := range sizes {
+			sizes[j] = 1 + rng.Int63n(6)
+		}
+		bids := make([]int64, n)
+		for i := range bids {
+			bids[i] = space[rng.Intn(len(space))]
+		}
+		for i := 0; i < n && !found; i++ {
+			v, err := CheckMonotone(OptMakespan{}, sizes, bids, i, space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != nil {
+				found = true
+				witness = v
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no non-monotonicity witness found for OptMakespan (search too weak?)")
+	}
+	t.Logf("OptMakespan monotonicity violation: %v", witness)
+	if witness.String() == "" {
+		t.Error("empty witness description")
+	}
+}
+
+func TestCheckMonotoneValidation(t *testing.T) {
+	sizes := []int64{1}
+	bids := []int64{1, 2}
+	if _, err := CheckMonotone(FastestMachine{}, sizes, bids, 5, space); err == nil {
+		t.Error("out-of-range agent accepted")
+	}
+	if _, err := CheckMonotone(FastestMachine{}, sizes, bids, 0, []int64{2, 1}); err == nil {
+		t.Error("descending space accepted")
+	}
+	if _, err := CheckMonotone(FastestMachine{}, sizes, bids, 0, []int64{0, 1}); err == nil {
+		t.Error("non-positive bid accepted")
+	}
+}
+
+func TestMyersonPaymentsFastestMachine(t *testing.T) {
+	// 2 agents, work 10. Agent 0 bids 2, agent 1 bids 4.
+	// Winner = 0 with work 10; threshold: raising to 3 still wins (10),
+	// raising to 4 ties -> still index 0 wins (10), raising to 5 loses.
+	// P_0 = 2*10 + 10*(3-2) + 10*(4-3) + 0*(5-4) = 40.
+	sizes := []int64{6, 4}
+	bids := []int64{2, 4}
+	pay, s, err := MyersonPayments(FastestMachine{}, sizes, bids, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := WorkOf(s, sizes, 0); w != 10 {
+		t.Fatalf("winner work = %d", w)
+	}
+	if pay[0] != 40 {
+		t.Errorf("winner payment = %d, want 40", pay[0])
+	}
+	if pay[1] != 0 {
+		t.Errorf("loser payment = %d, want 0", pay[1])
+	}
+	// Winner utility = 40 - 2*10 = 20 >= 0.
+	if u := Utility(pay, s, sizes, bids, 0); u != 20 {
+		t.Errorf("winner utility = %d, want 20", u)
+	}
+}
+
+func TestMyersonPaymentsRejectsBadInput(t *testing.T) {
+	if _, _, err := MyersonPayments(FastestMachine{}, []int64{1}, []int64{7, 1}, space); err == nil {
+		t.Error("bid outside space accepted")
+	}
+	if _, _, err := MyersonPayments(FastestMachine{}, []int64{1}, []int64{1, 2}, []int64{3, 3}); err == nil {
+		t.Error("non-ascending space accepted")
+	}
+}
+
+// Property: FastestMachine + Myerson payments is truthful and satisfies
+// voluntary participation on random related-machines problems.
+func TestFastestMachineTruthfulProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(4)
+		p := &Problem{
+			Sizes:     make([]int64, m),
+			TrueCosts: make([]int64, n),
+		}
+		for j := range p.Sizes {
+			p.Sizes[j] = 1 + rng.Int63n(8)
+		}
+		for i := range p.TrueCosts {
+			p.TrueCosts[i] = space[rng.Intn(len(space))]
+		}
+		gain, _, err := CheckTruthful(FastestMachine{}, p, space)
+		if err != nil || gain > 0 {
+			return false
+		}
+		// Voluntary participation.
+		pay, s, err := MyersonPayments(FastestMachine{}, p.Sizes, p.TrueCosts, space)
+		if err != nil {
+			return false
+		}
+		for i := range p.TrueCosts {
+			if Utility(pay, s, p.Sizes, p.TrueCosts, i) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptMakespanMyersonNotTruthful: because OptMakespan is non-monotone,
+// Myerson payments do NOT make it truthful; the checker finds a
+// profitable misreport on some instance.
+func TestOptMakespanMyersonNotTruthful(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	found := false
+	for trial := 0; trial < 200 && !found; trial++ {
+		n := 2 + rng.Intn(2)
+		m := 2 + rng.Intn(3)
+		p := &Problem{Sizes: make([]int64, m), TrueCosts: make([]int64, n)}
+		for j := range p.Sizes {
+			p.Sizes[j] = 1 + rng.Int63n(6)
+		}
+		for i := range p.TrueCosts {
+			p.TrueCosts[i] = space[rng.Intn(len(space))]
+		}
+		gain, witness, err := CheckTruthful(OptMakespan{}, p, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gain > 0 {
+			found = true
+			t.Logf("OptMakespan manipulable: sizes=%v costs=%v misreport=%v gain=%d",
+				p.Sizes, p.TrueCosts, witness, gain)
+		}
+	}
+	if !found {
+		t.Fatal("no profitable misreport found for OptMakespan (expected manipulability)")
+	}
+}
+
+func TestLPTGreedyProducesValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(8)
+		sizes := make([]int64, m)
+		for j := range sizes {
+			sizes[j] = 1 + rng.Int63n(9)
+		}
+		bids := make([]int64, n)
+		for i := range bids {
+			bids[i] = 1 + rng.Int63n(5)
+		}
+		s, err := LPTGreedy{}.Allocate(sizes, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Complete() {
+			t.Fatal("incomplete LPT schedule")
+		}
+	}
+	if _, err := (LPTGreedy{}).Allocate([]int64{1}, nil); err == nil {
+		t.Error("no bids accepted")
+	}
+}
+
+// TestLPTBeatsFastestMachineOnMakespan: the makespan motivation for the
+// Archer-Tardos program — the monotone FastestMachine rule concentrates
+// all work on one machine, while the (non-monotone) LPT heuristic spreads
+// it: truthfulness costs makespan.
+func TestLPTBeatsFastestMachineOnMakespan(t *testing.T) {
+	sizes := []int64{5, 5, 5, 5}
+	bids := []int64{1, 1, 1, 1} // wait: identical speeds
+	makespan := func(a Allocation) int64 {
+		s, err := a.Allocate(sizes, bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := sched.NewInstance(len(bids), len(sizes))
+		for i := range bids {
+			for j := range sizes {
+				in.Time[i][j] = bids[i] * sizes[j]
+			}
+		}
+		return s.Makespan(in)
+	}
+	fm, lpt := makespan(FastestMachine{}), makespan(LPTGreedy{})
+	if fm != 20 || lpt != 5 {
+		t.Errorf("makespans: FastestMachine %d (want 20), LPT %d (want 5)", fm, lpt)
+	}
+}

@@ -1,0 +1,87 @@
+// Package payment models the payment infrastructure DMW assumes
+// (Phase IV): each agent computes every agent's payment and submits the
+// vector; the infrastructure issues the payment to agent i only when the
+// participating agents unanimously agree on P_i. The paper leaves the
+// infrastructure's internals out of scope and relies exactly on this
+// agreement rule ("The payment infrastructure issues the payment to Ai if
+// the participating agents agree on Pi; otherwise, no payment is
+// dispensed").
+package payment
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Claim is one agent's submitted payment vector.
+type Claim struct {
+	// From is the submitting agent.
+	From int
+	// Payments[i] is the claimed payment for agent i.
+	Payments []int64
+}
+
+// Settlement is the infrastructure's decision.
+type Settlement struct {
+	// Issued[i] is the payment dispensed to agent i (zero if disputed).
+	Issued []int64
+	// Agreed[i] reports whether the claims were unanimous for agent i.
+	Agreed []bool
+}
+
+// Unanimous reports whether every agent's payment was agreed.
+func (s *Settlement) Unanimous() bool {
+	for _, a := range s.Agreed {
+		if !a {
+			return false
+		}
+	}
+	return true
+}
+
+// Settle applies the unanimity rule to the submitted claims for an
+// n-agent mechanism. A missing claim (an agent that withheld Phase IV
+// participation) counts as disagreement on every entry, because the
+// infrastructure cannot distinguish a withheld claim from a dispute.
+// At least one claim must be submitted.
+func Settle(claims []Claim, n int) (*Settlement, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("payment: invalid agent count %d", n)
+	}
+	if len(claims) == 0 {
+		return nil, errors.New("payment: no claims submitted")
+	}
+	seen := make([]bool, n)
+	for _, c := range claims {
+		if c.From < 0 || c.From >= n {
+			return nil, fmt.Errorf("payment: claim from invalid agent %d", c.From)
+		}
+		if seen[c.From] {
+			return nil, fmt.Errorf("payment: duplicate claim from agent %d", c.From)
+		}
+		seen[c.From] = true
+		if len(c.Payments) != n {
+			return nil, fmt.Errorf("payment: claim from agent %d has %d entries, want %d", c.From, len(c.Payments), n)
+		}
+	}
+	st := &Settlement{
+		Issued: make([]int64, n),
+		Agreed: make([]bool, n),
+	}
+	complete := len(claims) == n
+	for i := 0; i < n; i++ {
+		agreed := complete
+		v := claims[0].Payments[i]
+		for _, c := range claims[1:] {
+			if c.Payments[i] != v {
+				agreed = false
+				break
+			}
+		}
+		st.Agreed[i] = agreed
+		if agreed {
+			st.Issued[i] = v
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,104 @@
+package payment
+
+import "testing"
+
+func claimsFor(vectors ...[]int64) []Claim {
+	out := make([]Claim, len(vectors))
+	for i, v := range vectors {
+		out[i] = Claim{From: i, Payments: v}
+	}
+	return out
+}
+
+func TestUnanimousClaimsIssue(t *testing.T) {
+	claims := claimsFor(
+		[]int64{3, 0, 5},
+		[]int64{3, 0, 5},
+		[]int64{3, 0, 5},
+	)
+	st, err := Settle(claims, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Unanimous() {
+		t.Error("unanimous claims reported disputed")
+	}
+	for i, want := range []int64{3, 0, 5} {
+		if st.Issued[i] != want {
+			t.Errorf("Issued[%d] = %d, want %d", i, st.Issued[i], want)
+		}
+	}
+}
+
+func TestDisputedEntryWithheld(t *testing.T) {
+	claims := claimsFor(
+		[]int64{3, 0, 5},
+		[]int64{3, 9, 5}, // agent 1 inflates its own entry
+		[]int64{3, 0, 5},
+	)
+	st, err := Settle(claims, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unanimous() {
+		t.Error("dispute not detected")
+	}
+	if st.Agreed[1] || st.Issued[1] != 0 {
+		t.Errorf("disputed entry: agreed=%v issued=%d", st.Agreed[1], st.Issued[1])
+	}
+	if !st.Agreed[0] || st.Issued[0] != 3 || !st.Agreed[2] || st.Issued[2] != 5 {
+		t.Error("undisputed entries affected by dispute")
+	}
+}
+
+func TestMissingClaimDisputesEverything(t *testing.T) {
+	claims := claimsFor(
+		[]int64{3, 0},
+		[]int64{3, 0},
+	)
+	claims = claims[:1] // agent 1 withheld
+	st, err := Settle(claims, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Agreed {
+		if st.Agreed[i] || st.Issued[i] != 0 {
+			t.Errorf("entry %d issued despite incomplete claims", i)
+		}
+	}
+}
+
+func TestSettleValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		claims []Claim
+		n      int
+	}{
+		{"no claims", nil, 2},
+		{"bad n", claimsFor([]int64{1}), 0},
+		{"from out of range", []Claim{{From: 5, Payments: []int64{1, 2}}}, 2},
+		{"negative from", []Claim{{From: -1, Payments: []int64{1, 2}}}, 2},
+		{"short vector", []Claim{{From: 0, Payments: []int64{1}}}, 2},
+		{"duplicate from", []Claim{
+			{From: 0, Payments: []int64{1, 2}},
+			{From: 0, Payments: []int64{1, 2}},
+		}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Settle(tt.claims, tt.n); err == nil {
+				t.Error("invalid input accepted")
+			}
+		})
+	}
+}
+
+func TestSingleAgent(t *testing.T) {
+	st, err := Settle([]Claim{{From: 0, Payments: []int64{7}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Agreed[0] || st.Issued[0] != 7 {
+		t.Errorf("single-claim settlement: %+v", st)
+	}
+}

@@ -1,0 +1,360 @@
+package poly
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmw/internal/field"
+)
+
+var testQ = big.NewInt(2003) // prime
+
+func testFieldP(t *testing.T) *field.Field {
+	t.Helper()
+	return field.MustNew(testQ)
+}
+
+func nodes(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = big.NewInt(int64(i + 1))
+	}
+	return out
+}
+
+func sharesOf(p *Poly, nds []*big.Int) []Share {
+	out := make([]Share, len(nds))
+	for i, nd := range nds {
+		out[i] = Share{Node: nd, Value: p.Eval(nd)}
+	}
+	return out
+}
+
+func TestNewReducesAndCopies(t *testing.T) {
+	f := testFieldP(t)
+	c := big.NewInt(-1)
+	p := New(f, []*big.Int{c})
+	if got := p.Coeff(0); got.Cmp(big.NewInt(2002)) != 0 {
+		t.Errorf("Coeff(0) = %v, want 2002", got)
+	}
+	c.SetInt64(5)
+	if got := p.Coeff(0); got.Cmp(big.NewInt(2002)) != 0 {
+		t.Error("New aliased caller's coefficient")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	f := testFieldP(t)
+	// p(x) = 3 + 2x + x^3
+	p := New(f, []*big.Int{big.NewInt(3), big.NewInt(2), big.NewInt(0), big.NewInt(1)})
+	tests := []struct{ x, want int64 }{
+		{0, 3},
+		{1, 6},
+		{2, 15},
+		{5, (3 + 10 + 125) % 2003},
+	}
+	for _, tt := range tests {
+		if got := p.Eval(big.NewInt(tt.x)); got.Cmp(big.NewInt(tt.want)) != 0 {
+			t.Errorf("p(%d) = %v, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestDegreeTrimsTrailingZeros(t *testing.T) {
+	f := testFieldP(t)
+	p := New(f, []*big.Int{big.NewInt(1), big.NewInt(2), big.NewInt(0), big.NewInt(0)})
+	if got := p.Degree(); got != 1 {
+		t.Errorf("Degree = %d, want 1", got)
+	}
+	zero := New(f, nil)
+	if got := zero.Degree(); got != 0 {
+		t.Errorf("zero Degree = %d, want 0", got)
+	}
+}
+
+func TestNewRandomZeroConst(t *testing.T) {
+	f := testFieldP(t)
+	rng := rand.New(rand.NewSource(11))
+	for d := 0; d <= 8; d++ {
+		p, err := NewRandomZeroConst(f, d, rng)
+		if err != nil {
+			t.Fatalf("degree %d: %v", d, err)
+		}
+		if p.Coeff(0).Sign() != 0 {
+			t.Errorf("degree %d: nonzero constant term", d)
+		}
+		if got := p.Degree(); got != d {
+			t.Errorf("Degree = %d, want %d", got, d)
+		}
+	}
+	if _, err := NewRandomZeroConst(f, -1, rng); err == nil {
+		t.Error("negative degree accepted")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	f := testFieldP(t)
+	p := New(f, []*big.Int{big.NewInt(1), big.NewInt(2)})
+	q := New(f, []*big.Int{big.NewInt(3), big.NewInt(4), big.NewInt(5)})
+	s := p.Add(q)
+	want := []int64{4, 6, 5}
+	for i, w := range want {
+		if got := s.Coeff(i); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("sum coeff %d = %v, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMulMatchesEval(t *testing.T) {
+	f := testFieldP(t)
+	rng := rand.New(rand.NewSource(3))
+	p, _ := NewRandomZeroConst(f, 3, rng)
+	q, _ := NewRandomZeroConst(f, 4, rng)
+	prod := p.Mul(q)
+	if got := prod.Degree(); got != 7 {
+		t.Errorf("product degree = %d, want 7", got)
+	}
+	// Product of two zero-constant polynomials has v_0 = v_1 = 0
+	// (the paper's expression (5) with v_{i,1} = 0).
+	if prod.Coeff(0).Sign() != 0 || prod.Coeff(1).Sign() != 0 {
+		t.Error("product of zero-constant polynomials has nonzero x^0 or x^1 coefficient")
+	}
+	for x := int64(0); x < 10; x++ {
+		xx := big.NewInt(x)
+		want := f.Mul(p.Eval(xx), q.Eval(xx))
+		if got := prod.Eval(xx); got.Cmp(want) != 0 {
+			t.Errorf("(p*q)(%d) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestMulEmpty(t *testing.T) {
+	f := testFieldP(t)
+	p := New(f, nil)
+	q := New(f, []*big.Int{big.NewInt(3)})
+	if got := p.Mul(q).Degree(); got != 0 {
+		t.Errorf("empty product degree = %d", got)
+	}
+}
+
+func TestInterpolateAtZeroExact(t *testing.T) {
+	f := testFieldP(t)
+	rng := rand.New(rand.NewSource(21))
+	for d := 1; d <= 6; d++ {
+		p, _ := NewRandomZeroConst(f, d, rng)
+		sh := sharesOf(p, nodes(d+1))
+		v, err := InterpolateAtZero(f, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Sign() != 0 {
+			t.Errorf("degree %d: interpolation with d+1 nodes = %v, want 0", d, v)
+		}
+	}
+}
+
+// TestPaperRuleOffByOne documents the corrected interpolation bound (see
+// the package comment and DESIGN.md): with only s = d nodes, the
+// interpolation error term a_d*(-1)^d*prod(alpha_i) is nonzero, so the
+// paper's claim that s = d suffices does not hold.
+func TestPaperRuleOffByOne(t *testing.T) {
+	f := testFieldP(t)
+	rng := rand.New(rand.NewSource(31))
+	falseSuccesses := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		p, _ := NewRandomZeroConst(f, 4, rng)
+		sh := sharesOf(p, nodes(4)) // paper's rule: d nodes
+		v, err := InterpolateAtZero(f, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Sign() == 0 {
+			falseSuccesses++
+		}
+	}
+	if falseSuccesses > trials/10 {
+		t.Errorf("paper's s=d rule yielded exact interpolation %d/%d times; expected near-always nonzero", falseSuccesses, trials)
+	}
+}
+
+func TestInterpolateRejectsBadNodes(t *testing.T) {
+	f := testFieldP(t)
+	p := New(f, []*big.Int{big.NewInt(0), big.NewInt(1)})
+	tests := []struct {
+		name   string
+		shares []Share
+		want   error
+	}{
+		{"empty", nil, nil},
+		{"zero node", []Share{{Node: big.NewInt(0), Value: big.NewInt(1)}}, field.ErrZeroPoint},
+		{"duplicate", []Share{
+			{Node: big.NewInt(1), Value: p.Eval(big.NewInt(1))},
+			{Node: big.NewInt(1), Value: p.Eval(big.NewInt(1))},
+		}, field.ErrDuplicatePoint},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := InterpolateAtZero(f, tt.shares)
+			if err == nil {
+				t.Fatal("accepted invalid shares")
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestResolveDegree(t *testing.T) {
+	f := testFieldP(t)
+	rng := rand.New(rand.NewSource(41))
+	candidates := []int{2, 3, 4, 5, 6}
+	for _, d := range candidates {
+		p, _ := NewRandomZeroConst(f, d, rng)
+		sh := sharesOf(p, nodes(7))
+		got, err := ResolveDegree(f, sh, candidates)
+		if err != nil {
+			t.Fatalf("degree %d: %v", d, err)
+		}
+		if got != d {
+			t.Errorf("ResolveDegree = %d, want %d", got, d)
+		}
+	}
+}
+
+func TestResolveDegreeErrors(t *testing.T) {
+	f := testFieldP(t)
+	rng := rand.New(rand.NewSource(51))
+	p, _ := NewRandomZeroConst(f, 6, rng)
+	sh := sharesOf(p, nodes(7))
+
+	t.Run("no candidates", func(t *testing.T) {
+		if _, err := ResolveDegree(f, sh, nil); err == nil {
+			t.Error("accepted empty candidates")
+		}
+	})
+	t.Run("unsorted candidates", func(t *testing.T) {
+		if _, err := ResolveDegree(f, sh, []int{3, 2}); err == nil {
+			t.Error("accepted unsorted candidates")
+		}
+	})
+	t.Run("negative candidate", func(t *testing.T) {
+		if _, err := ResolveDegree(f, sh, []int{-1, 2}); err == nil {
+			t.Error("accepted negative candidate")
+		}
+	})
+	t.Run("true degree above all candidates", func(t *testing.T) {
+		_, err := ResolveDegree(f, sh, []int{2, 3})
+		if !errors.Is(err, ErrDegreeUnresolved) {
+			t.Errorf("error = %v, want ErrDegreeUnresolved", err)
+		}
+	})
+	t.Run("too few shares", func(t *testing.T) {
+		_, err := ResolveDegree(f, sh[:3], []int{2, 6})
+		if !errors.Is(err, ErrDegreeUnresolved) {
+			t.Errorf("error = %v, want ErrDegreeUnresolved", err)
+		}
+	})
+}
+
+func TestSumSharesResolvesMaxDegree(t *testing.T) {
+	// The core DMW trick: the degree of a sum of random zero-constant
+	// polynomials is the maximum individual degree (w.h.p.), so degree
+	// resolution on summed shares reveals only the extreme bid.
+	f := testFieldP(t)
+	rng := rand.New(rand.NewSource(61))
+	degrees := []int{3, 5, 2}
+	nds := nodes(7)
+	vectors := make([][]Share, len(degrees))
+	for i, d := range degrees {
+		p, _ := NewRandomZeroConst(f, d, rng)
+		vectors[i] = sharesOf(p, nds)
+	}
+	sum, err := SumShares(f, vectors...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResolveDegree(f, sum, []int{2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("resolved degree of sum = %d, want 5", got)
+	}
+}
+
+func TestSumSharesErrors(t *testing.T) {
+	f := testFieldP(t)
+	a := []Share{{Node: big.NewInt(1), Value: big.NewInt(2)}}
+	b := []Share{{Node: big.NewInt(2), Value: big.NewInt(2)}}
+	if _, err := SumShares(f); err == nil {
+		t.Error("SumShares() accepted no vectors")
+	}
+	if _, err := SumShares(f, a, b); err == nil {
+		t.Error("SumShares accepted mismatched nodes")
+	}
+	if _, err := SumShares(f, a, nil); err == nil {
+		t.Error("SumShares accepted mismatched lengths")
+	}
+}
+
+// Property: for random polynomial pairs, shares of the sum equal the sum
+// of shares, and resolution recovers max degree.
+func TestSumDegreeProperty(t *testing.T) {
+	f := testFieldP(t)
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d1, d2 := 1+r.Intn(5), 1+r.Intn(5)
+		p1, err := NewRandomZeroConst(f, d1, r)
+		if err != nil {
+			return false
+		}
+		p2, err := NewRandomZeroConst(f, d2, r)
+		if err != nil {
+			return false
+		}
+		nds := nodes(7)
+		sum, err := SumShares(f, sharesOf(p1, nds), sharesOf(p2, nds))
+		if err != nil {
+			return false
+		}
+		direct := sharesOf(p1.Add(p2), nds)
+		for i := range sum {
+			if sum[i].Value.Cmp(direct[i].Value) != 0 {
+				return false
+			}
+		}
+		want := d1
+		if d2 > d1 {
+			want = d2
+		}
+		got, err := ResolveDegree(f, sum, []int{1, 2, 3, 4, 5})
+		if err != nil {
+			// Cancellation of leading terms is possible but has
+			// probability ~1/q; treat as failure.
+			return false
+		}
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInterpolateAtZero(b *testing.B) {
+	f := field.MustNew(testQ)
+	rng := rand.New(rand.NewSource(1))
+	p, _ := NewRandomZeroConst(f, 16, rng)
+	sh := sharesOf(p, nodes(17))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InterpolateAtZero(f, sh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package privacy
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/field"
+)
+
+var testQ = big.NewInt(2003)
+
+func setup(t *testing.T) (*field.Field, bidcode.Config, []*big.Int) {
+	t.Helper()
+	f := field.MustNew(testQ)
+	cfg := bidcode.Config{W: []int{1, 2, 3, 4}, C: 2, N: 10}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alphas, err := bidcode.Pseudonyms(f, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cfg, alphas
+}
+
+func TestEmptyCoalitionRejected(t *testing.T) {
+	f, cfg, _ := setup(t)
+	enc, _ := bidcode.Encode(cfg, 2, f, rand.New(rand.NewSource(1)))
+	if _, err := Attack(f, cfg, enc, nil); err == nil {
+		t.Error("empty coalition accepted")
+	}
+}
+
+// TestThresholdViaE validates Theorem 10's claim: through the
+// e-polynomial, a coalition of size <= c+1 recovers nothing, and the
+// required coalition grows as the bid improves (decreases).
+func TestThresholdViaE(t *testing.T) {
+	f, cfg, alphas := setup(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, y := range cfg.W {
+		enc, err := bidcode.Encode(cfg, y, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		threshold := MinCoalitionViaE(cfg, y) // sigma - y + 1
+		if threshold <= cfg.C+1 {
+			t.Fatalf("threshold %d for bid %d does not exceed c+1 = %d", threshold, y, cfg.C+1)
+		}
+		// One fewer colluder than the threshold: must fail via E.
+		res, err := Attack(f, cfg, enc, alphas[:threshold-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ViaE != NotRecovered {
+			t.Errorf("bid %d recovered via E with %d < %d colluders", y, threshold-1, threshold)
+		}
+		// Exactly the threshold: must succeed.
+		res, err = Attack(f, cfg, enc, alphas[:threshold])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ViaE != y {
+			t.Errorf("bid %d: coalition of %d recovered %d via E", y, threshold, res.ViaE)
+		}
+	}
+}
+
+// TestLowBidsExposedViaF documents the observed limitation: the
+// f-polynomial leaks low bids to coalitions of size y+1, potentially far
+// below c.
+func TestLowBidsExposedViaF(t *testing.T) {
+	f, cfg, alphas := setup(t)
+	rng := rand.New(rand.NewSource(11))
+	for _, y := range cfg.W {
+		enc, err := bidcode.Encode(cfg, y, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := MinCoalitionViaF(y) // y + 1
+		res, err := Attack(f, cfg, enc, alphas[:k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ViaF != y {
+			t.Errorf("bid %d: coalition of %d recovered %d via F, want %d", y, k, res.ViaF, y)
+		}
+		if k > 1 {
+			res, err = Attack(f, cfg, enc, alphas[:k-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ViaF == y {
+				t.Errorf("bid %d recovered via F with only %d colluders", y, k-1)
+			}
+		}
+	}
+}
+
+func TestRecoveredHelper(t *testing.T) {
+	if (AttackResult{ViaE: NotRecovered, ViaF: NotRecovered}).Recovered() {
+		t.Error("nothing recovered but Recovered() = true")
+	}
+	if !(AttackResult{ViaE: 2, ViaF: NotRecovered}).Recovered() {
+		t.Error("ViaE recovery not reported")
+	}
+	if !(AttackResult{ViaE: NotRecovered, ViaF: 1}).Recovered() {
+		t.Error("ViaF recovery not reported")
+	}
+}
+
+// TestHighBidNotExposedToSmallCoalitions: a mid-range bid resists both
+// attack directions for small coalitions.
+func TestMidBidResistsSmallCoalitions(t *testing.T) {
+	f, cfg, alphas := setup(t)
+	rng := rand.New(rand.NewSource(13))
+	y := 3 // needs 4 colluders via F, sigma-3+1 = 5 via E
+	enc, err := bidcode.Encode(cfg, y, f, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(f, cfg, enc, alphas[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered() {
+		t.Errorf("bid %d recovered by 3 colluders: %+v", y, res)
+	}
+}

@@ -1,0 +1,384 @@
+// Package relaynet deploys DMW over real TCP sockets: one process per
+// agent, all connected to a relay that implements the synchronous-round
+// fabric of package transport across machine boundaries.
+//
+// Trust model: the relay is trusted for LIVENESS and ORDERING only, never
+// for the outcome — every protocol value that crosses it is either
+// committed to (shares are verified against published commitments,
+// equations (7)-(9)) or self-certifying against those commitments
+// (equations (11) and (13)), so a relay that tampers with payloads causes
+// detectable aborts, exactly like any other deviating participant. This
+// is weaker than the paper's abstract "broadcast channel + private
+// channels" assumption in one respect: the relay sees the shares'
+// ciphertext-free values, so deployments wanting the paper's full privacy
+// guarantee should add pairwise transport encryption underneath (out of
+// scope here, as the paper keeps the network obedient).
+//
+// Wire protocol (all frames length-prefixed):
+//
+//	frame   := len:u32 type:u8 body
+//	hello   := id:u32                  client -> relay
+//	welcome := n:u32                   relay -> client
+//	msg     := wire.EncodeMessage      both directions
+//	finish  :=                         client -> relay (round barrier)
+//	roundend:=                         relay -> client (deliveries done)
+//	crash   :=                         client -> relay (fail-stop)
+package relaynet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"dmw/internal/dmw"
+	"dmw/internal/payment"
+	"dmw/internal/transport"
+	"dmw/internal/wire"
+)
+
+// Frame types.
+const (
+	fHello uint8 = iota + 1
+	fWelcome
+	fMsg
+	fFinish
+	fRoundEnd
+	fCrash
+)
+
+// maxFrame bounds a single frame (a commitments payload at 512-bit p and
+// large sigma stays well under this).
+const maxFrame = 1 << 22
+
+func writeFrame(w io.Writer, ftype uint8, body []byte) error {
+	if len(body)+1 > maxFrame {
+		return fmt.Errorf("relaynet: frame too large (%d bytes)", len(body))
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(body)+1))
+	hdr[4] = ftype
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("relaynet: bad frame length %d", n)
+	}
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], body, nil
+}
+
+// Relay is the round-fabric server for one mechanism execution.
+type Relay struct {
+	n     int
+	ln    net.Listener
+	stats *transport.Stats
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	conns    []net.Conn
+	writers  []*bufio.Writer
+	joined   int
+	finished []bool
+	crashed  []bool
+	pending  [][]transport.Message
+	claims   map[int][]int64
+	closed   bool
+	err      error
+
+	done chan struct{}
+}
+
+// Serve starts a relay for n agents on the listener. It returns
+// immediately; Wait blocks until every agent has disconnected.
+func Serve(ln net.Listener, n int) (*Relay, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("relaynet: need at least 2 agents, got %d", n)
+	}
+	r := &Relay{
+		n:        n,
+		ln:       ln,
+		stats:    &transport.Stats{},
+		conns:    make([]net.Conn, n),
+		writers:  make([]*bufio.Writer, n),
+		finished: make([]bool, n),
+		crashed:  make([]bool, n),
+		pending:  make([][]transport.Message, n),
+		claims:   make(map[int][]int64),
+		done:     make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the listener address.
+func (r *Relay) Addr() net.Addr { return r.ln.Addr() }
+
+// Stats returns the message accounting (same cost model as the in-memory
+// fabric: every routed point-to-point message counts once).
+func (r *Relay) Stats() *transport.Stats { return r.stats }
+
+// Claims returns the Phase IV payment claims the relay observed, ready
+// for settlement by the payment infrastructure.
+func (r *Relay) Claims() []payment.Claim {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]int, 0, len(r.claims))
+	for id := range r.claims {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]payment.Claim, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, payment.Claim{From: id, Payments: r.claims[id]})
+	}
+	return out
+}
+
+// Wait blocks until every connected agent has disconnected (the session
+// is over) or the relay fails.
+func (r *Relay) Wait() error {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Close shuts the relay down.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	conns := append([]net.Conn(nil), r.conns...)
+	r.mu.Unlock()
+	err := r.ln.Close()
+	for _, c := range conns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	return err
+}
+
+func (r *Relay) acceptLoop() {
+	var wg sync.WaitGroup
+	for i := 0; i < r.n; i++ {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			r.fail(fmt.Errorf("relaynet: accept: %w", err))
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.handle(conn)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		r.mu.Lock()
+		if !r.closed {
+			r.closed = true
+			close(r.done)
+		}
+		r.mu.Unlock()
+	}()
+}
+
+func (r *Relay) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = err
+	}
+	if !r.closed {
+		r.closed = true
+		close(r.done)
+	}
+}
+
+// handle runs one client connection: hello handshake, then the message
+// loop until disconnect.
+func (r *Relay) handle(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	ftype, body, err := readFrame(br)
+	if err != nil || ftype != fHello || len(body) != 4 {
+		_ = conn.Close()
+		return
+	}
+	id := int(binary.BigEndian.Uint32(body))
+	if id < 0 || id >= r.n {
+		_ = conn.Close()
+		return
+	}
+	bw := bufio.NewWriter(conn)
+	r.mu.Lock()
+	if r.conns[id] != nil {
+		r.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	r.conns[id] = conn
+	r.writers[id] = bw
+	r.joined++
+	welcome := make([]byte, 4)
+	binary.BigEndian.PutUint32(welcome, uint32(r.n))
+	if err := writeFrame(bw, fWelcome, welcome); err == nil {
+		_ = bw.Flush()
+	}
+	r.mu.Unlock()
+
+	defer func() {
+		_ = conn.Close()
+		r.markCrashed(id)
+	}()
+	for {
+		ftype, body, err := readFrame(br)
+		if err != nil {
+			return // disconnect -> deferred crash handling
+		}
+		switch ftype {
+		case fMsg:
+			m, err := wire.DecodeMessage(body)
+			if err != nil || m.From != id {
+				return // protocol violation: drop the client
+			}
+			r.route(m)
+		case fFinish:
+			r.finish(id)
+		case fCrash:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// route queues a point-to-point message for end-of-round delivery and
+// records payment claims for settlement.
+func (r *Relay) route(m transport.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.To < 0 || m.To >= r.n || m.To == m.From {
+		return
+	}
+	if p, ok := m.Payload.(dmw.PaymentClaimPayload); ok {
+		if _, seen := r.claims[m.From]; !seen {
+			r.claims[m.From] = append([]int64(nil), p.Payments...)
+		}
+	}
+	r.pending[m.To] = append(r.pending[m.To], m)
+	r.recordStats(m)
+}
+
+// finish marks the agent's round as complete and delivers when the
+// barrier fills.
+func (r *Relay) finish(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed[id] {
+		return
+	}
+	r.finished[id] = true
+	r.maybeDeliverLocked()
+	// Block the reader goroutine until the round completes so a fast
+	// client cannot race ahead... the client itself blocks on
+	// fRoundEnd, so no relay-side wait is needed.
+}
+
+// markCrashed handles a disconnect: the agent leaves all future rounds.
+func (r *Relay) markCrashed(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed[id] {
+		return
+	}
+	r.crashed[id] = true
+	r.pending[id] = nil
+	r.maybeDeliverLocked()
+}
+
+// maybeDeliverLocked releases the round barrier when every live, joined
+// agent has finished. Caller holds r.mu.
+func (r *Relay) maybeDeliverLocked() {
+	live, fin := 0, 0
+	for i := 0; i < r.n; i++ {
+		if r.conns[i] == nil || r.crashed[i] {
+			continue
+		}
+		live++
+		if r.finished[i] {
+			fin++
+		}
+	}
+	// Deliver only once all n agents have joined at least once, so
+	// early finishers wait for slow joiners.
+	if r.joined < r.n || live == 0 || fin < live {
+		return
+	}
+	r.stats.RecordRound()
+	for to := 0; to < r.n; to++ {
+		msgs := r.pending[to]
+		r.pending[to] = nil
+		r.finished[to] = false
+		if r.crashed[to] || r.conns[to] == nil {
+			continue
+		}
+		sort.SliceStable(msgs, func(a, b int) bool {
+			if msgs[a].From != msgs[b].From {
+				return msgs[a].From < msgs[b].From
+			}
+			if msgs[a].Kind != msgs[b].Kind {
+				return msgs[a].Kind < msgs[b].Kind
+			}
+			return msgs[a].Task < msgs[b].Task
+		})
+		bw := r.writers[to]
+		ok := true
+		for _, m := range msgs {
+			body, err := wire.EncodeMessage(m)
+			if err != nil {
+				continue
+			}
+			if err := writeFrame(bw, fMsg, body); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := writeFrame(bw, fRoundEnd, nil); err == nil {
+				_ = bw.Flush()
+			}
+		}
+	}
+}
+
+// recordStats mirrors the in-memory fabric's accounting.
+func (r *Relay) recordStats(m transport.Message) {
+	r.stats.Record(m.Kind, m.Payload)
+}

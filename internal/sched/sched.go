@@ -1,0 +1,389 @@
+// Package sched models the scheduling-on-unrelated-machines problem that
+// both the centralized MinWork mechanism and DMW solve (Section 2.1 of the
+// paper).
+//
+// An instance has m independent tasks and n agents (machines); agent i
+// processes task j in t_i^j time units. A schedule partitions the tasks
+// among the agents; the quality objectives are the makespan (maximum agent
+// load) and the total work (sum of processing times), which MinWork
+// minimizes.
+//
+// Times are int64 "time units". Bids in DMW are discrete, so integer
+// processing times lose no generality for this library.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Instance is a scheduling-on-unrelated-machines problem: Time[i][j] is
+// the time agent i needs for task j (the paper's t_i^j).
+type Instance struct {
+	Time [][]int64
+}
+
+// NewInstance allocates an n-agent, m-task instance with zeroed times.
+func NewInstance(n, m int) *Instance {
+	t := make([][]int64, n)
+	for i := range t {
+		t[i] = make([]int64, m)
+	}
+	return &Instance{Time: t}
+}
+
+// Agents returns n, the number of machines.
+func (in *Instance) Agents() int { return len(in.Time) }
+
+// Tasks returns m, the number of tasks.
+func (in *Instance) Tasks() int {
+	if len(in.Time) == 0 {
+		return 0
+	}
+	return len(in.Time[0])
+}
+
+// Validate checks rectangular shape and positive processing times.
+func (in *Instance) Validate() error {
+	if in == nil || len(in.Time) == 0 {
+		return errors.New("sched: instance has no agents")
+	}
+	m := len(in.Time[0])
+	if m == 0 {
+		return errors.New("sched: instance has no tasks")
+	}
+	for i, row := range in.Time {
+		if len(row) != m {
+			return fmt.Errorf("sched: agent %d has %d task times, want %d", i, len(row), m)
+		}
+		for j, v := range row {
+			if v <= 0 {
+				return fmt.Errorf("sched: t[%d][%d] = %d must be positive", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	cp := NewInstance(in.Agents(), in.Tasks())
+	for i := range in.Time {
+		copy(cp.Time[i], in.Time[i])
+	}
+	return cp
+}
+
+// Row returns a copy of agent i's processing-time vector (its true type
+// t_i in mechanism terms).
+func (in *Instance) Row(i int) []int64 {
+	out := make([]int64, in.Tasks())
+	copy(out, in.Time[i])
+	return out
+}
+
+// Unassigned marks a task that no agent executes (e.g. its auction
+// aborted).
+const Unassigned = -1
+
+// Schedule maps each task to the agent that executes it. Agent[j] is the
+// executing agent's index, or Unassigned.
+type Schedule struct {
+	Agent []int
+}
+
+// NewSchedule returns a schedule with all m tasks unassigned.
+func NewSchedule(m int) *Schedule {
+	a := make([]int, m)
+	for j := range a {
+		a[j] = Unassigned
+	}
+	return &Schedule{Agent: a}
+}
+
+// Validate checks the schedule against an instance.
+func (s *Schedule) Validate(in *Instance) error {
+	if s == nil {
+		return errors.New("sched: nil schedule")
+	}
+	if len(s.Agent) != in.Tasks() {
+		return fmt.Errorf("sched: schedule covers %d tasks, instance has %d", len(s.Agent), in.Tasks())
+	}
+	for j, i := range s.Agent {
+		if i != Unassigned && (i < 0 || i >= in.Agents()) {
+			return fmt.Errorf("sched: task %d assigned to invalid agent %d", j, i)
+		}
+	}
+	return nil
+}
+
+// TasksOf returns the indices of the tasks assigned to agent i (the set
+// S_i in the paper).
+func (s *Schedule) TasksOf(i int) []int {
+	var out []int
+	for j, a := range s.Agent {
+		if a == i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Loads returns each agent's total processing time under the schedule.
+func (s *Schedule) Loads(in *Instance) []int64 {
+	loads := make([]int64, in.Agents())
+	for j, i := range s.Agent {
+		if i != Unassigned {
+			loads[i] += in.Time[i][j]
+		}
+	}
+	return loads
+}
+
+// Makespan returns max_i sum_{j in S_i} t_i^j, the paper's C_max.
+func (s *Schedule) Makespan(in *Instance) int64 {
+	var max int64
+	for _, l := range s.Loads(in) {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// TotalWork returns sum over assigned tasks of the executing agent's time,
+// the objective MinWork actually minimizes.
+func (s *Schedule) TotalWork(in *Instance) int64 {
+	var sum int64
+	for j, i := range s.Agent {
+		if i != Unassigned {
+			sum += in.Time[i][j]
+		}
+	}
+	return sum
+}
+
+// Complete reports whether every task is assigned.
+func (s *Schedule) Complete() bool {
+	for _, i := range s.Agent {
+		if i == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// OptimalMakespan computes a makespan-optimal schedule by exhaustive
+// search with branch-and-bound pruning. It is exponential (n^m) and is
+// intended for the approximation-ratio experiment on small instances; it
+// returns an error when n^m exceeds a safety budget.
+func OptimalMakespan(in *Instance) (*Schedule, int64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n, m := in.Agents(), in.Tasks()
+	const budget = 200_000_000
+	work := 1.0
+	for j := 0; j < m; j++ {
+		work *= float64(n)
+		if work > budget {
+			return nil, 0, fmt.Errorf("sched: instance too large for exact search (n=%d, m=%d)", n, m)
+		}
+	}
+	best := NewSchedule(m)
+	// Greedy upper bound initializes the pruning threshold.
+	greedy := GreedyMinLoad(in)
+	bestSpan := greedy.Makespan(in)
+	copy(best.Agent, greedy.Agent)
+
+	cur := make([]int, m)
+	loads := make([]int64, n)
+	var rec func(j int, spanSoFar int64)
+	rec = func(j int, spanSoFar int64) {
+		if spanSoFar >= bestSpan {
+			return // prune: cannot improve
+		}
+		if j == m {
+			bestSpan = spanSoFar
+			copy(best.Agent, cur)
+			return
+		}
+		for i := 0; i < n; i++ {
+			loads[i] += in.Time[i][j]
+			cur[j] = i
+			span := spanSoFar
+			if loads[i] > span {
+				span = loads[i]
+			}
+			rec(j+1, span)
+			loads[i] -= in.Time[i][j]
+		}
+	}
+	rec(0, 0)
+	return best, bestSpan, nil
+}
+
+// GreedyMinLoad assigns each task (in index order) to the agent whose
+// completion time for it, added to its current load, is smallest. It is a
+// simple list-scheduling baseline used to initialize branch-and-bound and
+// as a comparison point in the experiments.
+func GreedyMinLoad(in *Instance) *Schedule {
+	n, m := in.Agents(), in.Tasks()
+	s := NewSchedule(m)
+	loads := make([]int64, n)
+	for j := 0; j < m; j++ {
+		bestI, bestV := 0, loads[0]+in.Time[0][j]
+		for i := 1; i < n; i++ {
+			if v := loads[i] + in.Time[i][j]; v < bestV {
+				bestI, bestV = i, v
+			}
+		}
+		s.Agent[j] = bestI
+		loads[bestI] += in.Time[bestI][j]
+	}
+	return s
+}
+
+// MinWorkSchedule allocates each task to the agent with the minimum
+// processing time, breaking ties toward the lower agent index. This is
+// MinWork's allocation rule evaluated on true values; package mechanism
+// wraps it with payments.
+func MinWorkSchedule(in *Instance) *Schedule {
+	n, m := in.Agents(), in.Tasks()
+	s := NewSchedule(m)
+	for j := 0; j < m; j++ {
+		best := 0
+		for i := 1; i < n; i++ {
+			if in.Time[i][j] < in.Time[best][j] {
+				best = i
+			}
+		}
+		s.Agent[j] = best
+		_ = n
+	}
+	return s
+}
+
+// LowerBoundMakespan returns a cheap lower bound on the optimal makespan:
+// the larger of (a) the largest per-task minimum time (some agent must run
+// each task) and (b) the total minimum work divided by the number of
+// agents (perfect balance). Useful when exact search is infeasible.
+func LowerBoundMakespan(in *Instance) int64 {
+	n, m := in.Agents(), in.Tasks()
+	var maxMin, totalMin int64
+	for j := 0; j < m; j++ {
+		min := in.Time[0][j]
+		for i := 1; i < n; i++ {
+			if in.Time[i][j] < min {
+				min = in.Time[i][j]
+			}
+		}
+		if min > maxMin {
+			maxMin = min
+		}
+		totalMin += min
+	}
+	balanced := (totalMin + int64(n) - 1) / int64(n)
+	if balanced > maxMin {
+		return balanced
+	}
+	return maxMin
+}
+
+// Generator options ------------------------------------------------------
+
+// Uniform draws an instance with processing times uniform on [lo, hi].
+func Uniform(rng *rand.Rand, n, m int, lo, hi int64) *Instance {
+	in := NewInstance(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			in.Time[i][j] = lo + rng.Int63n(hi-lo+1)
+		}
+	}
+	return in
+}
+
+// UniformBids draws an instance whose processing times are all members of
+// the discrete bid set W, the regime DMW operates in.
+func UniformBids(rng *rand.Rand, n, m int, w []int) *Instance {
+	in := NewInstance(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			in.Time[i][j] = int64(w[rng.Intn(len(w))])
+		}
+	}
+	return in
+}
+
+// RelatedMachines draws a related-machines instance: task j has an
+// intrinsic requirement r_j and agent i a speed factor s_i, with
+// t_i^j = ceil(r_j / s_i) in scaled integer units. speedMax >= 1 controls
+// heterogeneity.
+func RelatedMachines(rng *rand.Rand, n, m int, reqMax int64, speedMax int) *Instance {
+	in := NewInstance(n, m)
+	speeds := make([]int64, n)
+	for i := range speeds {
+		speeds[i] = 1 + rng.Int63n(int64(speedMax))
+	}
+	for j := 0; j < m; j++ {
+		r := 1 + rng.Int63n(reqMax)
+		for i := 0; i < n; i++ {
+			t := (r*int64(speedMax) + speeds[i] - 1) / speeds[i]
+			if t == 0 {
+				t = 1
+			}
+			in.Time[i][j] = t
+		}
+	}
+	return in
+}
+
+// ApproxWorstCase builds the classical instance on which MinWork's
+// makespan approaches n times the optimum: n tasks, each taking 1 unit on
+// agent 0 and 1+eps (here: 2) units elsewhere. MinWork assigns every task
+// to agent 0 (makespan n); the optimum spreads them (makespan <= 2).
+func ApproxWorstCase(n int) *Instance {
+	in := NewInstance(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i == 0 {
+				in.Time[i][j] = 1
+			} else {
+				in.Time[i][j] = 2
+			}
+		}
+	}
+	return in
+}
+
+// MachineCorrelated draws an instance where each agent has an intrinsic
+// efficiency b_i and t_i^j = b_i + noise: machine quality dominates, a
+// standard hard family for list scheduling.
+func MachineCorrelated(rng *rand.Rand, n, m int, base, noise int64) *Instance {
+	in := NewInstance(n, m)
+	for i := 0; i < n; i++ {
+		b := 1 + rng.Int63n(base)
+		for j := 0; j < m; j++ {
+			in.Time[i][j] = b + rng.Int63n(noise+1)
+		}
+	}
+	return in
+}
+
+// TaskCorrelated draws an instance where each task has an intrinsic
+// difficulty r_j and t_i^j = r_j + noise: task size dominates and
+// machines are nearly interchangeable.
+func TaskCorrelated(rng *rand.Rand, n, m int, base, noise int64) *Instance {
+	in := NewInstance(n, m)
+	diff := make([]int64, m)
+	for j := range diff {
+		diff[j] = 1 + rng.Int63n(base)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			in.Time[i][j] = diff[j] + rng.Int63n(noise+1)
+		}
+	}
+	return in
+}

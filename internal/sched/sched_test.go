@@ -1,0 +1,374 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallInstance() *Instance {
+	// 2 agents, 3 tasks.
+	return &Instance{Time: [][]int64{
+		{1, 4, 2},
+		{3, 1, 2},
+	}}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	in := smallInstance()
+	if in.Agents() != 2 || in.Tasks() != 3 {
+		t.Fatalf("shape = (%d,%d), want (2,3)", in.Agents(), in.Tasks())
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Instance{}
+	if empty.Tasks() != 0 {
+		t.Error("empty instance has tasks")
+	}
+}
+
+func TestInstanceValidateRejects(t *testing.T) {
+	tests := []struct {
+		name string
+		in   *Instance
+	}{
+		{"nil", nil},
+		{"no agents", &Instance{}},
+		{"no tasks", &Instance{Time: [][]int64{{}}}},
+		{"ragged", &Instance{Time: [][]int64{{1, 2}, {1}}}},
+		{"zero time", &Instance{Time: [][]int64{{0}}}},
+		{"negative time", &Instance{Time: [][]int64{{-3}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.in.Validate(); err == nil {
+				t.Error("invalid instance validated")
+			}
+		})
+	}
+}
+
+func TestCloneAndRowAreDeep(t *testing.T) {
+	in := smallInstance()
+	cp := in.Clone()
+	cp.Time[0][0] = 99
+	if in.Time[0][0] != 1 {
+		t.Error("Clone aliased Time")
+	}
+	r := in.Row(1)
+	r[0] = 99
+	if in.Time[1][0] != 3 {
+		t.Error("Row aliased Time")
+	}
+}
+
+func TestScheduleObjectives(t *testing.T) {
+	in := smallInstance()
+	s := &Schedule{Agent: []int{0, 1, 0}}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(in); got != 3 { // loads: agent0 = 1+2 = 3, agent1 = 1
+		t.Errorf("Makespan = %d, want 3", got)
+	}
+	if got := s.TotalWork(in); got != 4 {
+		t.Errorf("TotalWork = %d, want 4", got)
+	}
+	if got := s.TasksOf(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("TasksOf(0) = %v", got)
+	}
+	if !s.Complete() {
+		t.Error("Complete = false for full schedule")
+	}
+}
+
+func TestScheduleWithUnassigned(t *testing.T) {
+	in := smallInstance()
+	s := NewSchedule(3)
+	if s.Complete() {
+		t.Error("fresh schedule reports complete")
+	}
+	if got := s.Makespan(in); got != 0 {
+		t.Errorf("empty Makespan = %d", got)
+	}
+	s.Agent[1] = 1
+	if got := s.TotalWork(in); got != 1 {
+		t.Errorf("TotalWork = %d, want 1", got)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleValidateRejects(t *testing.T) {
+	in := smallInstance()
+	var s *Schedule
+	if err := s.Validate(in); err == nil {
+		t.Error("nil schedule validated")
+	}
+	if err := (&Schedule{Agent: []int{0}}).Validate(in); err == nil {
+		t.Error("short schedule validated")
+	}
+	if err := (&Schedule{Agent: []int{0, 1, 7}}).Validate(in); err == nil {
+		t.Error("out-of-range agent validated")
+	}
+}
+
+func TestMinWorkSchedule(t *testing.T) {
+	in := smallInstance()
+	s := MinWorkSchedule(in)
+	want := []int{0, 1, 0} // task 2 tie (2 vs 2) -> lower index
+	for j, w := range want {
+		if s.Agent[j] != w {
+			t.Errorf("task %d -> agent %d, want %d", j, s.Agent[j], w)
+		}
+	}
+}
+
+func TestMinWorkMinimizesTotalWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		in := Uniform(rng, 3, 4, 1, 9)
+		s := MinWorkSchedule(in)
+		var wantTotal int64
+		for j := 0; j < in.Tasks(); j++ {
+			min := in.Time[0][j]
+			for i := 1; i < in.Agents(); i++ {
+				if in.Time[i][j] < min {
+					min = in.Time[i][j]
+				}
+			}
+			wantTotal += min
+		}
+		if got := s.TotalWork(in); got != wantTotal {
+			t.Fatalf("trial %d: TotalWork = %d, want minimum %d", trial, got, wantTotal)
+		}
+	}
+}
+
+func TestOptimalMakespanSmall(t *testing.T) {
+	in := smallInstance()
+	s, span, err := OptimalMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3 {
+		// optimal: task0->agent0 (1), task1->agent1 (1); task2 costs 2 on
+		// either agent, pushing one load to 3.
+		t.Errorf("optimal makespan = %d, want 3", span)
+	}
+	if got := s.Makespan(in); got != span {
+		t.Errorf("schedule makespan %d != reported %d", got, span)
+	}
+	if !s.Complete() {
+		t.Error("optimal schedule incomplete")
+	}
+}
+
+func TestOptimalMakespanRejectsHuge(t *testing.T) {
+	in := NewInstance(10, 30)
+	for i := range in.Time {
+		for j := range in.Time[i] {
+			in.Time[i][j] = 1
+		}
+	}
+	if _, _, err := OptimalMakespan(in); err == nil {
+		t.Error("huge instance accepted")
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		in := Uniform(rng, 3, 5, 1, 20)
+		_, opt, err := OptimalMakespan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := GreedyMinLoad(in).Makespan(in)
+		if opt > greedy {
+			t.Fatalf("trial %d: optimal %d > greedy %d", trial, opt, greedy)
+		}
+	}
+}
+
+func TestGreedyMinLoadComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := Uniform(rng, 4, 10, 1, 5)
+	s := GreedyMinLoad(in)
+	if !s.Complete() {
+		t.Error("greedy schedule incomplete")
+	}
+	if err := s.Validate(in); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	t.Run("uniform bounds", func(t *testing.T) {
+		in := Uniform(rng, 5, 6, 2, 4)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range in.Time {
+			for _, v := range in.Time[i] {
+				if v < 2 || v > 4 {
+					t.Fatalf("value %d out of [2,4]", v)
+				}
+			}
+		}
+	})
+	t.Run("uniform bids in W", func(t *testing.T) {
+		w := []int{1, 3, 5}
+		in := UniformBids(rng, 4, 8, w)
+		allowed := map[int64]bool{1: true, 3: true, 5: true}
+		for i := range in.Time {
+			for _, v := range in.Time[i] {
+				if !allowed[v] {
+					t.Fatalf("value %d not in W", v)
+				}
+			}
+		}
+	})
+	t.Run("related machines dominance", func(t *testing.T) {
+		in := RelatedMachines(rng, 4, 6, 100, 8)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Related machines: agents are consistently ordered across tasks
+		// (if agent a is faster than b on one task, it is on all).
+		for a := 0; a < in.Agents(); a++ {
+			for b := 0; b < in.Agents(); b++ {
+				sign := 0
+				for j := 0; j < in.Tasks(); j++ {
+					d := in.Time[a][j] - in.Time[b][j]
+					switch {
+					case d > 0 && sign < 0, d < 0 && sign > 0:
+						t.Fatalf("agents %d,%d not consistently ordered", a, b)
+					case d > 0:
+						sign = 1
+					case d < 0:
+						sign = -1
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestApproxWorstCaseRatio(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		in := ApproxWorstCase(n)
+		mw := MinWorkSchedule(in).Makespan(in)
+		_, opt, err := OptimalMakespan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mw != int64(n) {
+			t.Errorf("n=%d: MinWork makespan = %d, want %d", n, mw, n)
+		}
+		if opt > 2 {
+			t.Errorf("n=%d: optimal makespan = %d, want <= 2", n, opt)
+		}
+	}
+}
+
+// Property: MinWork's makespan never exceeds n times the optimum on random
+// small instances (Nisan-Ronen n-approximation).
+func TestApproximationBoundProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2)
+		m := 2 + rng.Intn(4)
+		in := Uniform(rng, n, m, 1, 12)
+		mw := MinWorkSchedule(in).Makespan(in)
+		_, opt, err := OptimalMakespan(in)
+		if err != nil {
+			return false
+		}
+		return mw <= int64(n)*opt
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerBoundMakespan(t *testing.T) {
+	in := smallInstance()
+	lb := LowerBoundMakespan(in)
+	_, opt, err := OptimalMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > opt {
+		t.Errorf("lower bound %d exceeds optimum %d", lb, opt)
+	}
+	if lb <= 0 {
+		t.Errorf("lower bound %d not positive", lb)
+	}
+}
+
+func TestLowerBoundNeverExceedsOptimumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		in := Uniform(rng, 2+rng.Intn(3), 2+rng.Intn(4), 1, 15)
+		lb := LowerBoundMakespan(in)
+		_, opt, err := OptimalMakespan(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > opt {
+			t.Fatalf("lower bound %d > optimum %d on %v", lb, opt, in.Time)
+		}
+	}
+}
+
+func TestCorrelatedGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	t.Run("machine correlated", func(t *testing.T) {
+		in := MachineCorrelated(rng, 5, 8, 10, 2)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Within one agent, all times are within the noise band.
+		for i := 0; i < in.Agents(); i++ {
+			min, max := in.Time[i][0], in.Time[i][0]
+			for _, v := range in.Time[i] {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if max-min > 2 {
+				t.Errorf("agent %d spread %d exceeds noise", i, max-min)
+			}
+		}
+	})
+	t.Run("task correlated", func(t *testing.T) {
+		in := TaskCorrelated(rng, 5, 8, 10, 2)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Within one task, all times are within the noise band.
+		for j := 0; j < in.Tasks(); j++ {
+			min, max := in.Time[0][j], in.Time[0][j]
+			for i := 0; i < in.Agents(); i++ {
+				v := in.Time[i][j]
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if max-min > 2 {
+				t.Errorf("task %d spread %d exceeds noise", j, max-min)
+			}
+		}
+	})
+}

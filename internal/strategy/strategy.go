@@ -1,0 +1,377 @@
+// Package strategy models the strategy space X of the distributed
+// mechanism design problem (Definition 6 of the paper).
+//
+// The suggested strategy chi_suggest is what the protocol engine in
+// package dmw executes by default. A deviation is expressed as a Hooks
+// value whose non-nil fields intercept the agent's information-revelation
+// action (ChooseBid), message-passing/computational actions (the
+// Tamper*/Omit* hooks), or participation (CrashBeforeAuction). The
+// faithfulness experiment (E-faith) runs every constructor in Catalog and
+// verifies that no deviation increases the deviator's utility, and the
+// strong-voluntary-participation experiment (E-svp) verifies that honest
+// agents never end up with negative utility whatever the others do.
+//
+// Hooks alter message content or presence only; the engine keeps every
+// agent's round structure aligned, which matches the paper's model where
+// the underlying network and synchronization are obedient (Theorem 3).
+package strategy
+
+import (
+	"math/big"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/commit"
+)
+
+// Hooks is a (possibly deviating) strategy. The zero value is the
+// suggested strategy chi_suggest: bid truthfully, compute and transmit
+// everything faithfully, verify everything.
+type Hooks struct {
+	// Name labels the strategy in experiment reports; empty means
+	// "suggested".
+	Name string
+
+	// ChooseBid overrides the information-revelation action: given the
+	// task and the agent's truthful bid (already mapped into W), return
+	// the bid to encode. Returning the argument is truthful.
+	ChooseBid func(task, truthful int) int
+
+	// TamperShare mutates the share about to be sent to agent `to`.
+	TamperShare func(task, to int, s *bidcode.Share)
+	// OmitShareTo suppresses the share transmission to agent `to`.
+	OmitShareTo func(task, to int) bool
+
+	// TamperCommitments mutates the commitment vectors about to be
+	// published.
+	TamperCommitments func(task int, c *commit.Commitments)
+	// OmitCommitments suppresses publishing the commitments.
+	OmitCommitments func(task int) bool
+
+	// TamperLambdaPsi mutates the published pair of step III.2.
+	TamperLambdaPsi func(task int, lambda, psi *big.Int)
+	// OmitLambdaPsi suppresses the publication.
+	OmitLambdaPsi func(task int) bool
+
+	// TamperDisclosure mutates the winner-identification f-shares the
+	// agent is about to disclose.
+	TamperDisclosure func(task int, fShares []*big.Int)
+	// OmitDisclosure suppresses a designated disclosure.
+	OmitDisclosure func(task int) bool
+	// AlwaysDisclose makes the agent disclose even when it is not a
+	// designated discloser (the harmless deviation in Theorem 4's
+	// proof: "if Ai transmits its share when not needed, it receives
+	// the same amount of utility as if it had not").
+	AlwaysDisclose bool
+
+	// TamperSecondPrice mutates the winner-excluded pair of step III.4.
+	TamperSecondPrice func(task int, lambda, psi *big.Int)
+	// OmitSecondPrice suppresses it.
+	OmitSecondPrice func(task int) bool
+
+	// TamperPaymentClaim mutates the agent's Phase IV payment vector.
+	TamperPaymentClaim func(p []int64)
+	// OmitPaymentClaim suppresses the claim submission.
+	OmitPaymentClaim bool
+
+	// SkipVerification makes the agent a lazy verifier: it performs no
+	// consistency checks and never raises aborts itself.
+	SkipVerification bool
+
+	// FalseAbort makes the agent broadcast a spurious abort for the
+	// given task even though every check passed.
+	FalseAbort func(task int) bool
+
+	// CrashBeforeAuction crashes the agent before the given auction's
+	// first round (a fail-stop fault).
+	CrashBeforeAuction func(task int) bool
+
+	// TamperEcho mutates the digest the agent broadcasts during echo
+	// verification (only meaningful when the run enables it).
+	TamperEcho func(task int, digest []byte)
+
+	// ObserveShare is called with every share the agent receives in
+	// step II.2. It cannot alter the protocol; colluding coalitions use
+	// it to pool received shares for the privacy attack of Theorem 10
+	// (experiment E-priv's in-vivo variant).
+	ObserveShare func(task, from int, share bidcode.Share)
+}
+
+// IsSuggested reports whether h is (equivalent to) the suggested strategy.
+func (h *Hooks) IsSuggested() bool {
+	if h == nil {
+		return true
+	}
+	// ObserveShare is deliberately ignored: observation does not deviate
+	// from the suggested strategy.
+	return h.ChooseBid == nil && h.TamperShare == nil && h.OmitShareTo == nil &&
+		h.TamperCommitments == nil && h.OmitCommitments == nil &&
+		h.TamperLambdaPsi == nil && h.OmitLambdaPsi == nil &&
+		h.TamperDisclosure == nil && h.OmitDisclosure == nil && !h.AlwaysDisclose &&
+		h.TamperSecondPrice == nil && h.OmitSecondPrice == nil &&
+		h.TamperPaymentClaim == nil && !h.OmitPaymentClaim &&
+		!h.SkipVerification && h.FalseAbort == nil && h.CrashBeforeAuction == nil &&
+		h.TamperEcho == nil
+}
+
+// Label returns the strategy's display name.
+func (h *Hooks) Label() string {
+	if h == nil || h.Name == "" {
+		if h.IsSuggested() {
+			return "suggested"
+		}
+		return "unnamed-deviation"
+	}
+	return h.Name
+}
+
+// Suggested returns the suggested strategy chi_suggest.
+func Suggested() *Hooks { return &Hooks{Name: "suggested"} }
+
+// Constructors for the deviation catalog -------------------------------
+
+// MisreportDelta shifts every truthful bid by delta steps within W
+// (negative = bid lower/more aggressively, positive = higher). The shift
+// saturates at the ends of W.
+func MisreportDelta(w []int, delta int) *Hooks {
+	name := "misreport-higher"
+	if delta < 0 {
+		name = "misreport-lower"
+	}
+	return &Hooks{
+		Name: name,
+		ChooseBid: func(_, truthful int) int {
+			idx := 0
+			for i, v := range w {
+				if v == truthful {
+					idx = i
+					break
+				}
+			}
+			idx += delta
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(w) {
+				idx = len(w) - 1
+			}
+			return w[idx]
+		},
+	}
+}
+
+// CorruptShareTo sends a corrupted share to one victim while sending
+// consistent shares to everyone else.
+func CorruptShareTo(victim int) *Hooks {
+	return &Hooks{
+		Name: "corrupt-share-to-one",
+		TamperShare: func(_, to int, s *bidcode.Share) {
+			if to == victim {
+				s.E.Add(s.E, big.NewInt(1))
+			}
+		},
+	}
+}
+
+// CorruptAllShares corrupts every outgoing share.
+func CorruptAllShares() *Hooks {
+	return &Hooks{
+		Name: "corrupt-all-shares",
+		TamperShare: func(_, _ int, s *bidcode.Share) {
+			s.F.Add(s.F, big.NewInt(1))
+		},
+	}
+}
+
+// CorruptBlinderG corrupts only the g-polynomial share, which equation
+// (7) catches (the product commitment check).
+func CorruptBlinderG() *Hooks {
+	return &Hooks{
+		Name: "corrupt-blinder-g",
+		TamperShare: func(_, _ int, s *bidcode.Share) {
+			s.G.Add(s.G, big.NewInt(1))
+		},
+	}
+}
+
+// CorruptBlinderH corrupts only the h-polynomial share, which equation
+// (8) catches (the e-share commitment check).
+func CorruptBlinderH() *Hooks {
+	return &Hooks{
+		Name: "corrupt-blinder-h",
+		TamperShare: func(_, _ int, s *bidcode.Share) {
+			s.H.Add(s.H, big.NewInt(1))
+		},
+	}
+}
+
+// WithholdShares never sends any share.
+func WithholdShares() *Hooks {
+	return &Hooks{
+		Name:        "withhold-shares",
+		OmitShareTo: func(_, _ int) bool { return true },
+	}
+}
+
+// WithholdCommitments never publishes commitments.
+func WithholdCommitments() *Hooks {
+	return &Hooks{
+		Name:            "withhold-commitments",
+		OmitCommitments: func(int) bool { return true },
+	}
+}
+
+// CorruptCommitments publishes a perturbed commitment vector.
+func CorruptCommitments() *Hooks {
+	return &Hooks{
+		Name: "corrupt-commitments",
+		TamperCommitments: func(_ int, c *commit.Commitments) {
+			c.O[0] = new(big.Int).Add(c.O[0], big.NewInt(1))
+		},
+	}
+}
+
+// BogusLambda publishes an inconsistent Lambda value (the deviation in
+// Theorem 4's proof: "any miscomputing of Lambda_i and Psi_i will result
+// in them failing the consistency check (11)").
+func BogusLambda() *Hooks {
+	return &Hooks{
+		Name: "bogus-lambda",
+		TamperLambdaPsi: func(_ int, lambda, _ *big.Int) {
+			lambda.Add(lambda, big.NewInt(1))
+		},
+	}
+}
+
+// WithholdLambda never publishes the Lambda/Psi pair.
+func WithholdLambda() *Hooks {
+	return &Hooks{
+		Name:          "withhold-lambda",
+		OmitLambdaPsi: func(int) bool { return true },
+	}
+}
+
+// BogusDisclosure discloses corrupted f-shares during winner
+// identification.
+func BogusDisclosure() *Hooks {
+	return &Hooks{
+		Name: "bogus-disclosure",
+		TamperDisclosure: func(_ int, f []*big.Int) {
+			if len(f) > 0 && f[0] != nil {
+				f[0].Add(f[0], big.NewInt(1))
+			}
+		},
+	}
+}
+
+// WithholdDisclosure refuses to disclose when designated.
+func WithholdDisclosure() *Hooks {
+	return &Hooks{
+		Name:           "withhold-disclosure",
+		OmitDisclosure: func(int) bool { return true },
+	}
+}
+
+// EagerDisclosure discloses even when not designated (harmless).
+func EagerDisclosure() *Hooks {
+	return &Hooks{Name: "eager-disclosure", AlwaysDisclose: true}
+}
+
+// BogusSecondPrice publishes an inconsistent winner-excluded pair in step
+// III.4.
+func BogusSecondPrice() *Hooks {
+	return &Hooks{
+		Name: "bogus-second-price",
+		TamperSecondPrice: func(_ int, lambda, _ *big.Int) {
+			lambda.Add(lambda, big.NewInt(1))
+		},
+	}
+}
+
+// WithholdSecondPrice suppresses the winner-excluded pair.
+func WithholdSecondPrice() *Hooks {
+	return &Hooks{
+		Name:            "withhold-second-price",
+		OmitSecondPrice: func(int) bool { return true },
+	}
+}
+
+// InflatePaymentClaim claims an inflated own payment in Phase IV.
+func InflatePaymentClaim(agent int) *Hooks {
+	return &Hooks{
+		Name: "inflate-payment-claim",
+		TamperPaymentClaim: func(p []int64) {
+			if agent >= 0 && agent < len(p) {
+				p[agent] += 1000
+			}
+		},
+	}
+}
+
+// WithholdPaymentClaim submits no Phase IV claim.
+func WithholdPaymentClaim() *Hooks {
+	return &Hooks{Name: "withhold-payment-claim", OmitPaymentClaim: true}
+}
+
+// LazyVerifier skips all verification work.
+func LazyVerifier() *Hooks {
+	return &Hooks{Name: "lazy-verifier", SkipVerification: true}
+}
+
+// SpuriousAbort aborts every auction without cause.
+func SpuriousAbort() *Hooks {
+	return &Hooks{
+		Name:       "spurious-abort",
+		FalseAbort: func(int) bool { return true },
+	}
+}
+
+// BogusEcho broadcasts a corrupted digest during echo verification.
+func BogusEcho() *Hooks {
+	return &Hooks{
+		Name: "bogus-echo",
+		TamperEcho: func(_ int, digest []byte) {
+			if len(digest) > 0 {
+				digest[0] ^= 0xFF
+			}
+		},
+	}
+}
+
+// CrashFault crashes the agent at the start of every auction (fail-stop:
+// the process is gone for the whole execution, including Phase IV).
+func CrashFault() *Hooks {
+	return &Hooks{
+		Name:               "crash-fault",
+		CrashBeforeAuction: func(int) bool { return true },
+	}
+}
+
+// Catalog returns the full deviation catalog for an n-agent game with bid
+// set w, parameterized by the deviating agent's index. The faithfulness
+// experiment iterates over it.
+func Catalog(w []int, n, deviator int) []*Hooks {
+	victim := (deviator + 1) % n
+	return []*Hooks{
+		MisreportDelta(w, -1),
+		MisreportDelta(w, +1),
+		CorruptShareTo(victim),
+		CorruptAllShares(),
+		CorruptBlinderG(),
+		CorruptBlinderH(),
+		WithholdShares(),
+		WithholdCommitments(),
+		CorruptCommitments(),
+		BogusLambda(),
+		WithholdLambda(),
+		BogusDisclosure(),
+		WithholdDisclosure(),
+		EagerDisclosure(),
+		BogusSecondPrice(),
+		WithholdSecondPrice(),
+		InflatePaymentClaim(deviator),
+		WithholdPaymentClaim(),
+		LazyVerifier(),
+		SpuriousAbort(),
+		CrashFault(),
+	}
+}

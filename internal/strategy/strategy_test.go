@@ -1,0 +1,113 @@
+package strategy
+
+import (
+	"math/big"
+	"testing"
+
+	"dmw/internal/bidcode"
+)
+
+func TestSuggestedIsSuggested(t *testing.T) {
+	if !Suggested().IsSuggested() {
+		t.Error("Suggested() not recognized as suggested")
+	}
+	var nilHooks *Hooks
+	if !nilHooks.IsSuggested() {
+		t.Error("nil hooks not recognized as suggested")
+	}
+	if (&Hooks{}).Label() != "suggested" {
+		t.Errorf("zero hooks label = %q", (&Hooks{}).Label())
+	}
+}
+
+func TestCatalogDeviationsAreDeviations(t *testing.T) {
+	w := []int{1, 2, 3}
+	for _, h := range Catalog(w, 4, 0) {
+		if h.IsSuggested() {
+			t.Errorf("catalog entry %q is not a deviation", h.Label())
+		}
+		if h.Name == "" {
+			t.Error("catalog entry without name")
+		}
+		if h.Label() != h.Name {
+			t.Errorf("Label %q != Name %q", h.Label(), h.Name)
+		}
+	}
+}
+
+func TestCatalogHasDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, h := range Catalog([]int{1, 2}, 3, 1) {
+		if seen[h.Name] {
+			t.Errorf("duplicate catalog entry %q", h.Name)
+		}
+		seen[h.Name] = true
+	}
+}
+
+func TestUnnamedDeviationLabel(t *testing.T) {
+	h := &Hooks{SkipVerification: true}
+	if h.Label() != "unnamed-deviation" {
+		t.Errorf("Label = %q", h.Label())
+	}
+}
+
+func TestMisreportDelta(t *testing.T) {
+	w := []int{2, 4, 8}
+	tests := []struct {
+		delta, truthful, want int
+	}{
+		{-1, 4, 2},
+		{-1, 2, 2}, // saturates low
+		{+1, 4, 8},
+		{+1, 8, 8}, // saturates high
+		{-2, 8, 2},
+	}
+	for _, tt := range tests {
+		h := MisreportDelta(w, tt.delta)
+		if got := h.ChooseBid(0, tt.truthful); got != tt.want {
+			t.Errorf("delta %d truthful %d: bid %d, want %d", tt.delta, tt.truthful, got, tt.want)
+		}
+	}
+}
+
+func TestCorruptShareToTargetsVictimOnly(t *testing.T) {
+	h := CorruptShareTo(2)
+	mk := func() bidcode.Share {
+		return bidcode.Share{E: big.NewInt(10), F: big.NewInt(20), G: big.NewInt(30), H: big.NewInt(40)}
+	}
+	s := mk()
+	h.TamperShare(0, 2, &s)
+	if s.E.Int64() != 11 {
+		t.Error("victim's share not corrupted")
+	}
+	s = mk()
+	h.TamperShare(0, 1, &s)
+	if s.E.Int64() != 10 {
+		t.Error("non-victim's share corrupted")
+	}
+}
+
+func TestInflatePaymentClaimBounds(t *testing.T) {
+	h := InflatePaymentClaim(1)
+	p := []int64{5, 7}
+	h.TamperPaymentClaim(p)
+	if p[1] != 1007 {
+		t.Errorf("claim = %v", p)
+	}
+	h = InflatePaymentClaim(9) // out of range: no panic, no change
+	h.TamperPaymentClaim(p)
+	if p[0] != 5 || p[1] != 1007 {
+		t.Errorf("out-of-range inflate mutated claim: %v", p)
+	}
+}
+
+func TestBogusDisclosureHandlesEmpty(t *testing.T) {
+	h := BogusDisclosure()
+	h.TamperDisclosure(0, nil) // must not panic
+	f := []*big.Int{big.NewInt(1), big.NewInt(2)}
+	h.TamperDisclosure(0, f)
+	if f[0].Int64() != 2 {
+		t.Error("disclosure not tampered")
+	}
+}

@@ -1,0 +1,331 @@
+// Package wire implements a compact binary encoding for DMW protocol
+// messages, used by the TCP deployment (package relaynet) to ship
+// messages between agent processes. The format is deliberately simple
+// and self-contained:
+//
+//	message  := from:i32 to:i32 kind:u8 task:i32 ptype:u8 body
+//	bigint   := len:u16 bytes            (len 0xFFFF encodes nil)
+//	vector   := count:u16 bigint*
+//	share    := bigint{e f g h}
+//	commits  := sigma:u16 bigint{O_1..O_s Q_1..Q_s R_1..R_s}
+//	pair     := bigint{lambda psi}
+//	claims   := count:u16 i64*
+//	abort    := len:u16 utf8
+//
+// All integers are big-endian. Every protocol value is a residue mod p,
+// so magnitudes are bounded by the group size and signs never occur.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/commit"
+	"dmw/internal/dmw"
+	"dmw/internal/transport"
+)
+
+// Payload type tags.
+const (
+	tShare uint8 = iota + 1
+	tCommitments
+	tLambdaPsi
+	tDisclosure
+	tSecondPrice
+	tPaymentClaim
+	tAbort
+	tNone // message with no payload
+)
+
+const nilLen = 0xFFFF
+
+// ErrTruncated is returned when the input ends before the structure does.
+var ErrTruncated = errors.New("wire: truncated message")
+
+func putBig(w *bytes.Buffer, v *big.Int) error {
+	if v == nil {
+		return binary.Write(w, binary.BigEndian, uint16(nilLen))
+	}
+	if v.Sign() < 0 {
+		return fmt.Errorf("wire: negative value %v", v)
+	}
+	b := v.Bytes()
+	if len(b) >= nilLen {
+		return fmt.Errorf("wire: value too large (%d bytes)", len(b))
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func getBig(r *bytes.Reader) (*big.Int, error) {
+	var n uint16
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, ErrTruncated
+	}
+	if n == nilLen {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, ErrTruncated
+	}
+	return new(big.Int).SetBytes(b), nil
+}
+
+func putVector(w *bytes.Buffer, vs []*big.Int) error {
+	if len(vs) >= nilLen {
+		return fmt.Errorf("wire: vector too long (%d)", len(vs))
+	}
+	if err := binary.Write(w, binary.BigEndian, uint16(len(vs))); err != nil {
+		return err
+	}
+	for _, v := range vs {
+		if err := putBig(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func getVector(r *bytes.Reader) ([]*big.Int, error) {
+	var n uint16
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, ErrTruncated
+	}
+	if int(n) > r.Len() { // each element needs at least 2 bytes
+		return nil, ErrTruncated
+	}
+	out := make([]*big.Int, n)
+	for i := range out {
+		v, err := getBig(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EncodeMessage serializes a protocol message.
+func EncodeMessage(m transport.Message) ([]byte, error) {
+	var w bytes.Buffer
+	for _, v := range []int32{int32(m.From), int32(m.To)} {
+		if err := binary.Write(&w, binary.BigEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.WriteByte(uint8(m.Kind)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&w, binary.BigEndian, int32(m.Task)); err != nil {
+		return nil, err
+	}
+	switch p := m.Payload.(type) {
+	case nil:
+		w.WriteByte(tNone)
+	case dmw.SharePayload:
+		w.WriteByte(tShare)
+		for _, v := range []*big.Int{p.Share.E, p.Share.F, p.Share.G, p.Share.H} {
+			if err := putBig(&w, v); err != nil {
+				return nil, err
+			}
+		}
+	case dmw.CommitmentsPayload:
+		w.WriteByte(tCommitments)
+		if p.C == nil {
+			return nil, errors.New("wire: nil commitments payload")
+		}
+		sigma := p.C.Sigma()
+		if err := binary.Write(&w, binary.BigEndian, uint16(sigma)); err != nil {
+			return nil, err
+		}
+		for _, vec := range [][]*big.Int{p.C.O, p.C.Q, p.C.R} {
+			if len(vec) != sigma {
+				return nil, errors.New("wire: ragged commitment vectors")
+			}
+			for _, v := range vec {
+				if err := putBig(&w, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case dmw.LambdaPsiPayload:
+		w.WriteByte(tLambdaPsi)
+		if err := putBig(&w, p.Lambda); err != nil {
+			return nil, err
+		}
+		if err := putBig(&w, p.Psi); err != nil {
+			return nil, err
+		}
+	case dmw.DisclosurePayload:
+		w.WriteByte(tDisclosure)
+		if err := putVector(&w, p.F); err != nil {
+			return nil, err
+		}
+	case dmw.SecondPricePayload:
+		w.WriteByte(tSecondPrice)
+		if err := putBig(&w, p.Lambda); err != nil {
+			return nil, err
+		}
+		if err := putBig(&w, p.Psi); err != nil {
+			return nil, err
+		}
+	case dmw.PaymentClaimPayload:
+		w.WriteByte(tPaymentClaim)
+		if len(p.Payments) >= nilLen {
+			return nil, errors.New("wire: claim vector too long")
+		}
+		if err := binary.Write(&w, binary.BigEndian, uint16(len(p.Payments))); err != nil {
+			return nil, err
+		}
+		for _, v := range p.Payments {
+			if err := binary.Write(&w, binary.BigEndian, v); err != nil {
+				return nil, err
+			}
+		}
+	case dmw.AbortPayload:
+		w.WriteByte(tAbort)
+		if len(p.Reason) >= nilLen {
+			return nil, errors.New("wire: abort reason too long")
+		}
+		if err := binary.Write(&w, binary.BigEndian, uint16(len(p.Reason))); err != nil {
+			return nil, err
+		}
+		w.WriteString(p.Reason)
+	default:
+		return nil, fmt.Errorf("wire: unsupported payload type %T", m.Payload)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeMessage parses a message produced by EncodeMessage.
+func DecodeMessage(b []byte) (transport.Message, error) {
+	var m transport.Message
+	r := bytes.NewReader(b)
+	var from, to, task int32
+	var kind uint8
+	if err := binary.Read(r, binary.BigEndian, &from); err != nil {
+		return m, ErrTruncated
+	}
+	if err := binary.Read(r, binary.BigEndian, &to); err != nil {
+		return m, ErrTruncated
+	}
+	var err error
+	if kind, err = r.ReadByte(); err != nil {
+		return m, ErrTruncated
+	}
+	if err := binary.Read(r, binary.BigEndian, &task); err != nil {
+		return m, ErrTruncated
+	}
+	m.From, m.To, m.Kind, m.Task = int(from), int(to), transport.Kind(kind), int(task)
+
+	ptype, err := r.ReadByte()
+	if err != nil {
+		return m, ErrTruncated
+	}
+	switch ptype {
+	case tNone:
+		m.Payload = nil
+	case tShare:
+		var s bidcode.Share
+		for _, dst := range []**big.Int{&s.E, &s.F, &s.G, &s.H} {
+			v, err := getBig(r)
+			if err != nil {
+				return m, err
+			}
+			*dst = v
+		}
+		m.Payload = dmw.SharePayload{Share: s}
+	case tCommitments:
+		var sigma uint16
+		if err := binary.Read(r, binary.BigEndian, &sigma); err != nil {
+			return m, ErrTruncated
+		}
+		if int(sigma)*3*2 > r.Len() {
+			return m, ErrTruncated
+		}
+		c := &commit.Commitments{
+			O: make([]*big.Int, sigma),
+			Q: make([]*big.Int, sigma),
+			R: make([]*big.Int, sigma),
+		}
+		for _, vec := range [][]*big.Int{c.O, c.Q, c.R} {
+			for i := range vec {
+				v, err := getBig(r)
+				if err != nil {
+					return m, err
+				}
+				vec[i] = v
+			}
+		}
+		m.Payload = dmw.CommitmentsPayload{C: c}
+	case tLambdaPsi:
+		lambda, err := getBig(r)
+		if err != nil {
+			return m, err
+		}
+		psi, err := getBig(r)
+		if err != nil {
+			return m, err
+		}
+		m.Payload = dmw.LambdaPsiPayload{Lambda: lambda, Psi: psi}
+	case tDisclosure:
+		f, err := getVector(r)
+		if err != nil {
+			return m, err
+		}
+		m.Payload = dmw.DisclosurePayload{F: f}
+	case tSecondPrice:
+		lambda, err := getBig(r)
+		if err != nil {
+			return m, err
+		}
+		psi, err := getBig(r)
+		if err != nil {
+			return m, err
+		}
+		m.Payload = dmw.SecondPricePayload{Lambda: lambda, Psi: psi}
+	case tPaymentClaim:
+		var n uint16
+		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+			return m, ErrTruncated
+		}
+		if int(n)*8 > r.Len() {
+			return m, ErrTruncated
+		}
+		ps := make([]int64, n)
+		for i := range ps {
+			if err := binary.Read(r, binary.BigEndian, &ps[i]); err != nil {
+				return m, ErrTruncated
+			}
+		}
+		m.Payload = dmw.PaymentClaimPayload{Payments: ps}
+	case tAbort:
+		var n uint16
+		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+			return m, ErrTruncated
+		}
+		if int(n) > r.Len() {
+			return m, ErrTruncated
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(r, s); err != nil {
+			return m, ErrTruncated
+		}
+		m.Payload = dmw.AbortPayload{Reason: string(s)}
+	default:
+		return m, fmt.Errorf("wire: unknown payload type %d", ptype)
+	}
+	if r.Len() != 0 {
+		return m, fmt.Errorf("wire: %d trailing bytes", r.Len())
+	}
+	return m, nil
+}

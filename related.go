@@ -1,0 +1,65 @@
+package dmw
+
+import (
+	"math/rand"
+
+	"dmw/internal/mechanism"
+	"dmw/internal/oneparam"
+	"dmw/internal/sched"
+)
+
+// Related-machines (one-parameter) mechanism surface — the paper's
+// Section 5 future work — plus the Nisan-Ronen randomized two-machine
+// baseline from the related work. See internal/oneparam and
+// internal/mechanism for the underlying theory.
+
+type (
+	// RelatedProblem is a related-machines instance: task sizes and
+	// per-unit costs (inverse speeds).
+	RelatedProblem = oneparam.Problem
+	// RelatedAllocation is an allocation rule for related machines.
+	RelatedAllocation = oneparam.Allocation
+	// FastestMachine is the monotone (truthfully implementable)
+	// min-cost allocation rule.
+	FastestMachine = oneparam.FastestMachine
+	// OptMakespanRule is the exact makespan optimum — NOT monotone, so
+	// not implementable (use CheckMonotone to find witnesses).
+	OptMakespanRule = oneparam.OptMakespan
+	// LPTGreedyRule is longest-processing-time list scheduling.
+	LPTGreedyRule = oneparam.LPTGreedy
+	// MonotoneViolation is a non-monotonicity witness.
+	MonotoneViolation = oneparam.MonotoneViolation
+	// TwoMachineBiased is the Nisan-Ronen randomized two-machine
+	// mechanism (universally truthful, 7/4-approximate in expectation).
+	TwoMachineBiased = mechanism.TwoMachineBiased
+)
+
+// MyersonPayments computes the unique truthful payments for a monotone
+// related-machines allocation rule over a discrete bid space.
+func MyersonPayments(rule RelatedAllocation, sizes, bids, space []int64) ([]int64, *Schedule, error) {
+	return oneparam.MyersonPayments(rule, sizes, bids, space)
+}
+
+// CheckMonotone searches for an Archer-Tardos monotonicity violation for
+// one agent of a related-machines allocation rule.
+func CheckMonotone(rule RelatedAllocation, sizes, bids []int64, agent int, space []int64) (*MonotoneViolation, error) {
+	return oneparam.CheckMonotone(rule, sizes, bids, agent, space)
+}
+
+// CheckRelatedTruthful exhaustively verifies that no single-agent
+// misreport within the bid space improves utility under Myerson payments.
+func CheckRelatedTruthful(rule RelatedAllocation, p *RelatedProblem, space []int64) (int64, []int64, error) {
+	return oneparam.CheckTruthful(rule, p, space)
+}
+
+// UniformInstance draws an unrelated-machines instance with times in
+// [lo, hi], for use with MinWork and TwoMachineBiased.
+func UniformInstance(seed int64, n, m int, lo, hi int64) *Instance {
+	return sched.Uniform(rand.New(rand.NewSource(seed)), n, m, lo, hi)
+}
+
+// OptimalMakespan computes the exact optimum by branch and bound (small
+// instances only).
+func OptimalMakespan(in *Instance) (*Schedule, int64, error) {
+	return sched.OptimalMakespan(in)
+}

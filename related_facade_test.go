@@ -1,0 +1,57 @@
+package dmw
+
+import "testing"
+
+func TestUniformInstanceFacade(t *testing.T) {
+	in := UniformInstance(3, 4, 5, 1, 9)
+	if in.Agents() != 4 || in.Tasks() != 5 {
+		t.Fatalf("shape (%d,%d)", in.Agents(), in.Tasks())
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	again := UniformInstance(3, 4, 5, 1, 9)
+	for i := range in.Time {
+		for j := range in.Time[i] {
+			if in.Time[i][j] != again.Time[i][j] {
+				t.Fatal("UniformInstance not deterministic per seed")
+			}
+		}
+	}
+}
+
+func TestOptimalMakespanFacade(t *testing.T) {
+	in := UniformInstance(7, 3, 4, 1, 8)
+	s, span, err := OptimalMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan(in) != span || !s.Complete() {
+		t.Errorf("inconsistent optimal schedule")
+	}
+}
+
+func TestCheckMonotoneFacade(t *testing.T) {
+	v, err := CheckMonotone(FastestMachine{}, []int64{3, 2}, []int64{1, 2}, 0, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("FastestMachine flagged non-monotone: %v", v)
+	}
+}
+
+func TestTwoMachineBiasedFacade(t *testing.T) {
+	in := UniformInstance(11, 2, 3, 1, 6)
+	num, den, err := (TwoMachineBiased{}).ExpectedMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := OptimalMakespan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(num) / float64(den) / float64(opt); ratio > 1.75+1e-9 {
+		t.Errorf("expected ratio %.3f > 7/4", ratio)
+	}
+}
