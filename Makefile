@@ -1,0 +1,32 @@
+# Development targets; CI runs build + vet + test-race (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-server bench bench-server ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# The tier the dmwd acceptance criteria name explicitly.
+test-server:
+	$(GO) test -race ./internal/server ./internal/dmw
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+bench-server:
+	$(GO) test -run xxx -bench BenchmarkServerThroughput .
+
+ci: build vet test-race

@@ -1,0 +1,131 @@
+// Command dmwd is the long-running Distributed MinWork auction service:
+// an HTTP/JSON daemon that executes many mechanism runs against shared
+// precomputed group parameters, with a bounded admission queue, a worker
+// pool, TTL-evicted results, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	dmwd [-addr :7700] [-preset Demo128 | -params file.json]
+//	     [-queue 64] [-workers n] [-auction-parallel k]
+//	     [-ttl 15m] [-max-n 64] [-max-m 64] [-q]
+//
+// Quickstart:
+//
+//	dmwd &
+//	curl -s localhost:7700/v1/jobs -d '{"random":{"agents":6,"tasks":3},"seed":42}'
+//	curl -s localhost:7700/v1/jobs/<id>?wait=10s
+//	curl -s localhost:7700/metrics
+//
+// See docs/SERVER.md for the full API and semantics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmw"
+	"dmw/internal/group"
+	"dmw/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmwd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":7700", "HTTP listen address")
+		preset   = flag.String("preset", dmw.PresetDemo128, "group parameter preset")
+		pfile    = flag.String("params", "", "JSON parameter file (overrides -preset; see dmwparams)")
+		queue    = flag.Int("queue", 64, "admission queue depth (backpressure bound)")
+		workers  = flag.Int("workers", 2, "job-level worker pool size")
+		auctPar  = flag.Int("auction-parallel", 0, "per-job auction parallelism cap (0 = GOMAXPROCS/workers)")
+		ttl      = flag.Duration("ttl", 15*time.Minute, "result retention before eviction")
+		maxN     = flag.Int("max-n", 64, "maximum agents per job (0 = unlimited)")
+		maxM     = flag.Int("max-m", 64, "maximum tasks per job (0 = unlimited)")
+		drainFor = flag.Duration("drain-timeout", time.Minute, "maximum time to wait for in-flight jobs on shutdown")
+		quiet    = flag.Bool("q", false, "suppress lifecycle logs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dmwd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	cfg := server.Config{
+		Preset:             *preset,
+		QueueDepth:         *queue,
+		Workers:            *workers,
+		AuctionParallelism: *auctPar,
+		ResultTTL:          *ttl,
+		Limits:             server.Limits{MaxAgents: *maxN, MaxTasks: *maxM},
+		Logf:               logf,
+	}
+	if *pfile != "" {
+		params, err := group.ResolveParams(*pfile, "", func(path string) (io.ReadCloser, error) {
+			return os.Open(path)
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Params = params
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logf("listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logf("received %s: draining (max %s)", sig, *drainFor)
+	}
+
+	// Drain: stop admitting (503), finish queued and in-flight jobs,
+	// then stop serving. The HTTP server stays up through the drain so
+	// clients can still poll results of accepted jobs.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logf("drain incomplete: %v", err)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	logf("bye")
+	return nil
+}

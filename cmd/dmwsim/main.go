@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	dmwsim [-n agents] [-m tasks] [-w maxbid] [-c faults] [-preset name] [-seed s] [-v]
+//	dmwsim [-n agents] [-m tasks] [-w maxbid] [-c faults] [-preset name]
+//	       [-seed s] [-parallel k] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dmw"
 	"dmw/internal/audit"
@@ -31,6 +33,7 @@ func run() error {
 		c          = flag.Int("c", 1, "maximum number of faulty agents")
 		preset     = flag.String("preset", dmw.PresetDemo128, "group parameter preset")
 		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 0, "max concurrently running auctions (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "print per-round protocol logs")
 		transcript = flag.String("transcript", "", "write a verifiable transcript envelope (JSON) to this file")
 	)
@@ -47,6 +50,17 @@ func run() error {
 	}
 	game.CountOps = true
 	game.Record = *transcript != ""
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	game.Parallelism = *parallel
+	effectiveParallel := *parallel
+	if effectiveParallel <= 0 {
+		effectiveParallel = runtime.GOMAXPROCS(0)
+	}
+	if effectiveParallel > *m {
+		effectiveParallel = *m // never more workers than auctions
+	}
 
 	fmt.Printf("Distributed MinWork: n=%d agents, m=%d tasks, W=%v, c=%d, preset=%s\n\n",
 		*n, *m, w, *c, *preset)
@@ -116,6 +130,8 @@ func run() error {
 	}
 
 	if *verbose {
+		fmt.Printf("\nauction parallelism: %d (of %d auctions; -parallel %d)\n",
+			effectiveParallel, *m, *parallel)
 		fmt.Println("\nprotocol round logs (agent 1's view):")
 		for j, log := range res.RoundLogs {
 			fmt.Printf("  auction %d:\n", j+1)

@@ -105,13 +105,22 @@ func GenerateGroupParams(pBits, qBits int) (*GroupParams, error) {
 
 // NewGame assembles a RunConfig for the common case: a named preset, a
 // bid set W with fault bound c, and the agents' true (discretized) values.
+// The preset's parameters and fixed-base tables come from the package
+// memo (group.ParamsFor / group.SharedFor), so repeated games against the
+// same preset skip revalidation and table construction; treat
+// RunConfig.Params as read-only.
 func NewGame(preset string, w []int, c int, trueBids [][]int, seed int64) (RunConfig, error) {
-	params, err := group.Preset(preset)
+	params, err := group.ParamsFor(preset)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	shared, err := group.SharedFor(preset)
 	if err != nil {
 		return RunConfig{}, err
 	}
 	cfg := RunConfig{
 		Params:   params,
+		Group:    shared,
 		Bid:      bidcode.Config{W: w, C: c, N: len(trueBids)},
 		TrueBids: trueBids,
 		Seed:     seed,

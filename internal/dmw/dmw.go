@@ -45,6 +45,14 @@ import (
 type RunConfig struct {
 	// Params are the published cryptographic parameters (Phase I).
 	Params *group.Params
+	// Group, when non-nil, supplies a pre-built group for Params whose
+	// fixed-base tables and validation are reused across runs: a
+	// long-running service (cmd/dmwd) amortizes the expensive
+	// ProbablyPrime checks and table construction over many jobs.
+	// It must have been built from parameters equal to Params
+	// (group.SharedFor pairs with group.ParamsFor); Validate enforces
+	// the match. When nil, Run builds a fresh group.
+	Group *group.Group
 	// Bid is the published bid-encoding configuration: W, c, n.
 	Bid bidcode.Config
 	// TrueBids[i][j] is agent i's true (already discretized) value for
@@ -89,7 +97,14 @@ func (c *RunConfig) Validate() error {
 	if c.Params == nil {
 		return errors.New("dmw: nil group parameters")
 	}
-	if err := c.Params.Validate(); err != nil {
+	if c.Group != nil {
+		// A pre-built group was validated at construction; only check it
+		// actually matches the published parameters, skipping the
+		// expensive primality re-checks on the hot path.
+		if !c.Group.Params().Equal(c.Params) {
+			return errors.New("dmw: Group was built from different parameters than Params")
+		}
+	} else if err := c.Params.Validate(); err != nil {
 		return err
 	}
 	if err := c.Bid.Validate(); err != nil {
@@ -161,9 +176,13 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 	n, m := cfg.Bid.N, cfg.Tasks()
-	g, err := group.New(cfg.Params)
-	if err != nil {
-		return nil, err
+	g := cfg.Group
+	if g == nil {
+		var err error
+		g, err = group.New(cfg.Params)
+		if err != nil {
+			return nil, err
+		}
 	}
 	f := g.Scalars()
 	alphas, err := bidcode.Pseudonyms(f, n)

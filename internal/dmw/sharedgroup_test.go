@@ -1,0 +1,77 @@
+package dmw
+
+import (
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/group"
+)
+
+// TestRunWithSharedGroup checks that supplying a pre-built Group (the
+// amortization hook used by the dmwd service) changes nothing about the
+// outcome: schedule, prices, payments, and stats must match a fresh run
+// with the same seed.
+func TestRunWithSharedGroup(t *testing.T) {
+	bids := [][]int{
+		{1, 3}, {2, 1}, {3, 2}, {3, 3}, {2, 2},
+	}
+	base := RunConfig{
+		Params:   group.MustPreset(group.PresetTest64),
+		Bid:      bidcode.Config{W: []int{1, 2, 3}, C: 1, N: 5},
+		TrueBids: bids,
+		Seed:     7,
+	}
+	fresh, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := base
+	shared.Params, err = group.ParamsFor(group.PresetTest64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.Group, err = group.SharedFor(group.PresetTest64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for j := range fresh.Auctions {
+		f, g := fresh.Auctions[j], got.Auctions[j]
+		if f.Winner != g.Winner || f.FirstPrice != g.FirstPrice || f.SecondPrice != g.SecondPrice || f.Aborted != g.Aborted {
+			t.Errorf("auction %d diverged with shared group: fresh %+v, shared %+v", j, f, g)
+		}
+	}
+	for i := range fresh.Settlement.Issued {
+		if fresh.Settlement.Issued[i] != got.Settlement.Issued[i] {
+			t.Errorf("payment %d diverged: fresh %d, shared %d", i, fresh.Settlement.Issued[i], got.Settlement.Issued[i])
+		}
+	}
+	if fresh.Stats.Messages() != got.Stats.Messages() || fresh.Stats.Bytes() != got.Stats.Bytes() {
+		t.Errorf("stats diverged: fresh (%d msgs, %d B), shared (%d msgs, %d B)",
+			fresh.Stats.Messages(), fresh.Stats.Bytes(), got.Stats.Messages(), got.Stats.Bytes())
+	}
+}
+
+// TestRunRejectsMismatchedGroup checks Validate catches a Group built
+// from different parameters than the published ones.
+func TestRunRejectsMismatchedGroup(t *testing.T) {
+	cfg := RunConfig{
+		Params:   group.MustPreset(group.PresetTest64),
+		Bid:      bidcode.Config{W: []int{1, 2}, C: 0, N: 3},
+		TrueBids: [][]int{{1}, {2}, {1}},
+		Seed:     1,
+	}
+	var err error
+	cfg.Group, err = group.SharedFor(group.PresetDemo128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("want validation error for mismatched Group/Params")
+	}
+}

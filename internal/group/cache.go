@@ -1,0 +1,96 @@
+package group
+
+import "sync"
+
+// This file implements the package-level preset cache used by the
+// long-running paths (cmd/dmwd, dmw.NewGame, benchmarks). Preset
+// validation runs ProbablyPrime on up-to-512-bit moduli and New builds
+// the two fixed-base exponentiation tables, so a resident service that
+// executes many jobs against the same published parameters should pay
+// both costs exactly once.
+//
+// Preset (presets.go) deliberately keeps its return-a-fresh-copy
+// semantics: callers (including tests) are allowed to mutate what it
+// returns. ParamsFor and SharedFor instead hand out SHARED instances
+// that callers must treat as read-only; every Group and Params method
+// already never mutates its receiver's parameters, so the shared
+// instances are safe for unbounded concurrent use.
+
+var (
+	cacheMu     sync.Mutex
+	paramsCache map[string]*Params
+	groupCache  map[string]*Group
+)
+
+// ParamsFor returns the named preset's parameters from a package-level
+// memo, validating them only on first use. The returned value is shared:
+// callers must not mutate it. Use Preset for a private mutable copy.
+func ParamsFor(preset string) (*Params, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if pr, ok := paramsCache[preset]; ok {
+		return pr, nil
+	}
+	pr, err := Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	if paramsCache == nil {
+		paramsCache = make(map[string]*Params)
+	}
+	paramsCache[preset] = pr
+	return pr, nil
+}
+
+// SharedFor returns a memoized Group for the named preset, with the
+// fixed-base tables built exactly once per process. The returned Group
+// is shared and safe for concurrent use (WithCounter views alias the
+// same tables); callers must not mutate its parameters.
+func SharedFor(preset string) (*Group, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := groupCache[preset]; ok {
+		return g, nil
+	}
+	pr, ok := paramsCache[preset]
+	if !ok {
+		var err error
+		pr, err = Preset(preset)
+		if err != nil {
+			return nil, err
+		}
+		if paramsCache == nil {
+			paramsCache = make(map[string]*Params)
+		}
+		paramsCache[preset] = pr
+	}
+	// New revalidates; the parameters came straight from Preset (already
+	// validated), so build the group directly around the field/tables.
+	g, err := New(pr)
+	if err != nil {
+		return nil, err
+	}
+	if groupCache == nil {
+		groupCache = make(map[string]*Group)
+	}
+	groupCache[preset] = g
+	return g, nil
+}
+
+// MustSharedFor is like SharedFor but panics on error; preset constants
+// are compile-time fixtures so failure indicates a corrupted build.
+func MustSharedFor(preset string) *Group {
+	g, err := SharedFor(preset)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// resetCache clears the memo; only tests use it.
+func resetCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	paramsCache = nil
+	groupCache = nil
+}

@@ -1,0 +1,100 @@
+package group
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestParamsForMemoizes(t *testing.T) {
+	resetCache()
+	defer resetCache()
+
+	a, err := ParamsFor(PresetTest64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParamsFor(PresetTest64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("ParamsFor returned distinct instances for the same preset")
+	}
+	fresh := MustPreset(PresetTest64)
+	if a == fresh {
+		t.Error("Preset must keep returning fresh copies, not the cached instance")
+	}
+	if a.P.Cmp(fresh.P) != 0 || a.Q.Cmp(fresh.Q) != 0 {
+		t.Error("cached parameters disagree with Preset")
+	}
+}
+
+func TestParamsForUnknownPreset(t *testing.T) {
+	resetCache()
+	defer resetCache()
+	if _, err := ParamsFor("NoSuchPreset"); err == nil {
+		t.Fatal("want error for unknown preset")
+	}
+}
+
+func TestSharedForMemoizesAndAliasesParams(t *testing.T) {
+	resetCache()
+	defer resetCache()
+
+	g1, err := SharedFor(PresetTest64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := SharedFor(PresetTest64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("SharedFor returned distinct groups for the same preset")
+	}
+	pr, err := ParamsFor(PresetTest64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Params() != pr {
+		t.Error("SharedFor group and ParamsFor should share one Params instance")
+	}
+	// The shared group must compute like a fresh one.
+	fg := MustNew(MustPreset(PresetTest64))
+	e := fg.Scalars().FromInt64(12345)
+	if g1.Pow1(e).Cmp(fg.Pow1(e)) != 0 || g1.Pow2(e).Cmp(fg.Pow2(e)) != 0 {
+		t.Error("shared group disagrees with a fresh group")
+	}
+}
+
+func TestSharedForConcurrent(t *testing.T) {
+	resetCache()
+	defer resetCache()
+
+	const goroutines = 16
+	groups := make([]*Group, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := SharedFor(PresetTest64)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Exercise the shared tables concurrently.
+			e := g.Scalars().FromInt64(int64(1000 + i))
+			if g.Commit(e, e).Sign() == 0 {
+				t.Error("zero commitment")
+			}
+			groups[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if groups[i] != groups[0] {
+			t.Fatalf("goroutine %d saw a different group instance", i)
+		}
+	}
+}

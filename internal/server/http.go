@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"dmw/internal/audit"
+)
+
+// maxBodyBytes bounds POST bodies; a 64x64 bid matrix is ~20 KB of
+// JSON, so 1 MiB leaves ample headroom.
+const maxBodyBytes = 1 << 20
+
+// maxWait caps the ?wait long-poll on GET /v1/jobs/{id}.
+const maxWait = 30 * time.Second
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs                 submit a job (bid matrix or random spec)
+//	GET  /v1/jobs/{id}            job status/result (optional ?wait=5s)
+//	GET  /v1/jobs/{id}/transcript verifiable transcript envelope (audit)
+//	GET  /healthz                 liveness + drain state
+//	GET  /metrics                 plain-text counters and histograms
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/transcript", s.handleTranscript)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the uniform JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.View())
+	case errors.Is(err, ErrInvalidSpec):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		// Backpressure: the job record exists (state rejected) so the
+		// client sees a consistent view, but the submission was refused.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, job.View())
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid wait duration"})
+			return
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		job.WaitDone(d)
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
+		return
+	}
+	if !job.State().Terminal() {
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished; poll GET /v1/jobs/{id} first"})
+		return
+	}
+	tr := job.Transcript()
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no transcript captured; submit the job with \"record\": true"})
+		return
+	}
+	// The envelope matches dmwaudit's on-disk format: pipe it straight
+	// to a file and verify offline.
+	w.Header().Set("Content-Type", "application/json")
+	if err := audit.Save(w, s.params, tr); err != nil {
+		// Headers are already out; best effort.
+		s.cfg.Logf("job %s: writing transcript: %v", job.ID, err)
+	}
+}
+
+// healthView is the GET /healthz body.
+type healthView struct {
+	Status     string  `json:"status"` // "ok" | "draining"
+	UptimeSecs float64 `json:"uptime_seconds"`
+	QueueDepth int     `json:"queue_depth"`
+	Workers    int     `json:"workers"`
+	LiveJobs   int     `json:"live_jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, start := s.draining, s.startTime
+	s.mu.Unlock()
+	hv := healthView{
+		Status:     "ok",
+		QueueDepth: len(s.queue),
+		Workers:    s.cfg.Workers,
+		LiveJobs:   s.store.len(),
+	}
+	if !start.IsZero() {
+		hv.UptimeSecs = time.Since(start).Seconds()
+	}
+	status := http.StatusOK
+	if draining {
+		hv.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, hv)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dmw/internal/bidcode"
+	protocol "dmw/internal/dmw"
+)
+
+// JobState is a job's position in its lifecycle:
+//
+//	queued -> running -> done | failed
+//
+// plus the terminal admission state rejected (queue full, draining).
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateRejected JobState = "rejected"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateRejected
+}
+
+// RandomSpec asks the server to draw the true-value matrix uniformly
+// from W using the job seed, exactly like dmw.RandomBids.
+type RandomSpec struct {
+	// Agents is n, the number of machines.
+	Agents int `json:"agents"`
+	// Tasks is m, the number of tasks (independent Vickrey auctions).
+	Tasks int `json:"tasks"`
+}
+
+// JobSpec is the client-supplied description of one mechanism execution.
+// Exactly one of Bids and Random must be set.
+type JobSpec struct {
+	// Bids is the explicit true-value matrix (agent x task); every entry
+	// must lie in W.
+	Bids [][]int `json:"bids,omitempty"`
+	// Random requests a random workload instead of explicit bids.
+	Random *RandomSpec `json:"random,omitempty"`
+	// W is the published bid set. Empty defaults to {1..4}.
+	W []int `json:"w,omitempty"`
+	// C is the published fault bound (default 0).
+	C int `json:"c"`
+	// Seed makes the job reproducible: the same spec and seed yield the
+	// same outcome as a direct dmw.Run.
+	Seed int64 `json:"seed"`
+	// Parallelism optionally lowers this job's auction-level concurrency
+	// below the server cap; 0 means "use the server cap".
+	Parallelism int `json:"parallelism,omitempty"`
+	// Record captures a verifiable transcript, retrievable from
+	// GET /v1/jobs/{id}/transcript.
+	Record bool `json:"record,omitempty"`
+	// CountOps attaches per-agent group-operation counters to the result.
+	CountOps bool `json:"count_ops,omitempty"`
+}
+
+// ErrInvalidSpec wraps every admission-time validation failure, so the
+// HTTP layer can map it to 400 rather than 503.
+var ErrInvalidSpec = errors.New("server: invalid job spec")
+
+func invalidSpecf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidSpec, fmt.Sprintf(format, args...))
+}
+
+// materialize validates the spec against the server limits and returns
+// the concrete bid matrix.
+func (sp *JobSpec) materialize(limits Limits) ([][]int, error) {
+	if len(sp.W) == 0 {
+		sp.W = []int{1, 2, 3, 4}
+	}
+	// Normalize W: bidcode requires a strictly ascending set, so sort
+	// and deduplicate what the client sent.
+	sp.W = normalizeW(sp.W)
+	inW := make(map[int]bool, len(sp.W))
+	for _, v := range sp.W {
+		if v <= 0 {
+			return nil, invalidSpecf("bid set W must be positive, got %d", v)
+		}
+		inW[v] = true
+	}
+	if sp.C < 0 {
+		return nil, invalidSpecf("fault bound c = %d negative", sp.C)
+	}
+	if sp.Parallelism < 0 {
+		return nil, invalidSpecf("parallelism = %d negative", sp.Parallelism)
+	}
+
+	var bids [][]int
+	switch {
+	case sp.Bids != nil && sp.Random != nil:
+		return nil, invalidSpecf("bids and random are mutually exclusive")
+	case sp.Random != nil:
+		n, m := sp.Random.Agents, sp.Random.Tasks
+		if n < 2 || m < 1 {
+			return nil, invalidSpecf("random workload needs agents >= 2 and tasks >= 1, got n=%d m=%d", n, m)
+		}
+		bids = randomBids(n, m, sp.W, sp.Seed)
+	case len(sp.Bids) > 0:
+		bids = sp.Bids
+	default:
+		return nil, invalidSpecf("one of bids or random is required")
+	}
+
+	n := len(bids)
+	if n < 2 {
+		return nil, invalidSpecf("need at least 2 agents, got %d", n)
+	}
+	m := len(bids[0])
+	if m < 1 {
+		return nil, invalidSpecf("need at least 1 task")
+	}
+	if limits.MaxAgents > 0 && n > limits.MaxAgents {
+		return nil, invalidSpecf("%d agents exceeds server limit %d", n, limits.MaxAgents)
+	}
+	if limits.MaxTasks > 0 && m > limits.MaxTasks {
+		return nil, invalidSpecf("%d tasks exceeds server limit %d", m, limits.MaxTasks)
+	}
+	for i, row := range bids {
+		if len(row) != m {
+			return nil, invalidSpecf("ragged bid matrix at row %d", i)
+		}
+		for j, v := range row {
+			if !inW[v] {
+				return nil, invalidSpecf("bids[%d][%d] = %d not in W %v", i, j, v, sp.W)
+			}
+		}
+	}
+	// Check the paper's notation constraints (w_k < n-c+1, c < n, enough
+	// evaluation points) now, so clients get a 400 instead of a job that
+	// fails at run time.
+	if err := (bidcode.Config{W: sp.W, C: sp.C, N: n}).Validate(); err != nil {
+		return nil, invalidSpecf("%v", err)
+	}
+	return bids, nil
+}
+
+// normalizeW sorts the bid set ascending and removes duplicates.
+func normalizeW(w []int) []int {
+	out := append([]int(nil), w...)
+	sort.Ints(out)
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// randomBids mirrors dmw.RandomBids so a random-workload job is
+// reproducible by the public API with the same (n, m, w, seed).
+func randomBids(n, m int, w []int, seed int64) [][]int {
+	rng := mrand.New(mrand.NewSource(seed))
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, m)
+		for j := range out[i] {
+			out[i][j] = w[rng.Intn(len(w))]
+		}
+	}
+	return out
+}
+
+// JobResult is the outcome of a completed job, shaped for JSON clients.
+type JobResult struct {
+	// Schedule[j] is the agent assigned task j, or -1 when the auction
+	// aborted or the winner's payment was disputed.
+	Schedule []int `json:"schedule"`
+	// Payments[i] is the total payment issued to agent i.
+	Payments []int64 `json:"payments"`
+	// FirstPrice[j] / SecondPrice[j] are task j's auction prices
+	// (the winner pays the second price, Vickrey).
+	FirstPrice  []int64 `json:"first_price"`
+	SecondPrice []int64 `json:"second_price"`
+	// Utilities[i] is agent i's realized quasilinear utility.
+	Utilities []int64 `json:"utilities"`
+	// AbortedTasks lists auctions that reached no decision.
+	AbortedTasks []int `json:"aborted_tasks,omitempty"`
+	// MatchesCentralized reports whether the distributed outcome equals
+	// the centralized MinWork reference on the same matrix.
+	MatchesCentralized bool `json:"matches_centralized"`
+	// Messages / WireBytes / Rounds aggregate communication cost.
+	Messages  int64 `json:"messages"`
+	WireBytes int64 `json:"wire_bytes"`
+	Rounds    int64 `json:"rounds"`
+	// GroupExp / GroupMul are total group operations over all agents
+	// (present when the spec set count_ops).
+	GroupExp uint64 `json:"group_exp,omitempty"`
+	GroupMul uint64 `json:"group_mul,omitempty"`
+}
+
+// Job is one tracked mechanism execution. All mutable fields are guarded
+// by mu; the spec and bid matrix are immutable after admission.
+type Job struct {
+	// ID is the server-assigned opaque identifier.
+	ID string
+	// Spec is the normalized client spec.
+	Spec JobSpec
+
+	bids [][]int
+
+	mu         sync.Mutex
+	state      JobState
+	errMsg     string
+	result     *JobResult
+	transcript *protocol.Transcript
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	expires    time.Time
+	done       chan struct{}
+}
+
+func newJob(spec JobSpec, bids [][]int, now time.Time) (*Job, error) {
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		bids:      bids,
+		state:     StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// newJobID draws 8 random bytes; collision within a TTL window is
+// negligible (2^-32 at ~10^5 live jobs).
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: drawing job id: %w", err)
+	}
+	return "job-" + hex.EncodeToString(b[:]), nil
+}
+
+// Agents and Tasks report the job dimensions.
+func (j *Job) Agents() int { return len(j.bids) }
+func (j *Job) Tasks() int {
+	if len(j.bids) == 0 {
+		return 0
+	}
+	return len(j.bids[0])
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// WaitDone blocks until the job is terminal or the timeout elapses; it
+// reports whether the job finished.
+func (j *Job) WaitDone(timeout time.Duration) bool {
+	if timeout <= 0 {
+		select {
+		case <-j.done:
+			return true
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-j.done:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// Result returns the completed outcome, or nil before completion.
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Transcript returns the captured transcript (nil unless the spec set
+// record and the job completed).
+func (j *Job) Transcript() *protocol.Transcript {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.transcript
+}
+
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = now
+}
+
+func (j *Job) finish(state JobState, res *JobResult, tr *protocol.Transcript, errMsg string, now time.Time, ttl time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.transcript = tr
+	j.errMsg = errMsg
+	j.finished = now
+	j.expires = now.Add(ttl)
+	close(j.done)
+}
+
+func (j *Job) reject(reason string, now time.Time, ttl time.Duration) {
+	j.finish(StateRejected, nil, nil, reason, now, ttl)
+}
+
+// expired reports whether the job is terminal and past its retention.
+func (j *Job) expired(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && now.After(j.expires)
+}
+
+// JobView is the JSON snapshot served by GET /v1/jobs/{id}.
+type JobView struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Error  string   `json:"error,omitempty"`
+	Agents int      `json:"agents"`
+	Tasks  int      `json:"tasks"`
+	Seed   int64    `json:"seed"`
+
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// QueueWaitMS and RunMS decompose the job latency.
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	RunMS       float64 `json:"run_ms,omitempty"`
+
+	Result        *JobResult `json:"result,omitempty"`
+	HasTranscript bool       `json:"has_transcript"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:            j.ID,
+		State:         j.state,
+		Error:         j.errMsg,
+		Agents:        len(j.bids),
+		Seed:          j.Spec.Seed,
+		SubmittedAt:   j.submitted.UTC().Format(time.RFC3339Nano),
+		Result:        j.result,
+		HasTranscript: j.transcript != nil,
+	}
+	if len(j.bids) > 0 {
+		v.Tasks = len(j.bids[0])
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+		v.QueueWaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			v.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	return v
+}
+
+// buildResult converts a protocol result into the wire shape.
+func buildResult(res *protocol.Result, matches bool) *JobResult {
+	out := &JobResult{
+		Schedule:           res.Outcome.Schedule.Agent,
+		Payments:           res.Outcome.Payments,
+		FirstPrice:         res.Outcome.FirstPrice,
+		SecondPrice:        res.Outcome.SecondPrice,
+		Utilities:          res.Utilities,
+		MatchesCentralized: matches,
+		Messages:           res.Stats.Messages(),
+		WireBytes:          res.Stats.Bytes(),
+		Rounds:             res.Stats.Rounds(),
+	}
+	for _, a := range res.Auctions {
+		if a.Aborted {
+			out.AbortedTasks = append(out.AbortedTasks, a.Task)
+		}
+	}
+	if res.AgentOps != nil {
+		for _, c := range res.AgentOps {
+			out.GroupExp += c.Exp()
+			out.GroupMul += c.Mul()
+		}
+	}
+	return out
+}

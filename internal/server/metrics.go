@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the per-job
+// latency histogram; the final implicit bucket is +Inf.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// metrics holds the process-lifetime counters exported by GET /metrics.
+// All fields are atomics: the worker pool and the HTTP handlers touch
+// them concurrently.
+type metrics struct {
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	// auctions counts individual task auctions across completed jobs
+	// ("total auctions run").
+	auctions atomic.Int64
+
+	latBuckets [len(latencyBucketsMS) + 1]atomic.Int64
+	latCount   atomic.Int64
+	latSumUS   atomic.Int64 // microseconds, to keep the sum integral
+}
+
+// observe records one completed/failed job's end-to-end latency.
+func (m *metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for ; i < len(latencyBucketsMS); i++ {
+		if ms <= latencyBucketsMS[i] {
+			break
+		}
+	}
+	m.latBuckets[i].Add(1)
+	m.latCount.Add(1)
+	m.latSumUS.Add(int64(d / time.Microsecond))
+}
+
+// snapshotGauges are the point-in-time values the server contributes to
+// the exposition alongside the monotonic counters.
+type snapshotGauges struct {
+	queueDepth int
+	workers    int
+	draining   bool
+	liveJobs   int
+	uptime     time.Duration
+}
+
+// writeTo renders the plain-text exposition (Prometheus-compatible
+// counter/gauge/histogram syntax, but consumable with grep and awk).
+func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# dmwd plain-text metrics; counters are monotonic since process start\n")
+	p("dmwd_jobs_accepted_total %d\n", m.accepted.Load())
+	p("dmwd_jobs_rejected_total %d\n", m.rejected.Load())
+	p("dmwd_jobs_completed_total %d\n", m.completed.Load())
+	p("dmwd_jobs_failed_total %d\n", m.failed.Load())
+	p("dmwd_auctions_run_total %d\n", m.auctions.Load())
+	p("dmwd_queue_depth %d\n", g.queueDepth)
+	p("dmwd_workers %d\n", g.workers)
+	if g.draining {
+		p("dmwd_draining 1\n")
+	} else {
+		p("dmwd_draining 0\n")
+	}
+	p("dmwd_jobs_live %d\n", g.liveJobs)
+	p("dmwd_uptime_seconds %.3f\n", g.uptime.Seconds())
+
+	var cum int64
+	for i, ub := range latencyBucketsMS {
+		cum += m.latBuckets[i].Load()
+		p("dmwd_job_latency_ms_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latBuckets[len(latencyBucketsMS)].Load()
+	p("dmwd_job_latency_ms_bucket{le=\"+Inf\"} %d\n", cum)
+	p("dmwd_job_latency_ms_sum %.3f\n", float64(m.latSumUS.Load())/1000.0)
+	p("dmwd_job_latency_ms_count %d\n", m.latCount.Load())
+}

@@ -1,0 +1,373 @@
+// Package server is the resident auction service behind cmd/dmwd: a
+// bounded admission queue with backpressure, a worker pool that executes
+// jobs via the distributed protocol (internal/dmw) against SHARED
+// precomputed group parameters and fixed-base tables, an in-memory
+// result store with TTL eviction, and a plain-text metrics surface.
+//
+// The paper frames MinWork as "a set of parallel and independent Vickrey
+// auctions"; a single dmw.Run already parallelizes the m auctions of one
+// job. This package adds the second level — many jobs in flight — and
+// makes the two levels compose: with W workers the per-job auction
+// parallelism defaults to GOMAXPROCS/W, so a saturated server never
+// oversubscribes the machine.
+//
+// Lifecycle: New -> Start -> (Submit | Get)* -> Shutdown. Shutdown
+// drains: queued and in-flight jobs finish, new submissions are
+// rejected, and no accepted job is ever dropped.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"dmw/internal/bidcode"
+	protocol "dmw/internal/dmw"
+	"dmw/internal/group"
+	"dmw/internal/mechanism"
+	"dmw/internal/sched"
+)
+
+// Admission errors. Both map to HTTP 503 (backpressure): the client
+// should retry later, against this replica or another.
+var (
+	// ErrQueueFull signals the bounded queue rejected the job.
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrDraining signals the server is shutting down.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Limits bound admissible job sizes.
+type Limits struct {
+	// MaxAgents / MaxTasks cap n and m per job; 0 means unlimited.
+	MaxAgents int
+	MaxTasks  int
+}
+
+// Config tunes a Server. The zero value is usable: Demo128 preset, a
+// 64-deep queue, 2 workers, 15-minute result retention.
+type Config struct {
+	// Preset names the published group parameters (default Demo128).
+	// Ignored when Params is set.
+	Preset string
+	// Params optionally supplies explicit parameters (e.g. loaded from a
+	// dmwparams file) instead of a preset.
+	Params *group.Params
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// Workers is the job-level concurrency (default 2).
+	Workers int
+	// AuctionParallelism caps auction-level concurrency inside each job;
+	// 0 defaults to max(1, GOMAXPROCS/Workers) so the two levels compose
+	// without oversubscription.
+	AuctionParallelism int
+	// ResultTTL is how long terminal jobs stay queryable (default 15m).
+	ResultTTL time.Duration
+	// Limits bound admissible job sizes (default 64 agents, 64 tasks).
+	Limits Limits
+	// Logf receives lifecycle logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Preset == "" {
+		c.Preset = group.PresetDemo128
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.AuctionParallelism <= 0 {
+		c.AuctionParallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.AuctionParallelism < 1 {
+			c.AuctionParallelism = 1
+		}
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	if c.Limits.MaxAgents == 0 {
+		c.Limits.MaxAgents = 64
+	}
+	if c.Limits.MaxTasks == 0 {
+		c.Limits.MaxTasks = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the resident auction service.
+type Server struct {
+	cfg    Config
+	params *group.Params
+	grp    *group.Group
+
+	queue   chan *Job
+	store   *store
+	metrics *metrics
+
+	mu       sync.Mutex // guards draining and the queue-close handshake
+	draining bool
+	started  bool
+
+	workersWG  sync.WaitGroup
+	janitorWG  sync.WaitGroup
+	stopSweeps chan struct{}
+
+	startTime time.Time
+}
+
+// New builds a Server, resolving and validating the group parameters
+// once: preset-backed servers share the package-level table cache
+// (group.SharedFor), explicit parameters get a private group.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	var (
+		params *group.Params
+		grp    *group.Group
+		err    error
+	)
+	if cfg.Params != nil {
+		params = cfg.Params
+		grp, err = group.New(params)
+	} else {
+		params, err = group.ParamsFor(cfg.Preset)
+		if err == nil {
+			grp, err = group.SharedFor(cfg.Preset)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: resolving group parameters: %w", err)
+	}
+	return &Server{
+		cfg:        cfg,
+		params:     params,
+		grp:        grp,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		store:      newStore(),
+		metrics:    &metrics{},
+		stopSweeps: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the worker pool and the TTL janitor. It is idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.startTime = time.Now()
+	s.mu.Unlock()
+
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.workersWG.Add(1)
+		go func(w int) {
+			defer s.workersWG.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}(w)
+	}
+
+	interval := s.cfg.ResultTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	s.janitorWG.Add(1)
+	go func() {
+		defer s.janitorWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				if n := s.store.sweep(now); n > 0 {
+					s.cfg.Logf("janitor: evicted %d expired jobs", n)
+				}
+			case <-s.stopSweeps:
+				return
+			}
+		}
+	}()
+	s.cfg.Logf("server started: preset=%s workers=%d queue=%d auction-parallelism=%d ttl=%s",
+		s.cfg.Preset, s.cfg.Workers, s.cfg.QueueDepth, s.cfg.AuctionParallelism, s.cfg.ResultTTL)
+}
+
+// Submit validates and admits a job. On success the returned job is
+// queued. When admission fails with ErrQueueFull or ErrDraining the
+// job record is still created (state rejected) and queryable, so the
+// caller learns an ID either way; spec errors return (nil, error)
+// wrapping ErrInvalidSpec.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	bids, err := spec.materialize(s.cfg.Limits)
+	if err != nil {
+		s.metrics.rejected.Add(1)
+		return nil, err
+	}
+	now := time.Now()
+	job, err := newJob(spec, bids, now)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
+		s.store.put(job)
+		s.metrics.rejected.Add(1)
+		return job, ErrDraining
+	}
+	select {
+	case s.queue <- job:
+		s.mu.Unlock()
+		s.store.put(job)
+		s.metrics.accepted.Add(1)
+		return job, nil
+	default:
+		s.mu.Unlock()
+		job.reject(ErrQueueFull.Error(), now, s.cfg.ResultTTL)
+		s.store.put(job)
+		s.metrics.rejected.Add(1)
+		return job, ErrQueueFull
+	}
+}
+
+// Get looks a job up by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	return s.store.get(id, time.Now())
+}
+
+// QueueDepth reports the number of queued (not yet running) jobs.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Params returns the published parameters (shared; do not mutate).
+func (s *Server) Params() *group.Params { return s.params }
+
+// WriteMetrics renders the plain-text metrics exposition.
+func (s *Server) WriteMetrics(w io.Writer) {
+	s.mu.Lock()
+	draining, start := s.draining, s.startTime
+	s.mu.Unlock()
+	var uptime time.Duration
+	if !start.IsZero() {
+		uptime = time.Since(start)
+	}
+	s.metrics.writeTo(w, snapshotGauges{
+		queueDepth: len(s.queue),
+		workers:    s.cfg.Workers,
+		draining:   draining,
+		liveJobs:   s.store.len(),
+		uptime:     uptime,
+	})
+}
+
+// Shutdown drains the server: no new jobs are admitted, queued and
+// in-flight jobs run to completion, then the workers and janitor exit.
+// It returns ctx.Err() if the context expires first (jobs still finish
+// in the background; they are never dropped). Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // safe: every send is guarded by mu + draining
+		select {
+		case <-s.stopSweeps:
+		default:
+			close(s.stopSweeps)
+		}
+		s.cfg.Logf("shutdown: draining %d queued jobs", len(s.queue))
+	}
+	started := s.started
+	s.mu.Unlock()
+
+	if !started {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workersWG.Wait()
+		s.janitorWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cfg.Logf("shutdown: drained")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runJob executes one job on a worker.
+func (s *Server) runJob(job *Job) {
+	job.setRunning(time.Now())
+
+	par := s.cfg.AuctionParallelism
+	if job.Spec.Parallelism > 0 && job.Spec.Parallelism < par {
+		par = job.Spec.Parallelism
+	}
+	cfg := protocol.RunConfig{
+		Params:      s.params,
+		Group:       s.grp,
+		Bid:         bidcode.Config{W: job.Spec.W, C: job.Spec.C, N: job.Agents()},
+		TrueBids:    job.bids,
+		Seed:        job.Spec.Seed,
+		Parallelism: par,
+		CountOps:    job.Spec.CountOps,
+		Record:      job.Spec.Record,
+	}
+	res, err := protocol.Run(cfg)
+	now := time.Now()
+	if err != nil {
+		job.finish(StateFailed, nil, nil, err.Error(), now, s.cfg.ResultTTL)
+		s.metrics.failed.Add(1)
+		s.metrics.observe(now.Sub(job.submitted))
+		s.cfg.Logf("job %s failed: %v", job.ID, err)
+		return
+	}
+	matches := matchesCentralized(res, job.bids)
+	job.finish(StateDone, buildResult(res, matches), res.Transcript, "", now, s.cfg.ResultTTL)
+	s.metrics.completed.Add(1)
+	s.metrics.auctions.Add(int64(job.Tasks()))
+	s.metrics.observe(now.Sub(job.submitted))
+}
+
+// matchesCentralized compares the distributed outcome with the
+// centralized MinWork reference on the same matrix (Figure 1's
+// equivalence check, applied per job).
+func matchesCentralized(res *protocol.Result, bids [][]int) bool {
+	in := sched.NewInstance(len(bids), len(bids[0]))
+	for i, row := range bids {
+		for j, v := range row {
+			in.Time[i][j] = int64(v)
+		}
+	}
+	ref, err := (mechanism.MinWork{}).Run(in)
+	if err != nil {
+		return false
+	}
+	for j, a := range res.Auctions {
+		if a.Aborted || a.Winner != ref.Schedule.Agent[j] {
+			return false
+		}
+	}
+	return true
+}

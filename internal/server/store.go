@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// store is the in-memory job index. Terminal jobs are retained for the
+// configured TTL so clients can poll results, then evicted by the
+// janitor (and opportunistically on lookup, so a stopped janitor —
+// e.g. in tests — still converges).
+type store struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*Job)}
+}
+
+func (s *store) put(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j
+}
+
+func (s *store) get(id string, now time.Time) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if j.expired(now) {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, false
+	}
+	return j, true
+}
+
+// len counts live (unexpired) jobs without evicting.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// sweep evicts every expired job and returns how many were removed.
+func (s *store) sweep(now time.Time) int {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+
+	removed := 0
+	for _, id := range ids {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if j.expired(now) { // takes j.mu; never held together with s.mu
+			s.mu.Lock()
+			delete(s.jobs, id)
+			s.mu.Unlock()
+			removed++
+		}
+	}
+	return removed
+}
