@@ -1,9 +1,15 @@
-# Development targets; CI runs build + vet + test-race (see
-# .github/workflows/ci.yml).
+# Development targets; CI runs build + vet + test-race + bench-smoke
+# (see .github/workflows/ci.yml).
 
 GO ?= go
+# BENCH_OUT is the archived benchmark document `make bench` emits; bump
+# the suffix when re-baselining after a performance PR.
+BENCH_OUT ?= BENCH_2.json
+# BENCHTIME trades precision for runtime; 0.2s is enough for the
+# crypto-level series to stabilize on an idle machine.
+BENCHTIME ?= 0.2s
 
-.PHONY: all build vet test test-race test-server bench bench-server ci
+.PHONY: all build vet test test-race test-server bench bench-smoke bench-server ci
 
 all: build vet test
 
@@ -23,10 +29,22 @@ test-race:
 test-server:
 	$(GO) test -race ./internal/server ./internal/dmw
 
+# bench runs the cryptographic inner-loop benchmarks (group, commit) and
+# the end-to-end suites (root package: Table 1 + server throughput) and
+# archives the parsed results as $(BENCH_OUT). Names are verbatim from
+# the testing package, so the file is benchstat-compatible: compare two
+# baselines with `benchstat <(jq ...) <(jq ...)` or just diff the JSON.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
+		./internal/group ./internal/commit . | ./bin/benchjson -out $(BENCH_OUT)
+
+# bench-smoke compiles and runs every benchmark exactly once so the
+# benchmark code cannot bit-rot; CI runs this on every push.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/...
 
 bench-server:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput .
 
-ci: build vet test-race
+ci: build vet test-race bench-smoke

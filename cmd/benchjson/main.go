@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// document, so benchmark runs can be archived, diffed, and fed to
+// dashboards without re-parsing the textual format. Benchmark names are
+// kept verbatim (benchstat-compatible), so the JSON and the raw text
+// identify the same series.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/group | benchjson -out BENCH.json
+//	go test -bench . ./... | benchjson            # JSON to stdout
+//
+// The tool is a filter: it reads stdin, passes non-benchmark lines
+// through to stderr (so failures stay visible), and writes one JSON
+// object with environment metadata and a sorted result array.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix, exactly as printed by the testing
+	// package (benchstat groups on this).
+	Name string `json:"name"`
+	// Package is the import path printed by `go test` for the enclosing
+	// "pkg:" block, when present.
+	Package string `json:"package,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Extra metrics: B/op, allocs/op, MB/s, and custom ReportMetric
+	// units, keyed by their printed unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Output is the document benchjson emits.
+type Output struct {
+	// GeneratedAt is the RFC 3339 time of the conversion.
+	GeneratedAt string `json:"generated_at"`
+	// GoVersion / GOOS / GOARCH / NumCPU describe the machine, matching
+	// what the benchmark text header reports.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Results are the parsed lines, sorted by name for stable diffs.
+	Results []Result `json:"results"`
+}
+
+// benchLine matches "BenchmarkFoo/sub-8   123   456.7 ns/op   [extras]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Output{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			// Pass everything else through so compile errors and FAIL
+			// lines are not swallowed by the filter.
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		r := Result{Name: m[1], Package: pkg, Iterations: iters}
+		if parseMetrics(m[3], &r) {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	sort.Slice(doc.Results, func(i, j int) bool {
+		if doc.Results[i].Package != doc.Results[j].Package {
+			return doc.Results[i].Package < doc.Results[j].Package
+		}
+		return doc.Results[i].Name < doc.Results[j].Name
+	})
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parseMetrics reads the "<value> <unit>" pairs following the iteration
+// count. It reports false when the line carries no ns/op (some custom
+// benchmarks report only ReportMetric units; those are kept too, so the
+// only false case is a line with no parsable pairs at all).
+func parseMetrics(s string, r *Result) bool {
+	fields := strings.Fields(s)
+	any := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return any
+		}
+		unit := fields[i+1]
+		any = true
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Extra == nil {
+			r.Extra = make(map[string]float64)
+		}
+		r.Extra[unit] = v
+	}
+	return any
+}

@@ -1,0 +1,77 @@
+package main
+
+import "testing"
+
+func TestBenchLineParsing(t *testing.T) {
+	tests := []struct {
+		line    string
+		name    string
+		iters   int64
+		nsPerOp float64
+		extra   map[string]float64
+	}{
+		{
+			line:    "BenchmarkMontMul/test-64/mont-8   \t85447654\t        13.14 ns/op",
+			name:    "BenchmarkMontMul/test-64/mont-8",
+			iters:   85447654,
+			nsPerOp: 13.14,
+		},
+		{
+			line:    "BenchmarkBatchVerifyShares/sim-256/batched-8 \t 868\t   1388261 ns/op\t  524288 B/op\t    3021 allocs/op",
+			name:    "BenchmarkBatchVerifyShares/sim-256/batched-8",
+			iters:   868,
+			nsPerOp: 1388261,
+			extra:   map[string]float64{"B/op": 524288, "allocs/op": 3021},
+		},
+		{
+			line:    "BenchmarkServerThroughput-8\t      10\t 110000000 ns/op\t        12.50 jobs/s",
+			name:    "BenchmarkServerThroughput-8",
+			iters:   10,
+			nsPerOp: 110000000,
+			extra:   map[string]float64{"jobs/s": 12.50},
+		},
+	}
+	for _, tc := range tests {
+		m := benchLine.FindStringSubmatch(tc.line)
+		if m == nil {
+			t.Errorf("line not recognized: %q", tc.line)
+			continue
+		}
+		if m[1] != tc.name {
+			t.Errorf("name = %q, want %q", m[1], tc.name)
+		}
+		var r Result
+		if !parseMetrics(m[3], &r) {
+			t.Errorf("no metrics parsed from %q", tc.line)
+			continue
+		}
+		if r.NsPerOp != tc.nsPerOp {
+			t.Errorf("%s: ns/op = %v, want %v", tc.name, r.NsPerOp, tc.nsPerOp)
+		}
+		for unit, want := range tc.extra {
+			if got := r.Extra[unit]; got != want {
+				t.Errorf("%s: %s = %v, want %v", tc.name, unit, got, want)
+			}
+		}
+	}
+}
+
+func TestNonBenchLinesRejected(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: dmw/internal/group",
+		"PASS",
+		"ok  \tdmw/internal/group\t12.3s",
+		"--- FAIL: TestSomething",
+		"BenchmarkBroken but not a real line",
+	} {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r Result
+		if parseMetrics(m[3], &r) {
+			t.Errorf("line incorrectly parsed as benchmark: %q", line)
+		}
+	}
+}

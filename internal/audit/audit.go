@@ -91,6 +91,22 @@ func Verify(params *group.Params, tr *protocol.Transcript) (*Report, error) {
 	for i, a := range alphas {
 		powers[i] = commit.PowersOf(f, a, sigma)
 	}
+	// Hoist the Lagrange-at-zero coefficient vectors out of the per-task
+	// resolutions, mirroring the engine's own precomputation: each vector
+	// depends only on the pseudonym prefix, and resolution runs twice per
+	// audited auction. Candidates needing more nodes than agents keep a
+	// nil entry; resolveExponent reports those itself.
+	cands := tr.Bid.DegreeCandidates()
+	rhos := make([][]*big.Int, len(cands))
+	for i, d := range cands {
+		if need := d + 1; need <= len(alphas) {
+			rho, err := f.LagrangeAtZero(alphas[:need])
+			if err != nil {
+				return nil, fmt.Errorf("audit: precomputing resolution coefficients for degree %d: %w", d, err)
+			}
+			rhos[i] = rho
+		}
+	}
 
 	rep := &Report{PaymentsOK: true}
 	derived := make([]*protocol.AuctionOutcome, len(tr.Auctions))
@@ -98,7 +114,7 @@ func Verify(params *group.Params, tr *protocol.Transcript) (*Report, error) {
 		if at.Claimed.Aborted {
 			continue
 		}
-		out := verifyAuction(rep, g, f, tr.Bid, alphas, powers, at)
+		out := verifyAuction(rep, g, f, tr.Bid, alphas, powers, rhos, at)
 		derived[at.Task] = out
 		if out != nil && *out != at.Claimed {
 			rep.addf(at.Task, -1, "claimed outcome %+v differs from derived %+v", at.Claimed, *out)
@@ -136,7 +152,7 @@ func Verify(params *group.Params, tr *protocol.Transcript) (*Report, error) {
 // published record is too inconsistent to derive an outcome (findings are
 // recorded).
 func verifyAuction(rep *Report, g *group.Group, f *field.Field, cfg bidcode.Config,
-	alphas []*big.Int, powers [][]*big.Int, at *protocol.AuctionTranscript) *protocol.AuctionOutcome {
+	alphas []*big.Int, powers, rhos [][]*big.Int, at *protocol.AuctionTranscript) *protocol.AuctionOutcome {
 
 	n := cfg.N
 	task := at.Task
@@ -155,19 +171,27 @@ func verifyAuction(rep *Report, g *group.Group, f *field.Field, cfg bidcode.Conf
 			return nil
 		}
 	}
+	// The Gamma_{k,l} evaluations are consumed by BOTH eq-(11) passes
+	// (the Lambda/Psi pairs here and the winner-excluded pairs below), so
+	// cache them across the passes exactly as the engine's agents do.
+	gammas, err := commit.NewGammaTable(g, at.Commitments, powers)
+	if err != nil {
+		rep.addf(task, -1, "building gamma cache: %v", err)
+		return nil
+	}
 	// Equation (11) for every published pair.
 	for k := 0; k < n; k++ {
 		if at.Lambda[k] == nil || at.Psi[k] == nil {
 			rep.addf(task, k, "missing Lambda/Psi")
 			return nil
 		}
-		if err := commit.VerifyLambdaPsi(g, at.Commitments, powers[k], at.Lambda[k], at.Psi[k], -1); err != nil {
+		if err := gammas.VerifyLambdaPsi(k, at.Lambda[k], at.Psi[k], -1); err != nil {
 			rep.addf(task, k, "Lambda/Psi fails eq (11): %v", err)
 			return nil
 		}
 	}
 	// First-price resolution (equation (12)).
-	firstDeg, err := resolveExponent(g, f, cfg, alphas, at.Lambda)
+	firstDeg, err := resolveExponent(g, f, cfg, alphas, rhos, at.Lambda)
 	if err != nil {
 		rep.addf(task, -1, "first-price resolution: %v", err)
 		return nil
@@ -227,12 +251,12 @@ func verifyAuction(rep *Report, g *group.Group, f *field.Field, cfg bidcode.Conf
 			rep.addf(task, k, "missing winner-excluded pair")
 			return nil
 		}
-		if err := commit.VerifyLambdaPsi(g, at.Commitments, powers[k], at.BarLambda[k], at.BarPsi[k], winner); err != nil {
+		if err := gammas.VerifyLambdaPsi(k, at.BarLambda[k], at.BarPsi[k], winner); err != nil {
 			rep.addf(task, k, "winner-excluded pair fails eq (11): %v", err)
 			return nil
 		}
 	}
-	secondDeg, err := resolveExponent(g, f, cfg, alphas, at.BarLambda)
+	secondDeg, err := resolveExponent(g, f, cfg, alphas, rhos, at.BarLambda)
 	if err != nil {
 		rep.addf(task, -1, "second-price resolution: %v", err)
 		return nil
@@ -246,23 +270,34 @@ func verifyAuction(rep *Report, g *group.Group, f *field.Field, cfg bidcode.Conf
 }
 
 // resolveExponent mirrors the engine's distributed degree resolution over
-// published z1^{E(alpha_k)} values.
-func resolveExponent(g *group.Group, f *field.Field, cfg bidcode.Config, alphas, lambdas []*big.Int) (int, error) {
-	for _, d := range cfg.DegreeCandidates() {
+// published z1^{E(alpha_k)} values: one (d+1)-term multi-exponentiation
+// per candidate over the hoisted rho vectors (nil entries fall back to
+// recomputing the vector, for callers without the precomputation).
+func resolveExponent(g *group.Group, f *field.Field, cfg bidcode.Config, alphas []*big.Int, rhos [][]*big.Int, lambdas []*big.Int) (int, error) {
+	for ci, d := range cfg.DegreeCandidates() {
 		need := d + 1
 		if need > len(alphas) {
 			return 0, poly.ErrDegreeUnresolved
 		}
-		rho, err := f.LagrangeAtZero(alphas[:need])
-		if err != nil {
-			return 0, err
+		var rho []*big.Int
+		if ci < len(rhos) {
+			rho = rhos[ci]
 		}
-		prod := g.One()
+		if rho == nil {
+			var err error
+			rho, err = f.LagrangeAtZero(alphas[:need])
+			if err != nil {
+				return 0, err
+			}
+		}
 		for k := 0; k < need; k++ {
 			if lambdas[k] == nil {
 				return 0, poly.ErrDegreeUnresolved
 			}
-			prod = g.Mul(prod, g.Exp(lambdas[k], rho[k]))
+		}
+		prod, err := g.MultiExp(lambdas[:need], rho[:need])
+		if err != nil {
+			return 0, err
 		}
 		if g.IsOne(prod) {
 			return d, nil

@@ -136,14 +136,17 @@ func PowersOf(f *field.Field, alpha *big.Int, sigma int) []*big.Int {
 }
 
 // evalVector computes prod_l vec[l-1]^{alphaPowers[l-1]} mod p, i.e. the
-// commitment vector "evaluated" at the pseudonym.
+// commitment vector "evaluated" at the pseudonym. It is a single
+// sigma-term multi-exponentiation: one shared squaring chain instead of
+// sigma independent square-and-multiply passes (see
+// internal/group/multiexp.go and docs/PERFORMANCE.md).
 func evalVector(g *group.Group, vec, alphaPowers []*big.Int) (*big.Int, error) {
 	if len(vec) != len(alphaPowers) {
 		return nil, fmt.Errorf("commit: vector length %d != powers length %d", len(vec), len(alphaPowers))
 	}
-	acc := g.One()
-	for l := range vec {
-		acc = g.Mul(acc, g.Exp(vec[l], alphaPowers[l]))
+	acc, err := g.MultiExp(vec, alphaPowers)
+	if err != nil {
+		return nil, fmt.Errorf("commit: %w", err)
 	}
 	return acc, nil
 }
@@ -223,16 +226,25 @@ func VerifyLambdaPsi(g *group.Group, all []*Commitments, alphaPowers []*big.Int,
 	if lambda == nil || psi == nil {
 		return errors.New("commit: nil lambda or psi")
 	}
-	prod := g.One()
+	// prod_k Gamma_{i,k} = prod_k prod_l Q_{k,l}^{alpha^l}: one flattened
+	// (n * sigma)-term multi-exponentiation instead of n independent
+	// sigma-term evaluations — the squaring chain is shared across all
+	// agents' commitment vectors.
+	bases := make([]*big.Int, 0, len(all)*len(alphaPowers))
+	exps := make([]*big.Int, 0, len(all)*len(alphaPowers))
 	for k, c := range all {
 		if k == exclude {
 			continue
 		}
-		gamma, err := c.Gamma(g, alphaPowers)
-		if err != nil {
-			return err
+		if len(c.Q) != len(alphaPowers) {
+			return fmt.Errorf("commit: vector length %d != powers length %d", len(c.Q), len(alphaPowers))
 		}
-		prod = g.Mul(prod, gamma)
+		bases = append(bases, c.Q...)
+		exps = append(exps, alphaPowers...)
+	}
+	prod, err := g.MultiExp(bases, exps)
+	if err != nil {
+		return fmt.Errorf("commit: %w", err)
 	}
 	if !g.Equal(prod, g.Mul(lambda, psi)) {
 		return ErrLambdaPsiCheck
@@ -264,13 +276,20 @@ func VerifyDisclosure(g *group.Group, all []*Commitments, alphaPowers []*big.Int
 		sum = f.Add(sum, s)
 	}
 	lhs := g.Mul(g.Pow1(sum), psi)
-	prod := g.One()
+	// prod_l Phi_{k,l} = prod_l prod_m R_{l,m}^{alpha^m}: flattened into a
+	// single multi-exponentiation, as in VerifyLambdaPsi.
+	bases := make([]*big.Int, 0, len(all)*len(alphaPowers))
+	exps := make([]*big.Int, 0, len(all)*len(alphaPowers))
 	for _, c := range all {
-		phi, err := c.Phi(g, alphaPowers)
-		if err != nil {
-			return err
+		if len(c.R) != len(alphaPowers) {
+			return fmt.Errorf("commit: vector length %d != powers length %d", len(c.R), len(alphaPowers))
 		}
-		prod = g.Mul(prod, phi)
+		bases = append(bases, c.R...)
+		exps = append(exps, alphaPowers...)
+	}
+	prod, err := g.MultiExp(bases, exps)
+	if err != nil {
+		return fmt.Errorf("commit: %w", err)
 	}
 	if !g.Equal(lhs, prod) {
 		return ErrDisclosureCheck

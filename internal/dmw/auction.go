@@ -1,6 +1,7 @@
 package dmw
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -45,6 +46,13 @@ type auctionEnv struct {
 	alphas []*big.Int
 	// powers[k] = [alpha_k^1 .. alpha_k^sigma], precomputed once.
 	powers [][]*big.Int
+	// rhos[i] holds the Lagrange-at-zero coefficient vector for candidate
+	// degree DegreeCandidates()[i] over the first d+1 pseudonyms,
+	// precomputed once per run (see precomputeRhos); entries for
+	// candidates needing more nodes than agents stay nil. resolveDegree
+	// consumed one LagrangeAtZero inversion chain per candidate per task
+	// before the hoist.
+	rhos [][]*big.Int
 	// echo enables the digest-exchange hardening of echo.go.
 	echo bool
 }
@@ -343,30 +351,60 @@ func (a *agentRun) firstReason(fallback string) string {
 // verifySharesAndCommitments performs step III.1 (equations (7)-(9)).
 // Missing data always aborts (the agent cannot proceed without it);
 // validity failures abort unless the strategy skips verification.
+//
+// The cryptographic checks run through commit.BatchVerifyShares: one
+// random-linear-combination identity over all senders at once, falling
+// back to per-sender checks only when the batch rejects — so the happy
+// path costs a single multi-exponentiation while abort reasons still
+// name the guilty agent with the same message the sequential scan
+// produced.
 func (a *agentRun) verifySharesAndCommitments() {
 	env := a.env
+	items := make([]commit.BatchItem, 0, env.n-1)
+	structuralAbort := ""
 	for k := 0; k < env.n; k++ {
 		if k == a.me {
 			continue
 		}
 		if a.comms[k] == nil {
-			a.abortReason = fmt.Sprintf("missing commitments from agent %d", k)
-			return
+			structuralAbort = fmt.Sprintf("missing commitments from agent %d", k)
+			break
 		}
 		if a.shares[k] == nil {
-			a.abortReason = fmt.Sprintf("missing share from agent %d", k)
-			return
+			structuralAbort = fmt.Sprintf("missing share from agent %d", k)
+			break
 		}
 		if err := a.comms[k].Validate(); err != nil || a.comms[k].Sigma() != env.cfg.Sigma() {
-			a.abortReason = fmt.Sprintf("malformed commitments from agent %d", k)
-			return
+			structuralAbort = fmt.Sprintf("malformed commitments from agent %d", k)
+			break
 		}
 		if a.hooks.SkipVerification {
 			continue
 		}
-		if err := a.comms[k].VerifyShare(a.g, env.powers[a.me], *a.shares[k]); err != nil {
-			a.abortReason = fmt.Sprintf("share from agent %d inconsistent: %v", k, err)
-			return
+		items = append(items, commit.BatchItem{Sender: k, C: a.comms[k], S: *a.shares[k]})
+	}
+	if structuralAbort != "" {
+		// Preserve the sequential scan's first-failure order: a share
+		// inconsistency at an agent BEFORE the structural failure would
+		// have aborted first, so check the already-collected items.
+		for _, it := range items {
+			if err := it.C.VerifyShare(a.g, env.powers[a.me], it.S); err != nil {
+				a.abortReason = fmt.Sprintf("share from agent %d inconsistent: %v", it.Sender, err)
+				return
+			}
+		}
+		a.abortReason = structuralAbort
+		return
+	}
+	if len(items) == 0 {
+		return
+	}
+	if err := commit.BatchVerifyShares(a.g, env.powers[a.me], items, a.rng); err != nil {
+		var verr *commit.VerifyError
+		if errors.As(err, &verr) {
+			a.abortReason = fmt.Sprintf("share from agent %d inconsistent: %v", verr.Sender, verr.Err)
+		} else {
+			a.abortReason = fmt.Sprintf("share verification failed: %v", err)
 		}
 	}
 }
@@ -425,33 +463,51 @@ func (a *agentRun) verifyLambdaPsi() string {
 // over the published Lambda values (or the winner-excluded values in the
 // second-price step when exclude >= 0): for each candidate degree d in
 // ascending order it checks prod_{k=1}^{d+1} Lambda_k^{rho_k} = 1 using
-// the first d+1 pseudonyms. exclude only removes the agent's e-share from
-// the sums, not its node (every agent still publishes a pair).
+// the first d+1 pseudonyms, as one (d+1)-term multi-exponentiation over
+// the precomputed rho vectors of the environment.
+//
+// Winner-exclusion contract: exclude identifies the winner whose e-share
+// was removed from the SUMS inside the published bar-Lambda values by
+// their publishers (equation (15)). It does NOT remove the winner's NODE
+// from the resolution — every agent, the winner included, still
+// publishes a pair, and the first d+1 pseudonyms are used regardless of
+// which agent won. The parameter exists to pin that contract at the call
+// sites (and for symmetric audit replay); the arithmetic here is
+// identical for both passes. TestResolveDegreeSecondPriceSemantics
+// pins this behavior.
 func (a *agentRun) resolveDegree(lambdas []*big.Int, exclude int) (int, error) {
 	env := a.env
-	for _, d := range env.cfg.DegreeCandidates() {
+	for ci, d := range env.cfg.DegreeCandidates() {
 		need := d + 1
 		if need > env.n {
 			return 0, fmt.Errorf("candidate degree %d needs %d nodes, have %d agents: %w",
 				d, need, env.n, poly.ErrDegreeUnresolved)
 		}
-		nodes := env.alphas[:need]
-		rho, err := a.f.LagrangeAtZero(nodes)
-		if err != nil {
-			return 0, err
+		var rho []*big.Int
+		if ci < len(env.rhos) {
+			rho = env.rhos[ci]
 		}
-		prod := a.g.One()
+		if rho == nil {
+			// Environments built without precomputation (defensive).
+			var err error
+			rho, err = a.f.LagrangeAtZero(env.alphas[:need])
+			if err != nil {
+				return 0, err
+			}
+		}
 		for k := 0; k < need; k++ {
 			if lambdas[k] == nil {
 				return 0, fmt.Errorf("missing resolution input from agent %d: %w", k, poly.ErrDegreeUnresolved)
 			}
-			prod = a.g.Mul(prod, a.g.Exp(lambdas[k], rho[k]))
+		}
+		prod, err := a.g.MultiExp(lambdas[:need], rho[:need])
+		if err != nil {
+			return 0, err
 		}
 		if a.g.IsOne(prod) {
 			return d, nil
 		}
 	}
-	_ = exclude
 	return 0, poly.ErrDegreeUnresolved
 }
 

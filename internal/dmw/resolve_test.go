@@ -1,0 +1,205 @@
+package dmw
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/group"
+	"dmw/internal/strategy"
+)
+
+// resolveFixture builds a minimal agentRun (no transport) whose
+// environment carries precomputed powers and rho vectors, exactly as Run
+// and RunAgentSession construct it.
+func resolveFixture(t *testing.T, cfg bidcode.Config) *agentRun {
+	t.Helper()
+	g, err := group.New(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Scalars()
+	alphas, err := bidcode.Pseudonyms(f, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhos, err := precomputeRhos(g, cfg, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &auctionEnv{
+		task:   0,
+		n:      cfg.N,
+		cfg:    cfg,
+		alphas: alphas,
+		powers: precomputePowers(g, alphas, cfg.Sigma()),
+		rhos:   rhos,
+	}
+	return &agentRun{env: env, me: 0, g: g, f: f}
+}
+
+// TestResolveDegreeSecondPriceSemantics pins the winner-exclusion
+// contract of resolveDegree (referenced by its doc comment): the
+// `exclude` parameter marks the winner whose e-shares were removed from
+// the SUMS inside the published bar-Lambda values (equation (15)), NOT a
+// node removed from the resolution. Every agent — the winner included —
+// still publishes a bar-Lambda over its own pseudonym, and the first d+1
+// pseudonyms are consumed in order regardless of who won. The resolved
+// degree of the winner-less sum is sigma - y**, so the second price is
+// the lowest bid among the non-winners.
+func TestResolveDegreeSecondPriceSemantics(t *testing.T) {
+	cfg := bidcode.Config{W: []int{1, 2, 3, 4}, C: 1, N: 6}
+	a := resolveFixture(t, cfg)
+	g, f, env := a.g, a.f, a.env
+	sigma := cfg.Sigma()
+
+	bids := []int{2, 1, 4, 3, 2, 4} // winner: agent 1 (y* = 1); second price y** = 2
+	const winner = 1
+	rng := rand.New(rand.NewSource(99))
+	encs := make([]*bidcode.EncodedBid, cfg.N)
+	for i, y := range bids {
+		enc, err := bidcode.Encode(cfg, y, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs[i] = enc
+	}
+
+	// lambda[k] = z1^{sum_l e_l(alpha_k)} over the given sender set: the
+	// consensus value of the published (bar-)Lambda at pseudonym k after
+	// homomorphic aggregation, for ALL k including the winner's own node.
+	lambdasOver := func(skip int) []*big.Int {
+		out := make([]*big.Int, env.n)
+		for k := 0; k < env.n; k++ {
+			sum := new(big.Int)
+			for l, enc := range encs {
+				if l == skip {
+					continue
+				}
+				sum = f.Add(sum, enc.E.Eval(env.alphas[k]))
+			}
+			out[k] = g.Pow1(sum)
+		}
+		return out
+	}
+
+	// First-price pass: all senders included, exclude = -1.
+	firstDeg, err := a.resolveDegree(lambdasOver(-1), -1)
+	if err != nil {
+		t.Fatalf("first-price resolution: %v", err)
+	}
+	if got, want := sigma-firstDeg, 1; got != want {
+		t.Fatalf("first price = %d, want %d (resolved degree %d)", got, want, firstDeg)
+	}
+
+	// Second-price pass: the winner's e-shares are excluded from the sums
+	// but its node still participates. The resolved degree must be
+	// sigma - y** with y** the minimum over the non-winners.
+	barLambda := lambdasOver(winner)
+	if barLambda[winner] == nil {
+		t.Fatal("fixture bug: winner's node must still publish a bar-Lambda")
+	}
+	secondDeg, err := a.resolveDegree(barLambda, winner)
+	if err != nil {
+		t.Fatalf("second-price resolution: %v", err)
+	}
+	if got, want := sigma-secondDeg, 2; got != want {
+		t.Fatalf("second price = %d, want %d (resolved degree %d)", got, want, secondDeg)
+	}
+
+	// Dropping the winner's NODE (the wrong reading of `exclude`) shifts
+	// which pseudonyms fill the first d+1 slots and must not be what the
+	// implementation does: nulling the winner's entry makes resolution
+	// fail, proving the node is genuinely consumed.
+	broken := lambdasOver(winner)
+	broken[winner] = nil
+	if _, err := a.resolveDegree(broken, winner); err == nil {
+		t.Fatal("resolution succeeded without the winner's node; exclude must not remove nodes")
+	} else if !strings.Contains(err.Error(), "missing resolution input from agent 1") {
+		t.Fatalf("missing-node error = %v, want attribution to agent 1", err)
+	}
+}
+
+// TestBatchedVerificationAttributesTamperedShare drives a share tamper
+// through strategy.Hooks and checks the batched verification path still
+// aborts with the seed's exact attribution: the abort reason must name
+// the GUILTY SENDER, not merely report that the batch identity failed.
+// This is the end-to-end counterpart of the commit-level batch tests.
+func TestBatchedVerificationAttributesTamperedShare(t *testing.T) {
+	const guilty = 2
+	cfg := baseConfig(5)
+	cfg.Strategies = make([]*strategy.Hooks, cfg.Bid.N)
+	cfg.Strategies[guilty] = &strategy.Hooks{
+		TamperShare: func(task, to int, s *bidcode.Share) {
+			if task == 0 {
+				s.E.Add(s.E, big.NewInt(1)) // break eq (7) for every receiver
+			}
+		},
+	}
+	res := mustRun(t, cfg)
+	a := res.Auctions[0]
+	if !a.Aborted {
+		t.Fatal("auction 0 completed despite tampered shares")
+	}
+	want := fmt.Sprintf("share from agent %d inconsistent", guilty)
+	if !strings.Contains(a.AbortReason, want) {
+		t.Fatalf("abort reason %q does not attribute agent %d (want substring %q)", a.AbortReason, guilty, want)
+	}
+	// The untampered auctions must still complete normally.
+	for _, other := range res.Auctions[1:] {
+		if other.Aborted {
+			t.Errorf("auction %d aborted (%s); tamper was scoped to task 0", other.Task, other.AbortReason)
+		}
+	}
+}
+
+// TestResolveDegreeWithoutPrecomputedRhos pins the defensive fallback:
+// an environment built without rho hoisting (env.rhos nil) must resolve
+// identically via on-the-fly LagrangeAtZero.
+func TestResolveDegreeWithoutPrecomputedRhos(t *testing.T) {
+	cfg := bidcode.Config{W: []int{1, 2, 3, 4}, C: 1, N: 6}
+	a := resolveFixture(t, cfg)
+	f, env := a.f, a.env
+
+	bids := []int{3, 2, 4, 2, 3, 4}
+	rng := rand.New(rand.NewSource(7))
+	lambdas := make([]*big.Int, env.n)
+	for k := range lambdas {
+		lambdas[k] = new(big.Int)
+	}
+	sums := make([]*big.Int, env.n)
+	for k := range sums {
+		sums[k] = new(big.Int)
+	}
+	for _, y := range bids {
+		enc, err := bidcode.Encode(cfg, y, f, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < env.n; k++ {
+			sums[k] = f.Add(sums[k], enc.E.Eval(env.alphas[k]))
+		}
+	}
+	for k := range lambdas {
+		lambdas[k] = a.g.Pow1(sums[k])
+	}
+
+	want, err := a.resolveDegree(lambdas, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.rhos = nil // simulate an environment without the hoist
+	got, err := a.resolveDegree(lambdas, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fallback resolved %d, precomputed resolved %d", got, want)
+	}
+	if got, wantP := cfg.Sigma()-want, 2; got != wantP {
+		t.Fatalf("resolved price = %d, want %d", got, wantP)
+	}
+}

@@ -95,6 +95,10 @@ func RunAgentSession(cfg SessionConfig, me int, conn transport.Conn) (*SessionRe
 		return nil, err
 	}
 	powers := precomputePowers(g, alphas, cfg.Bid.Sigma())
+	rhos, err := precomputeRhos(g, cfg.Bid, alphas)
+	if err != nil {
+		return nil, err
+	}
 	hooks := cfg.Strategy
 	if hooks == nil {
 		hooks = &strategy.Hooks{}
@@ -116,6 +120,7 @@ func RunAgentSession(cfg SessionConfig, me int, conn transport.Conn) (*SessionRe
 			cfg:    cfg.Bid,
 			alphas: alphas,
 			powers: powers,
+			rhos:   rhos,
 			echo:   cfg.EchoVerification,
 		}
 		var rng io.Reader // nil means crypto/rand inside bidcode.Encode

@@ -64,6 +64,54 @@ func TestFixedBaseSharedAcrossCounterViews(t *testing.T) {
 	}
 }
 
+// TestDigitMatchesBitLoop pins the word-based digit extraction to the
+// old per-bit implementation over random exponents and every window
+// offset that can occur for the largest preset.
+func TestDigitMatchesBitLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const mask = 1<<fixedBaseWindow - 1
+	for trial := 0; trial < 100; trial++ {
+		e := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 480))
+		words := e.Bits()
+		for off := uint(0); off < 488; off += fixedBaseWindow {
+			want := digitViaBit(e, off, mask)
+			if got := digit(words, off); got != want {
+				t.Fatalf("digit(%v, %d) = %d, want %d", e, off, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkDigitExtraction measures the word-indexed digit extraction
+// against the per-bit e.Bit() loop it replaced. The extraction runs once
+// per window per exponentiation, so at 480-bit exponents the fixed-base
+// path performs 120 of these per Pow1/Pow2 call.
+func BenchmarkDigitExtraction(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	e := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 480))
+	words := e.Bits()
+	numWindows := (e.BitLen() + fixedBaseWindow - 1) / fixedBaseWindow
+	const mask = 1<<fixedBaseWindow - 1
+	b.Run("words", func(b *testing.B) {
+		var sink uint
+		for i := 0; i < b.N; i++ {
+			for w := 0; w < numWindows; w++ {
+				sink += digit(words, uint(w)*fixedBaseWindow)
+			}
+		}
+		_ = sink
+	})
+	b.Run("per-bit", func(b *testing.B) {
+		var sink uint
+		for i := 0; i < b.N; i++ {
+			for w := 0; w < numWindows; w++ {
+				sink += digitViaBit(e, uint(w)*fixedBaseWindow, mask)
+			}
+		}
+		_ = sink
+	})
+}
+
 // BenchmarkFixedBaseSpeedup quantifies the gain of the windowed tables
 // over generic modular exponentiation for the protocol's fixed bases.
 func BenchmarkFixedBaseSpeedup(b *testing.B) {

@@ -1,0 +1,80 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzMultiExp checks the multi-exponentiation engine against the naive
+// per-term big.Int.Exp product on arbitrary inputs: it must never panic
+// and must agree with the reference semantics for every input it
+// accepts. Bases and exponents are carved out of the raw fuzz bytes so
+// the fuzzer explores term counts, signs, magnitudes, and the
+// Straus/Pippenger planner boundary. Run with
+// `go test -fuzz FuzzMultiExp ./internal/group`; without -fuzz the seed
+// corpus doubles as a regression test.
+func FuzzMultiExp(f *testing.F) {
+	// Seed corpus: the degenerate and regime-boundary shapes the property
+	// tests pin explicitly.
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0x02, 0x03}, uint8(2))
+	f.Add([]byte{0x00, 0x01, 0xff, 0xfe, 0x7f, 0x80, 0x01, 0x02}, uint8(3))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}, uint8(9))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint8(40))
+
+	pr := MustPreset(PresetTest64)
+	g := MustNew(pr)
+
+	f.Fuzz(func(t *testing.T, data []byte, nTerms uint8) {
+		terms := int(nTerms%64) + 1
+		// Deterministically expand data into terms*(base,exp) pairs. Each
+		// term consumes a chunk; short data wraps around, empty data means
+		// all-zero chunks (bases and exponents of zero are legal inputs).
+		chunk := 9
+		take := func(i int) []byte {
+			out := make([]byte, chunk)
+			if len(data) == 0 {
+				return out
+			}
+			for j := 0; j < chunk; j++ {
+				out[j] = data[(i*chunk+j)%len(data)]
+			}
+			return out
+		}
+		bases := make([]*big.Int, terms)
+		exps := make([]*big.Int, terms)
+		for i := 0; i < terms; i++ {
+			b := new(big.Int).SetBytes(take(2 * i))
+			if b.Bit(0) == 1 {
+				b.Neg(b) // exercise negative-base reduction mod p
+			}
+			bases[i] = b
+			exps[i] = new(big.Int).SetBytes(take(2*i + 1))
+		}
+
+		got, err := g.MultiExp(bases, exps)
+		if err != nil {
+			t.Fatalf("MultiExp rejected structurally valid input: %v", err)
+		}
+		want := naiveMultiExp(pr, bases, exps)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("MultiExp = %v, want %v (terms=%d)", got, want, terms)
+		}
+
+		// The unreduced variant must agree with the reference on the same
+		// inputs (exponents here are non-negative by construction).
+		gotNR, err := g.MultiExpNoReduce(bases, exps)
+		if err != nil {
+			t.Fatalf("MultiExpNoReduce rejected input: %v", err)
+		}
+		wantNR := big.NewInt(1)
+		for i := range bases {
+			tv := new(big.Int).Exp(bases[i], exps[i], pr.P)
+			wantNR.Mul(wantNR, tv)
+			wantNR.Mod(wantNR, pr.P)
+		}
+		if gotNR.Cmp(wantNR) != 0 {
+			t.Fatalf("MultiExpNoReduce = %v, want %v (terms=%d)", gotNR, wantNR, terms)
+		}
+	})
+}

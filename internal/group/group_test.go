@@ -164,16 +164,19 @@ func TestCounterRecordsOps(t *testing.T) {
 	g := testGroup(t)
 	var c Counter
 	gc := g.WithCounter(&c)
-	gc.Commit(big.NewInt(1), big.NewInt(2)) // 2 exps + 1 mul
+	gc.Commit(big.NewInt(1), big.NewInt(2)) // one 2-term multi-exp (joint table)
 	gc.Mul(big.NewInt(3), big.NewInt(4))
 	if got := c.Exp(); got != 2 {
 		t.Errorf("Exp count = %d, want 2", got)
 	}
-	if got := c.Mul(); got != 2 {
-		t.Errorf("Mul count = %d, want 2", got)
+	if got := c.Mul(); got != 1 {
+		t.Errorf("Mul count = %d, want 1", got)
+	}
+	if c.MultiExps() != 1 || c.MultiExpTerms() != 2 {
+		t.Errorf("multi-exp counters = (%d, %d), want (1, 2)", c.MultiExps(), c.MultiExpTerms())
 	}
 	c.Reset()
-	if c.Exp() != 0 || c.Mul() != 0 {
+	if c.Exp() != 0 || c.Mul() != 0 || c.MultiExps() != 0 || c.MultiExpTerms() != 0 {
 		t.Error("Reset did not zero counters")
 	}
 	// The uncounted view must not record.

@@ -1,0 +1,199 @@
+package group
+
+import (
+	"encoding/binary"
+	"math/big"
+	"math/bits"
+)
+
+// This file implements Montgomery modular multiplication over a fixed odd
+// modulus, the arithmetic backend of the multi-exponentiation engine and
+// the fixed-base tables.
+//
+// Why not big.Int.Mul followed by big.Int.Mod? Because the Mod is a full
+// multi-word division, several times the cost of the multiplication
+// itself, while big.Int.Exp internally uses Montgomery reduction (one
+// extra multiplication-sized pass, no division). An interleaved
+// multi-exponentiation that pays a division per step loses its
+// asymptotic advantage to big.Int.Exp's better constant at exactly the
+// term counts the protocol cares about. Porting the engine onto CIOS
+// Montgomery multiplication (Koc, Acar, Kaliski: "Analyzing and
+// comparing Montgomery multiplication algorithms") restores the constant:
+// each step is k^2+k word multiplications with no division, the same
+// primitive big.Int.Exp pays.
+//
+// Values in the Montgomery domain are little-endian []uint64 slices of
+// fixed length k = ceil(bits(p)/64) holding x*R mod p for R = 2^(64k).
+// This implementation is NOT constant-time; the repository is a protocol
+// simulation, and exponents here are either public pseudonym powers or
+// simulation secrets (see SECURITY notes in the README).
+
+// mont is the precomputed context for a fixed odd modulus.
+type mont struct {
+	p     *big.Int // the modulus (shared; never mutated)
+	n     []uint64 // modulus words, little-endian
+	k     int      // word count
+	n0inv uint64   // -p^{-1} mod 2^64
+	r2    []uint64 // R^2 mod p (converts into the domain)
+	one   []uint64 // R mod p (the domain's 1)
+}
+
+// newMont builds the context. The modulus must be odd (all protocol
+// moduli are prime > 2).
+func newMont(p *big.Int) *mont {
+	n := bigToWords(p)
+	if n[0]&1 == 0 {
+		panic("group: Montgomery context requires an odd modulus")
+	}
+	k := len(n)
+	m := &mont{p: p, n: n, k: k}
+	// n0inv by Newton-Hensel lifting: each step doubles the number of
+	// correct low bits, starting from the 3 bits every odd n inverts
+	// itself to mod 8.
+	inv := n[0]
+	for i := 0; i < 6; i++ {
+		inv *= 2 - n[0]*inv
+	}
+	m.n0inv = -inv
+	r2 := new(big.Int).Lsh(big.NewInt(1), uint(128*k))
+	r2.Mod(r2, p)
+	m.r2 = padWords(bigToWords(r2), k)
+	r := new(big.Int).Lsh(big.NewInt(1), uint(64*k))
+	r.Mod(r, p)
+	m.one = padWords(bigToWords(r), k)
+	return m
+}
+
+// scratch returns a fresh temporary for mul; callers allocate one per
+// sequential computation and reuse it across every mul in that
+// computation (the context itself is read-only and safe to share across
+// goroutines).
+func (m *mont) scratch() []uint64 { return make([]uint64, m.k+2) }
+
+// newElem returns a fresh zero element of the right width.
+func (m *mont) newElem() []uint64 { return make([]uint64, m.k) }
+
+// set copies src into a fresh element.
+func (m *mont) set(src []uint64) []uint64 {
+	dst := make([]uint64, m.k)
+	copy(dst, src)
+	return dst
+}
+
+// toMont converts x in [0, p) into the Montgomery domain.
+func (m *mont) toMont(x *big.Int, t []uint64) []uint64 {
+	out := m.newElem()
+	m.mul(out, padWords(bigToWords(x), m.k), m.r2, t)
+	return out
+}
+
+// fromMont converts a Montgomery-domain element back to a big.Int in
+// [0, p): multiplying by the plain 1 performs one REDC pass.
+func (m *mont) fromMont(a, t []uint64) *big.Int {
+	oneW := m.newElem()
+	oneW[0] = 1
+	out := m.newElem()
+	m.mul(out, a, oneW, t)
+	return wordsToBig(out)
+}
+
+// mul sets dst = a*b*R^{-1} mod p (CIOS: coarsely integrated operand
+// scanning). a and b must be < p; t is a k+2-word temporary from
+// scratch(). dst may alias a and/or b — the result is staged in t and
+// written to dst at the end.
+func (m *mont) mul(dst, a, b, t []uint64) {
+	k := m.k
+	n := m.n
+	for i := range t {
+		t[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		// t += a[i] * b.
+		ai := a[i]
+		var c uint64
+		for j := 0; j < k; j++ {
+			hi, lo := bits.Mul64(ai, b[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j] = lo
+			c = hi
+		}
+		var cc uint64
+		t[k], cc = bits.Add64(t[k], c, 0)
+		t[k+1] += cc
+
+		// One REDC step: add mw*n so the low word cancels, shift down.
+		mw := t[0] * m.n0inv
+		hi, lo := bits.Mul64(mw, n[0])
+		_, cc = bits.Add64(lo, t[0], 0) // low word becomes zero by choice of mw
+		c = hi + cc
+		for j := 1; j < k; j++ {
+			hi, lo := bits.Mul64(mw, n[j])
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j-1] = lo
+			c = hi
+		}
+		t[k-1], cc = bits.Add64(t[k], c, 0)
+		t[k] = t[k+1] + cc
+		t[k+1] = 0
+	}
+	// t < 2p after the loop: one conditional subtraction normalizes.
+	if t[k] == 0 {
+		ge := true
+		for j := k - 1; j >= 0; j-- {
+			if t[j] != n[j] {
+				ge = t[j] > n[j]
+				break
+			}
+		}
+		if !ge {
+			copy(dst, t[:k])
+			return
+		}
+	}
+	var borrow uint64
+	for j := 0; j < k; j++ {
+		dst[j], borrow = bits.Sub64(t[j], n[j], borrow)
+	}
+}
+
+// bigToWords converts a non-negative big.Int to little-endian uint64
+// words via its big-endian byte encoding (portable across big.Word
+// sizes).
+func bigToWords(x *big.Int) []uint64 {
+	b := x.Bytes()
+	if len(b) == 0 {
+		return []uint64{0}
+	}
+	w := make([]uint64, (len(b)+7)/8)
+	for i, by := range b {
+		bit := uint(8 * (len(b) - 1 - i))
+		w[bit/64] |= uint64(by) << (bit % 64)
+	}
+	return w
+}
+
+// wordsToBig converts little-endian uint64 words to a big.Int.
+func wordsToBig(w []uint64) *big.Int {
+	b := make([]byte, 8*len(w))
+	for i, word := range w {
+		binary.BigEndian.PutUint64(b[8*(len(w)-1-i):], word)
+	}
+	return new(big.Int).SetBytes(b)
+}
+
+// padWords zero-extends w to length k.
+func padWords(w []uint64, k int) []uint64 {
+	if len(w) >= k {
+		return w[:k]
+	}
+	out := make([]uint64, k)
+	copy(out, w)
+	return out
+}

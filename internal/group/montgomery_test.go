@@ -1,0 +1,159 @@
+package group
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// montModuli covers 1 through 8 words, including presets and moduli with
+// high words near 2^64 (carry stress).
+func montModuli(t *testing.T) []*big.Int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	mods := []*big.Int{
+		big.NewInt(3),
+		big.NewInt(65537),
+		MustPreset(PresetTiny16).P,
+		MustPreset(PresetTest64).P,
+		MustPreset(PresetDemo128).P,
+		MustPreset(PresetSim256).P,
+		MustPreset(PresetSecure512).P,
+	}
+	for _, bits := range []int{63, 65, 127, 192, 320, 511} {
+		for {
+			p := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+			p.SetBit(p, bits-1, 1) // full bit length
+			p.SetBit(p, 0, 1)      // odd
+			if p.Cmp(big.NewInt(2)) > 0 {
+				mods = append(mods, p)
+				break
+			}
+		}
+	}
+	return mods
+}
+
+// TestMontMulMatchesBigInt is the core differential test: for random
+// a, b < p, fromMont(mul(toMont(a), toMont(b))) must equal a*b mod p.
+func TestMontMulMatchesBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, p := range montModuli(t) {
+		m := newMont(p)
+		tmp := m.scratch()
+		for trial := 0; trial < 50; trial++ {
+			a := new(big.Int).Rand(rng, p)
+			b := new(big.Int).Rand(rng, p)
+			ma, mb := m.toMont(a, tmp), m.toMont(b, tmp)
+			out := m.newElem()
+			m.mul(out, ma, mb, tmp)
+			got := m.fromMont(out, tmp)
+			want := new(big.Int).Mul(a, b)
+			want.Mod(want, p)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("p=%v (%d words): mont mul(%v, %v) = %v, want %v", p, m.k, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMontEdgeValues hits the boundary operands: 0, 1, p-1, and squaring
+// (dst aliasing both inputs).
+func TestMontEdgeValues(t *testing.T) {
+	for _, p := range montModuli(t) {
+		m := newMont(p)
+		tmp := m.scratch()
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		vals := []*big.Int{big.NewInt(0), big.NewInt(1), pm1}
+		for _, a := range vals {
+			for _, b := range vals {
+				ma, mb := m.toMont(a, tmp), m.toMont(b, tmp)
+				out := m.newElem()
+				m.mul(out, ma, mb, tmp)
+				got := m.fromMont(out, tmp)
+				want := new(big.Int).Mul(a, b)
+				want.Mod(want, p)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("p=%v: mul(%v, %v) = %v, want %v", p, a, b, got, want)
+				}
+			}
+		}
+		// Aliased squaring: mul(x, x, x).
+		x := m.toMont(pm1, tmp)
+		m.mul(x, x, x, tmp)
+		got := m.fromMont(x, tmp)
+		want := new(big.Int).Mul(pm1, pm1)
+		want.Mod(want, p)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("p=%v: aliased square = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestMontRoundTrip pins the domain conversions: fromMont(toMont(x)) = x
+// and the domain's 1 converts to the integer 1.
+func TestMontRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, p := range montModuli(t) {
+		m := newMont(p)
+		tmp := m.scratch()
+		if got := m.fromMont(m.one, tmp); got.Cmp(big.NewInt(1)) != 0 && p.Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("p=%v: fromMont(one) = %v, want 1", p, got)
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := new(big.Int).Rand(rng, p)
+			if got := m.fromMont(m.toMont(x, tmp), tmp); got.Cmp(x) != 0 {
+				t.Fatalf("p=%v: round trip of %v gave %v", p, x, got)
+			}
+		}
+	}
+}
+
+func TestMontRejectsEvenModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newMont accepted an even modulus")
+		}
+	}()
+	newMont(big.NewInt(100))
+}
+
+func TestWordConversions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		x := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(1+rng.Intn(520))))
+		if got := wordsToBig(bigToWords(x)); got.Cmp(x) != 0 {
+			t.Fatalf("words round trip of %v gave %v", x, got)
+		}
+	}
+	if got := wordsToBig(bigToWords(big.NewInt(0))); got.Sign() != 0 {
+		t.Errorf("zero round trip gave %v", got)
+	}
+}
+
+// BenchmarkMontMul compares one Montgomery multiplication against the
+// big.Int Mul+Mod pair it replaces, per preset size.
+func BenchmarkMontMul(b *testing.B) {
+	for _, name := range []string{PresetTest64, PresetSim256, PresetSecure512} {
+		pr := MustPreset(name)
+		m := newMont(pr.P)
+		rng := rand.New(rand.NewSource(1))
+		a := new(big.Int).Rand(rng, pr.P)
+		c := new(big.Int).Rand(rng, pr.P)
+		tmp := m.scratch()
+		ma, mc := m.toMont(a, tmp), m.toMont(c, tmp)
+		out := m.newElem()
+		b.Run(name+"/mont", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.mul(out, ma, mc, tmp)
+			}
+		})
+		b.Run(name+"/mulmod", func(b *testing.B) {
+			v := new(big.Int)
+			for i := 0; i < b.N; i++ {
+				v.Mul(a, c)
+				v.Mod(v, pr.P)
+			}
+		})
+	}
+}

@@ -1,0 +1,295 @@
+package group
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// This file implements the multi-exponentiation engine behind the
+// protocol's verification hot path: computing
+//
+//	prod_i bases[i]^{exps[i]}  (mod p)
+//
+// in a single interleaved pass instead of len(bases) independent
+// big.Int.Exp calls. Two algorithms are provided and selected by an
+// explicit cost model:
+//
+//   - Straus interleaving (simultaneous windowed exponentiation): one
+//     shared chain of squarings for all terms, plus one table lookup and
+//     multiplication per term per window. Ideal for the protocol's
+//     typical term counts (sigma = a few dozen commitment elements).
+//
+//   - Pippenger bucketing: per window, terms are multiplied into
+//     2^w - 1 digit buckets which are then aggregated with the
+//     running-product trick; the shared squaring chain is identical.
+//     Cost per window is ~(terms + 2^w) multiplications independent of
+//     the per-term table construction, so it wins for the large batches
+//     produced by BatchVerifyShares (hundreds of terms).
+//
+// Theorem 12 bounds DMW's per-agent computation by these modular
+// exponentiations (equations (7)-(9), (11), (13)); every verification
+// identity in internal/commit routes through MultiExp, so this file is
+// where the bound's constant factor is won. docs/PERFORMANCE.md derives
+// the operation counts; BenchmarkMultiExp measures them.
+
+// ErrMultiExpInput reports structurally invalid MultiExp arguments.
+var ErrMultiExpInput = errors.New("group: invalid multi-exp input")
+
+// MultiExp returns prod_i bases[i]^{exps[i]} mod p. Exponents are reduced
+// mod q first, which is valid because every element the protocol
+// exponentiates has order q. The empty product is the identity.
+//
+// For cost accounting the call is attributed its term count: a MultiExp
+// over t terms adds t to the exponentiation counter (it replaces t
+// independent Exp calls) and is additionally recorded in the dedicated
+// multi-exp counters.
+func (g *Group) MultiExp(bases, exps []*big.Int) (*big.Int, error) {
+	if len(bases) != len(exps) {
+		return nil, fmt.Errorf("%w: %d bases vs %d exponents", ErrMultiExpInput, len(bases), len(exps))
+	}
+	red := make([]*big.Int, len(exps))
+	for i, e := range exps {
+		if e == nil || bases[i] == nil {
+			return nil, fmt.Errorf("%w: nil term at index %d", ErrMultiExpInput, i)
+		}
+		red[i] = g.scalars.Reduce(e)
+	}
+	g.countMultiExp(len(bases))
+	return multiExpCore(g.mont, bases, red), nil
+}
+
+// MultiExpNoReduce is MultiExp without the mod-q exponent reduction:
+// exponents must be non-negative and are used verbatim. The batched
+// small-exponent verification (commit.BatchVerifyShares) needs this
+// variant because its random-linear-combination exponents multiply
+// adversarially chosen group elements whose order is unknown — reducing
+// mod q is only sound for order-q elements, whereas integer-exponent
+// identities hold unconditionally in Z_p^*.
+func (g *Group) MultiExpNoReduce(bases, exps []*big.Int) (*big.Int, error) {
+	if len(bases) != len(exps) {
+		return nil, fmt.Errorf("%w: %d bases vs %d exponents", ErrMultiExpInput, len(bases), len(exps))
+	}
+	for i, e := range exps {
+		if e == nil || bases[i] == nil {
+			return nil, fmt.Errorf("%w: nil term at index %d", ErrMultiExpInput, i)
+		}
+		if e.Sign() < 0 {
+			return nil, fmt.Errorf("%w: negative exponent at index %d", ErrMultiExpInput, i)
+		}
+	}
+	g.countMultiExp(len(bases))
+	return multiExpCore(g.mont, bases, exps), nil
+}
+
+// multiExpCore dispatches to the cheaper algorithm for the input shape.
+// Exponents must be non-negative; bases are reduced mod p internally.
+func multiExpCore(m *mont, bases, exps []*big.Int) *big.Int {
+	p := m.p
+	// Drop zero-exponent terms up front: they contribute the identity and
+	// would only pad the tables.
+	nb := make([]*big.Int, 0, len(bases))
+	ne := make([]*big.Int, 0, len(exps))
+	maxBits := 0
+	for i := range bases {
+		if exps[i].Sign() == 0 {
+			continue
+		}
+		b := bases[i]
+		if b.Sign() < 0 || b.Cmp(p) >= 0 {
+			b = new(big.Int).Mod(b, p)
+		}
+		nb = append(nb, b)
+		ne = append(ne, exps[i])
+		if l := exps[i].BitLen(); l > maxBits {
+			maxBits = l
+		}
+	}
+	switch len(nb) {
+	case 0:
+		return big.NewInt(1)
+	case 1:
+		return new(big.Int).Exp(nb[0], ne[0], p)
+	}
+	method, w := planMultiExp(len(nb), maxBits)
+	if method == methodPippenger {
+		return pippengerMont(m, nb, ne, w, maxBits)
+	}
+	return strausMont(m, nb, ne, w, maxBits)
+}
+
+const (
+	methodStraus = iota
+	methodPippenger
+)
+
+// planMultiExp picks the algorithm and window width minimizing the
+// estimated modular-multiplication count for n terms of b-bit exponents.
+//
+//	straus(w)    = b + n*(2^w - 2) + n*ceil(b/w)
+//	pippenger(w) = b + ceil(b/w)*(n + 2^w)
+//
+// (first term: the shared squaring chain; the rest: table construction /
+// bucket aggregation plus per-term multiplications).
+func planMultiExp(n, b int) (method int, window uint) {
+	if b == 0 {
+		return methodStraus, 1
+	}
+	bestCost := int(^uint(0) >> 1)
+	method, window = methodStraus, 1
+	for w := 1; w <= 8; w++ {
+		c := b + n*((1<<w)-2) + n*((b+w-1)/w)
+		if c < bestCost {
+			bestCost, method, window = c, methodStraus, uint(w)
+		}
+	}
+	for w := 1; w <= 12; w++ {
+		c := b + ((b+w-1)/w)*(n+(1<<w))
+		if c < bestCost {
+			bestCost, method, window = c, methodPippenger, uint(w)
+		}
+	}
+	return method, window
+}
+
+// windowDigit extracts width bits of e (given as its Bits() words)
+// starting at bit offset, handling digits that straddle a word boundary.
+func windowDigit(words []big.Word, offset, width uint) uint {
+	const ws = uint(bits.UintSize)
+	wi := offset / ws
+	if wi >= uint(len(words)) {
+		return 0
+	}
+	shift := offset % ws
+	d := uint(words[wi] >> shift)
+	if shift+width > ws && wi+1 < uint(len(words)) {
+		d |= uint(words[wi+1]) << (ws - shift)
+	}
+	return d & ((1 << width) - 1)
+}
+
+// strausMultiExp is the big.Int-facing wrapper used by tests to force
+// the Straus path; production calls flow through multiExpCore with the
+// Group's cached Montgomery context.
+func strausMultiExp(p *big.Int, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
+	return strausMont(newMont(p), bases, exps, w, maxBits)
+}
+
+// pippengerMultiExp is the big.Int-facing wrapper used by tests to force
+// the bucket path.
+func pippengerMultiExp(p *big.Int, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
+	return pippengerMont(newMont(p), bases, exps, w, maxBits)
+}
+
+// strausMont interleaves windowed exponentiations over a shared squaring
+// chain: per window, w squarings total (not per term) plus one table
+// multiplication per term with a nonzero digit. All arithmetic runs in
+// the Montgomery domain (see montgomery.go); bases must be in [0, p).
+func strausMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
+	t := m.scratch()
+	// tables[i][d-1] = bases[i]^d (Montgomery form) for d = 1..2^w-1.
+	tables := make([][][]uint64, len(bases))
+	for i, b := range bases {
+		row := make([][]uint64, (1<<w)-1)
+		row[0] = m.toMont(b, t)
+		for d := 1; d < len(row); d++ {
+			row[d] = m.newElem()
+			m.mul(row[d], row[d-1], row[0], t)
+		}
+		tables[i] = row
+	}
+	words := make([][]big.Word, len(exps))
+	for i, e := range exps {
+		words[i] = e.Bits()
+	}
+
+	acc := m.set(m.one)
+	started := false
+	numWindows := (maxBits + int(w) - 1) / int(w)
+	for win := numWindows - 1; win >= 0; win-- {
+		if started {
+			for s := uint(0); s < w; s++ {
+				m.mul(acc, acc, acc, t)
+			}
+		}
+		offset := uint(win) * w
+		for i := range bases {
+			d := windowDigit(words[i], offset, w)
+			if d == 0 {
+				continue
+			}
+			m.mul(acc, acc, tables[i][d-1], t)
+			started = true
+		}
+	}
+	return m.fromMont(acc, t)
+}
+
+// pippengerMont is the bucket method: per window, each term is
+// multiplied into the bucket of its digit, and the buckets are folded
+// with the running-product trick (prod_d bucket[d]^d computed in
+// 2*(2^w - 1) multiplications), over the same shared squaring chain.
+func pippengerMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
+	t := m.scratch()
+	montBases := make([][]uint64, len(bases))
+	for i, b := range bases {
+		montBases[i] = m.toMont(b, t)
+	}
+	words := make([][]big.Word, len(exps))
+	for i, e := range exps {
+		words[i] = e.Bits()
+	}
+	// Buckets live in one flat backing array, reset per window.
+	k := m.k
+	store := make([]uint64, (1<<w)*k)
+	inUse := make([]bool, 1<<w)
+	bucket := func(d uint) []uint64 { return store[int(d)*k : (int(d)+1)*k] }
+
+	acc := m.set(m.one)
+	running := m.newElem()
+	started := false
+	numWindows := (maxBits + int(w) - 1) / int(w)
+	for win := numWindows - 1; win >= 0; win-- {
+		if started {
+			for s := uint(0); s < w; s++ {
+				m.mul(acc, acc, acc, t)
+			}
+		}
+		offset := uint(win) * w
+		used := false
+		for d := range inUse {
+			inUse[d] = false
+		}
+		for i := range bases {
+			d := windowDigit(words[i], offset, w)
+			if d == 0 {
+				continue
+			}
+			if !inUse[d] {
+				copy(bucket(d), montBases[i])
+				inUse[d] = true
+			} else {
+				m.mul(bucket(d), bucket(d), montBases[i], t)
+			}
+			used = true
+		}
+		if !used {
+			continue
+		}
+		// running = prod_{e >= d} bucket[e]; window sum = prod_d bucket[d]^d.
+		copy(running, m.one)
+		haveRunning := false
+		for d := len(inUse) - 1; d >= 1; d-- {
+			if inUse[d] {
+				m.mul(running, running, bucket(uint(d)), t)
+				haveRunning = true
+			}
+			if haveRunning {
+				m.mul(acc, acc, running, t)
+			}
+		}
+		started = true
+	}
+	return m.fromMont(acc, t)
+}

@@ -1,0 +1,281 @@
+package group
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// naiveMultiExp is the reference semantics: prod_i Exp(b_i, e_i) with
+// exponents reduced mod q, computed with big.Int.Exp only.
+func naiveMultiExp(pr *Params, bases, exps []*big.Int) *big.Int {
+	acc := big.NewInt(1)
+	for i := range bases {
+		e := new(big.Int).Mod(exps[i], pr.Q)
+		t := new(big.Int).Exp(bases[i], e, pr.P)
+		acc.Mul(acc, t)
+		acc.Mod(acc, pr.P)
+	}
+	return acc
+}
+
+// randomTerms draws t random subgroup elements with random exponents.
+func randomTerms(g *Group, rng *rand.Rand, t int) ([]*big.Int, []*big.Int) {
+	bases := make([]*big.Int, t)
+	exps := make([]*big.Int, t)
+	for i := 0; i < t; i++ {
+		e, err := g.Scalars().Rand(rng)
+		if err != nil {
+			panic(err)
+		}
+		bases[i] = g.Exp(g.Params().Z1, e)
+		exps[i], err = g.Scalars().Rand(rng)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return bases, exps
+}
+
+// TestMultiExpMatchesNaive is the core property test of the engine:
+// MultiExp must equal prod Exp(b_i, e_i) over random inputs for every
+// preset and a sweep of term counts spanning both the Straus and the
+// Pippenger regime, including sigma = 1.
+func TestMultiExpMatchesNaive(t *testing.T) {
+	for _, name := range []string{PresetTiny16, PresetTest64, PresetDemo128} {
+		pr := MustPreset(name)
+		g := MustNew(pr)
+		for _, terms := range []int{1, 2, 3, 8, 32, 100, 300} {
+			t.Run(fmt.Sprintf("%s/terms=%d", name, terms), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(terms)))
+				for trial := 0; trial < 6; trial++ {
+					bases, exps := randomTerms(g, rng, terms)
+					got, err := g.MultiExp(bases, exps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := naiveMultiExp(pr, bases, exps)
+					if got.Cmp(want) != 0 {
+						t.Fatalf("trial %d: MultiExp = %v, want %v", trial, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMultiExpEdgeCases covers the degenerate inputs the protocol can
+// produce: zero exponents (skipped terms), base = 1, base = 0 mod p,
+// unreduced/oversized exponents, the empty product, and negative bases
+// (reduced mod p like big.Int.Exp does).
+func TestMultiExpEdgeCases(t *testing.T) {
+	pr := MustPreset(PresetTest64)
+	g := MustNew(pr)
+	one := big.NewInt(1)
+	zero := big.NewInt(0)
+
+	cases := []struct {
+		name  string
+		bases []*big.Int
+		exps  []*big.Int
+	}{
+		{"empty", nil, nil},
+		{"single", []*big.Int{pr.Z1}, []*big.Int{big.NewInt(12345)}},
+		{"zero-exponent", []*big.Int{pr.Z1, pr.Z2}, []*big.Int{zero, big.NewInt(7)}},
+		{"all-zero-exponents", []*big.Int{pr.Z1, pr.Z2}, []*big.Int{zero, zero}},
+		{"base-one", []*big.Int{one, pr.Z2}, []*big.Int{big.NewInt(99), big.NewInt(3)}},
+		{"base-zero", []*big.Int{zero, pr.Z1}, []*big.Int{big.NewInt(5), big.NewInt(3)}},
+		{"base-p", []*big.Int{new(big.Int).Set(pr.P)}, []*big.Int{big.NewInt(5)}},
+		{"negative-base", []*big.Int{big.NewInt(-3)}, []*big.Int{big.NewInt(4)}},
+		{"exponent-q", []*big.Int{pr.Z1}, []*big.Int{new(big.Int).Set(pr.Q)}},
+		{"exponent-above-q", []*big.Int{pr.Z1, pr.Z2}, []*big.Int{
+			new(big.Int).Add(pr.Q, big.NewInt(17)),
+			new(big.Int).Mul(pr.Q, big.NewInt(3)),
+		}},
+		{"negative-exponent", []*big.Int{pr.Z1}, []*big.Int{big.NewInt(-4)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := g.MultiExp(tc.bases, tc.exps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveMultiExp(pr, tc.bases, tc.exps)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("MultiExp = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestMultiExpErrors(t *testing.T) {
+	g := MustNew(MustPreset(PresetTest64))
+	if _, err := g.MultiExp([]*big.Int{big.NewInt(2)}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := g.MultiExp([]*big.Int{nil}, []*big.Int{big.NewInt(1)}); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := g.MultiExp([]*big.Int{big.NewInt(2)}, []*big.Int{nil}); err == nil {
+		t.Error("nil exponent accepted")
+	}
+	if _, err := g.MultiExpNoReduce([]*big.Int{big.NewInt(2)}, []*big.Int{big.NewInt(-1)}); err == nil {
+		t.Error("negative exponent accepted by MultiExpNoReduce")
+	}
+}
+
+// TestMultiExpNoReduceWideExponents checks the unreduced variant against
+// big.Int.Exp with exponents far larger than q (the batch verifier's
+// small-exponent products live above q).
+func TestMultiExpNoReduceWideExponents(t *testing.T) {
+	pr := MustPreset(PresetTest64)
+	g := MustNew(pr)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		terms := 1 + rng.Intn(40)
+		bases := make([]*big.Int, terms)
+		exps := make([]*big.Int, terms)
+		want := big.NewInt(1)
+		for i := range bases {
+			e, _ := g.Scalars().Rand(rng)
+			bases[i] = new(big.Int).Exp(pr.Z2, e, pr.P)
+			// Exponent up to ~64 bits above q.
+			wide := new(big.Int).Mul(e, big.NewInt(int64(rng.Uint64()>>1|1)))
+			exps[i] = wide
+			tv := new(big.Int).Exp(bases[i], wide, pr.P)
+			want.Mul(want, tv)
+			want.Mod(want, pr.P)
+		}
+		got, err := g.MultiExpNoReduce(bases, exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: MultiExpNoReduce diverges from big.Int.Exp", trial)
+		}
+	}
+}
+
+// TestStrausAndPippengerAgree forces both algorithms over identical
+// inputs across window widths, so the planner can never mask a bug in
+// the path it happens not to pick.
+func TestStrausAndPippengerAgree(t *testing.T) {
+	pr := MustPreset(PresetTest64)
+	g := MustNew(pr)
+	rng := rand.New(rand.NewSource(7))
+	for _, terms := range []int{1, 2, 5, 17, 64} {
+		bases, exps := randomTerms(g, rng, terms)
+		want := naiveMultiExp(pr, bases, exps)
+		maxBits := 0
+		for _, e := range exps {
+			if l := e.BitLen(); l > maxBits {
+				maxBits = l
+			}
+		}
+		for w := uint(1); w <= 8; w++ {
+			if got := strausMultiExp(pr.P, bases, exps, w, maxBits); got.Cmp(want) != 0 {
+				t.Fatalf("straus terms=%d w=%d mismatch", terms, w)
+			}
+			if got := pippengerMultiExp(pr.P, bases, exps, w, maxBits); got.Cmp(want) != 0 {
+				t.Fatalf("pippenger terms=%d w=%d mismatch", terms, w)
+			}
+		}
+	}
+}
+
+// TestPlanMultiExpPrefersPippengerForLargeBatches pins the planner's
+// shape: small term counts stay on Straus, large batches switch to
+// bucketing.
+func TestPlanMultiExpPrefersPippengerForLargeBatches(t *testing.T) {
+	if m, _ := planMultiExp(2, 64); m != methodStraus {
+		t.Error("2-term multi-exp should use Straus")
+	}
+	if m, _ := planMultiExp(672, 120); m != methodPippenger {
+		t.Error("672-term multi-exp should use Pippenger buckets")
+	}
+}
+
+func TestWindowDigitMatchesBitLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		e := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 130))
+		width := uint(1 + rng.Intn(12))
+		offset := uint(rng.Intn(140))
+		var want uint
+		for b := uint(0); b < width; b++ {
+			if e.Bit(int(offset+b)) == 1 {
+				want |= 1 << b
+			}
+		}
+		if got := windowDigit(e.Bits(), offset, width); got != want {
+			t.Fatalf("windowDigit(%v, %d, %d) = %d, want %d", e, offset, width, got, want)
+		}
+	}
+}
+
+// TestMultiExpCounterAttribution checks the honest Theorem-12
+// accounting: t terms count as t exponentiation-equivalents.
+func TestMultiExpCounterAttribution(t *testing.T) {
+	g := MustNew(MustPreset(PresetTest64))
+	var c Counter
+	gc := g.WithCounter(&c)
+	bases, exps := randomTerms(g, rand.New(rand.NewSource(5)), 9)
+	if _, err := gc.MultiExp(bases, exps); err != nil {
+		t.Fatal(err)
+	}
+	if c.Exp() != 9 {
+		t.Errorf("Exp = %d, want 9 (term count)", c.Exp())
+	}
+	if c.MultiExps() != 1 || c.MultiExpTerms() != 9 {
+		t.Errorf("multi-exp counters = (%d, %d), want (1, 9)", c.MultiExps(), c.MultiExpTerms())
+	}
+}
+
+// BenchmarkMultiExp compares the engine against the naive per-term
+// big.Int.Exp product at the protocol's characteristic shapes:
+// sigma-sized evaluations (32 terms) and batch-verification-sized
+// aggregations (672 terms = 3 equations x 7 senders x sigma 32).
+func BenchmarkMultiExp(b *testing.B) {
+	for _, preset := range []string{PresetTest64, PresetSim256} {
+		pr := MustPreset(preset)
+		g := MustNew(pr)
+		for _, terms := range []int{8, 32, 672} {
+			bases, exps := randomTerms(g, rand.New(rand.NewSource(int64(terms))), terms)
+			b.Run(fmt.Sprintf("%s/terms=%d/naive", preset, terms), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					naiveMultiExp(pr, bases, exps)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/terms=%d/multiexp", preset, terms), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := g.MultiExp(bases, exps); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCommitJointBase quantifies the Shamir-trick joint table
+// against the previous two-pass fixed-base commitment.
+func BenchmarkCommitJointBase(b *testing.B) {
+	for _, preset := range []string{PresetTest64, PresetSim256, PresetSecure512} {
+		pr := MustPreset(preset)
+		g := MustNew(pr)
+		rng := rand.New(rand.NewSource(3))
+		x, _ := g.Scalars().Rand(rng)
+		r, _ := g.Scalars().Rand(rng)
+		b.Run(preset+"/two-pass", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Mul(g.Pow1(x), g.Pow2(r))
+			}
+		})
+		b.Run(preset+"/joint", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Commit(x, r)
+			}
+		})
+	}
+}

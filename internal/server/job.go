@@ -202,6 +202,13 @@ type JobResult struct {
 	// (present when the spec set count_ops).
 	GroupExp uint64 `json:"group_exp,omitempty"`
 	GroupMul uint64 `json:"group_mul,omitempty"`
+	// GroupMultiExps / GroupMultiExpTerms count multi-exponentiation
+	// invocations and the total terms they absorbed (present when the
+	// spec set count_ops). Each absorbed term replaces one Exp+Mul pair
+	// of the naive evaluation, so the pair quantifies how much of
+	// Theorem 12's exponentiation budget the batched engine served.
+	GroupMultiExps     uint64 `json:"group_multiexps,omitempty"`
+	GroupMultiExpTerms uint64 `json:"group_multiexp_terms,omitempty"`
 }
 
 // Job is one tracked mechanism execution. All mutable fields are guarded
@@ -414,6 +421,8 @@ func buildResult(res *protocol.Result, matches bool) *JobResult {
 		for _, c := range res.AgentOps {
 			out.GroupExp += c.Exp()
 			out.GroupMul += c.Mul()
+			out.GroupMultiExps += c.MultiExps()
+			out.GroupMultiExpTerms += c.MultiExpTerms()
 		}
 	}
 	return out

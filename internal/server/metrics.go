@@ -22,6 +22,17 @@ type metrics struct {
 	// auctions counts individual task auctions across completed jobs
 	// ("total auctions run").
 	auctions atomic.Int64
+	// groupExp / groupMul / groupMultiExps / groupMultiExpTerms
+	// accumulate the per-agent group-operation counters of completed
+	// count_ops jobs: single exponentiations, modular multiplications,
+	// calls into the batched multi-exponentiation engine, and the total
+	// terms those calls absorbed. Terms/calls is the average batch width
+	// the hot path achieved; jobs without count_ops contribute nothing
+	// (counting is only attached when the spec asks for it).
+	groupExp           atomic.Uint64
+	groupMul           atomic.Uint64
+	groupMultiExps     atomic.Uint64
+	groupMultiExpTerms atomic.Uint64
 
 	latBuckets [len(latencyBucketsMS) + 1]atomic.Int64
 	latCount   atomic.Int64
@@ -63,6 +74,10 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	p("dmwd_jobs_completed_total %d\n", m.completed.Load())
 	p("dmwd_jobs_failed_total %d\n", m.failed.Load())
 	p("dmwd_auctions_run_total %d\n", m.auctions.Load())
+	p("dmwd_group_exp_total %d\n", m.groupExp.Load())
+	p("dmwd_group_mul_total %d\n", m.groupMul.Load())
+	p("dmwd_group_multiexps_total %d\n", m.groupMultiExps.Load())
+	p("dmwd_group_multiexp_terms_total %d\n", m.groupMultiExpTerms.Load())
 	p("dmwd_queue_depth %d\n", g.queueDepth)
 	p("dmwd_workers %d\n", g.workers)
 	if g.draining {

@@ -344,9 +344,14 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	matches := matchesCentralized(res, job.bids)
-	job.finish(StateDone, buildResult(res, matches), res.Transcript, "", now, s.cfg.ResultTTL)
+	jr := buildResult(res, matches)
+	job.finish(StateDone, jr, res.Transcript, "", now, s.cfg.ResultTTL)
 	s.metrics.completed.Add(1)
 	s.metrics.auctions.Add(int64(job.Tasks()))
+	s.metrics.groupExp.Add(jr.GroupExp)
+	s.metrics.groupMul.Add(jr.GroupMul)
+	s.metrics.groupMultiExps.Add(jr.GroupMultiExps)
+	s.metrics.groupMultiExpTerms.Add(jr.GroupMultiExpTerms)
 	s.metrics.observe(now.Sub(job.submitted))
 }
 

@@ -138,6 +138,48 @@ func TestLoadConcurrentJobsMatchDirectRun(t *testing.T) {
 	}
 }
 
+// TestCountOpsMultiExpAccounting pins the Theorem 12 accounting surface:
+// a count_ops job reports multi-exponentiation calls and absorbed terms,
+// and the process metrics accumulate exactly the job's totals.
+func TestCountOpsMultiExpAccounting(t *testing.T) {
+	s := startServer(t, testConfig())
+	job, err := s.Submit(JobSpec{
+		Bids:     [][]int{{2}, {1}, {3}, {2}},
+		W:        []int{1, 2, 3},
+		Seed:     11,
+		CountOps: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.WaitDone(30 * time.Second) {
+		t.Fatal("job did not finish")
+	}
+	res := job.Result()
+	if res == nil || job.State() != StateDone {
+		t.Fatalf("state %s, error %q", job.State(), job.View().Error)
+	}
+	if res.GroupMultiExps == 0 {
+		t.Fatal("count_ops job reported zero multi-exponentiations; the batched hot path should use MultiExp")
+	}
+	// Every call absorbs at least one term; the share-verification and
+	// resolution batches absorb many, so terms must strictly dominate.
+	if res.GroupMultiExpTerms <= res.GroupMultiExps {
+		t.Errorf("multi-exp terms %d not greater than calls %d: batching is not happening",
+			res.GroupMultiExpTerms, res.GroupMultiExps)
+	}
+
+	var sb strings.Builder
+	s.WriteMetrics(&sb)
+	text := sb.String()
+	if want := fmt.Sprintf("dmwd_group_multiexps_total %d", res.GroupMultiExps); !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q:\n%s", want, text)
+	}
+	if want := fmt.Sprintf("dmwd_group_multiexp_terms_total %d", res.GroupMultiExpTerms); !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q:\n%s", want, text)
+	}
+}
+
 // TestVickreyOutcome pins the basic mechanism property end to end:
 // winner = lowest bid, payment = second-lowest.
 func TestVickreyOutcome(t *testing.T) {
