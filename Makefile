@@ -1,15 +1,18 @@
-# Development targets; CI runs build + vet + test-race + bench-smoke
-# (see .github/workflows/ci.yml).
+# Development targets; CI runs build + vet + test-race + bench-smoke +
+# fuzz-smoke (see .github/workflows/ci.yml).
 
 GO ?= go
 # BENCH_OUT is the archived benchmark document `make bench` emits; bump
 # the suffix when re-baselining after a performance PR.
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_3.json
 # BENCHTIME trades precision for runtime; 0.2s is enough for the
 # crypto-level series to stabilize on an idle machine.
 BENCHTIME ?= 0.2s
+# FUZZTIME bounds each fuzzer in fuzz-smoke; long campaigns are run
+# manually with `go test -fuzz <Target> <pkg>`.
+FUZZTIME ?= 3s
 
-.PHONY: all build vet test test-race test-server bench bench-smoke bench-server ci
+.PHONY: all build vet test test-race test-server bench bench-smoke bench-server fuzz-smoke ci
 
 all: build vet test
 
@@ -37,7 +40,7 @@ test-server:
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
-		./internal/group ./internal/commit . | ./bin/benchjson -out $(BENCH_OUT)
+		./internal/group ./internal/commit ./internal/journal . | ./bin/benchjson -out $(BENCH_OUT)
 
 # bench-smoke compiles and runs every benchmark exactly once so the
 # benchmark code cannot bit-rot; CI runs this on every push.
@@ -47,4 +50,13 @@ bench-smoke:
 bench-server:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput .
 
-ci: build vet test-race bench-smoke
+# fuzz-smoke runs every fuzz target for a few seconds each (seed corpus
+# plus a short mutation burst) so the fuzzers cannot bit-rot; CI runs
+# this on every push. Go allows one -fuzz pattern per invocation, hence
+# one line per target.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
+	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
+
+ci: build vet test-race bench-smoke fuzz-smoke

@@ -260,63 +260,87 @@ func BenchmarkDegreeResolution(b *testing.B) {
 // dmwd service core (admission queue -> worker pool -> shared-group
 // dmw.Run) at in-flight windows {1, 8, 64} with the Demo128 preset.
 // depth=1 is the pure-latency floor; larger depths show how job-level
-// parallelism amortizes the queue and scheduling overhead.
+// parallelism amortizes the queue and scheduling overhead. The
+// journal=interval and journal=always variants run the same workload
+// against a WAL-backed store, pricing the durability tax: interval
+// batches fsyncs on a 100ms clock, always pays one fsync per lifecycle
+// append.
 func BenchmarkServerThroughput(b *testing.B) {
 	for _, depth := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			srv, err := server.New(server.Config{
+			benchServerThroughput(b, depth, server.Config{
 				Preset:     PresetDemo128,
 				QueueDepth: depth,
 				Workers:    4,
 				ResultTTL:  time.Minute,
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			srv.Start()
-
-			spec := server.JobSpec{
-				Random: &server.RandomSpec{Agents: 5, Tasks: 2},
-				W:      []int{1, 2, 3},
-			}
-			sem := make(chan struct{}, depth)
-			var wg sync.WaitGroup
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				sem <- struct{}{}
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					defer func() { <-sem }()
-					js := spec
-					js.Seed = int64(i + 1)
-					for {
-						job, err := srv.Submit(js)
-						if err == nil {
-							if !job.WaitDone(time.Minute) {
-								b.Error("job timed out")
-							}
-							return
-						}
-						if errors.Is(err, server.ErrQueueFull) {
-							time.Sleep(100 * time.Microsecond)
-							continue
-						}
-						b.Error(err)
-						return
-					}
-				}(i)
-			}
-			wg.Wait()
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
-
-			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-			defer cancel()
-			if err := srv.Shutdown(ctx); err != nil {
-				b.Fatal(err)
-			}
 		})
+	}
+	for _, fsync := range []string{"interval", "always"} {
+		const depth = 64
+		b.Run(fmt.Sprintf("depth=%d,journal=%s", depth, fsync), func(b *testing.B) {
+			benchServerThroughput(b, depth, server.Config{
+				Preset:     PresetDemo128,
+				QueueDepth: depth,
+				Workers:    4,
+				ResultTTL:  time.Minute,
+				DataDir:    b.TempDir(),
+				Fsync:      fsync,
+			})
+		})
+	}
+}
+
+func benchServerThroughput(b *testing.B, depth int, cfg server.Config) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+
+	spec := server.JobSpec{
+		Random: &server.RandomSpec{Agents: 5, Tasks: 2},
+		W:      []int{1, 2, 3},
+	}
+	sem := make(chan struct{}, depth)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			js := spec
+			js.Seed = int64(i + 1)
+			for {
+				job, err := srv.Submit(js)
+				if err == nil {
+					if !job.WaitDone(time.Minute) {
+						b.Error("job timed out")
+					}
+					return
+				}
+				if errors.Is(err, server.ErrQueueFull) {
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				b.Error(err)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	if st, ok := srv.JournalStats(); ok {
+		b.ReportMetric(float64(st.Fsyncs)/float64(b.N), "fsyncs/job")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -8,15 +8,25 @@
 //	dmwd [-addr :7700] [-preset Demo128 | -params file.json]
 //	     [-queue 64] [-workers n] [-auction-parallel k]
 //	     [-ttl 15m] [-max-n 64] [-max-m 64] [-q]
+//	     [-data-dir dir] [-fsync always|interval|never]
+//	     [-fsync-interval 100ms] [-snapshot-every 1024]
+//
+// With -data-dir, job lifecycle records are written through a
+// CRC-framed write-ahead log before they are acknowledged, and a
+// restart (even after kill -9) replays the journal: completed results
+// come back with their original TTL clocks and jobs that were queued or
+// running are re-enqueued and re-run. Without it the store is purely
+// in-memory, exactly as before.
 //
 // Quickstart:
 //
-//	dmwd &
+//	dmwd -data-dir ./data &
 //	curl -s localhost:7700/v1/jobs -d '{"random":{"agents":6,"tasks":3},"seed":42}'
 //	curl -s localhost:7700/v1/jobs/<id>?wait=10s
 //	curl -s localhost:7700/metrics
 //
-// See docs/SERVER.md for the full API and semantics.
+// See docs/SERVER.md for the full API and docs/DURABILITY.md for the
+// journal format, fsync trade-offs, and the recovery runbook.
 package main
 
 import (
@@ -56,6 +66,11 @@ func run() error {
 		maxM     = flag.Int("max-m", 64, "maximum tasks per job (0 = unlimited)")
 		drainFor = flag.Duration("drain-timeout", time.Minute, "maximum time to wait for in-flight jobs on shutdown")
 		quiet    = flag.Bool("q", false, "suppress lifecycle logs")
+
+		dataDir   = flag.String("data-dir", "", "enable durable persistence: WAL + snapshots in this directory (empty = in-memory)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
+		fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
+		snapEvery = flag.Int("snapshot-every", 1024, "WAL appends between snapshot compactions (-1 disables)")
 	)
 	flag.Parse()
 
@@ -73,6 +88,10 @@ func run() error {
 		ResultTTL:          *ttl,
 		Limits:             server.Limits{MaxAgents: *maxN, MaxTasks: *maxM},
 		Logf:               logf,
+		DataDir:            *dataDir,
+		Fsync:              *fsync,
+		FsyncInterval:      *fsyncInt,
+		SnapshotEvery:      *snapEvery,
 	}
 	if *pfile != "" {
 		params, err := group.ResolveParams(*pfile, "", func(path string) (io.ReadCloser, error) {
@@ -87,6 +106,9 @@ func run() error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if replayed, recoveries := srv.RecoveryStats(); recoveries > 0 {
+		logf("recovered %d jobs from %s (see /healthz journal section for details)", replayed, *dataDir)
 	}
 	srv.Start()
 

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -13,12 +14,20 @@ import (
 // JSON, so 1 MiB leaves ample headroom.
 const maxBodyBytes = 1 << 20
 
+// maxBatchBodyBytes bounds POST /v1/jobs/batch bodies, and
+// maxBatchJobs caps the specs per batch (256 jobs x ~20 KB fits).
+const (
+	maxBatchBodyBytes = 8 << 20
+	maxBatchJobs      = 256
+)
+
 // maxWait caps the ?wait long-poll on GET /v1/jobs/{id}.
 const maxWait = 30 * time.Second
 
 // Handler returns the daemon's HTTP API:
 //
 //	POST /v1/jobs                 submit a job (bid matrix or random spec)
+//	POST /v1/jobs/batch           submit an array of jobs (per-item accept/reject)
 //	GET  /v1/jobs/{id}            job status/result (optional ?wait=5s)
 //	GET  /v1/jobs/{id}/transcript verifiable transcript envelope (audit)
 //	GET  /healthz                 liveness + drain state
@@ -26,6 +35,7 @@ const maxWait = 30 * time.Second
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/transcript", s.handleTranscript)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -68,6 +78,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	}
+}
+
+// handleSubmitBatch admits a JSON array of job specs. Admission is
+// per-item (one invalid spec or a full queue never fails the batch);
+// the journal-backed store persists all valid admissions with a single
+// WAL append batch, amortizing the fsync across the request. Responds
+// 200 with a BatchItem per spec, positionally aligned with the input.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var specs []JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec array: " + err.Error()})
+		return
+	}
+	if len(specs) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty batch"})
+		return
+	}
+	if len(specs) > maxBatchJobs {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("batch of %d jobs exceeds limit %d", len(specs), maxBatchJobs)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.SubmitBatch(specs))
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +155,19 @@ type healthView struct {
 	QueueDepth int     `json:"queue_depth"`
 	Workers    int     `json:"workers"`
 	LiveJobs   int     `json:"live_jobs"`
+	// Journal summarizes the WAL when durability is enabled (-data-dir).
+	Journal *journalView `json:"journal,omitempty"`
+}
+
+// journalView is the JSON stats surface of the WAL.
+type journalView struct {
+	Appends      uint64 `json:"journal_appends"`
+	Fsyncs       uint64 `json:"journal_fsyncs"`
+	Bytes        uint64 `json:"journal_bytes"`
+	Segments     int    `json:"journal_segments"`
+	Snapshots    uint64 `json:"journal_snapshots"`
+	ReplayedJobs int    `json:"journal_replayed_jobs"`
+	Recoveries   int    `json:"journal_recoveries"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -131,7 +178,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:     "ok",
 		QueueDepth: len(s.queue),
 		Workers:    s.cfg.Workers,
-		LiveJobs:   s.store.len(),
+		LiveJobs:   s.store.Len(),
+	}
+	if st, ok := s.JournalStats(); ok {
+		replayed, recoveries := s.RecoveryStats()
+		hv.Journal = &journalView{
+			Appends:      st.Appends,
+			Fsyncs:       st.Fsyncs,
+			Bytes:        st.Bytes,
+			Segments:     st.Segments,
+			Snapshots:    st.Snapshots,
+			ReplayedJobs: replayed,
+			Recoveries:   recoveries,
+		}
 	}
 	if !start.IsZero() {
 		hv.UptimeSecs = time.Since(start).Seconds()

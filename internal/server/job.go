@@ -316,6 +316,27 @@ func (j *Job) Transcript() *protocol.Transcript {
 	return j.transcript
 }
 
+// startedAt returns the running-transition timestamp.
+func (j *Job) startedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
+}
+
+// finishedRecord snapshots the terminal transition for journaling.
+func (j *Job) finishedRecord() finishedRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return finishedRecord{
+		ID:       j.ID,
+		State:    j.state,
+		Result:   j.result,
+		Error:    j.errMsg,
+		Finished: j.finished,
+		Expires:  j.expires,
+	}
+}
+
 func (j *Job) setRunning(now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

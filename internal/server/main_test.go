@@ -1,0 +1,25 @@
+package server
+
+import (
+	"net"
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary double as the sacrificial child server
+// for TestKillNineRecovery: when re-exec'd with DMWD_CRASH_CHILD_DIR
+// set, it serves a journal-backed dmwd core until SIGKILLed instead of
+// running the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) != "" {
+		runCrashChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// newLocalListener grabs an ephemeral loopback port for the child
+// server so parallel test runs never collide on an address.
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"dmw/internal/journal"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the per-job
@@ -61,6 +63,14 @@ type snapshotGauges struct {
 	draining   bool
 	liveJobs   int
 	uptime     time.Duration
+
+	// journal* carry the WAL counters when the store is journal-backed
+	// (journalEnabled); the exposition emits dmwd_journal_enabled either
+	// way so dashboards can key on the mode.
+	journalEnabled    bool
+	journal           journal.Stats
+	journalReplayed   int64
+	journalRecoveries int64
 }
 
 // writeTo renders the plain-text exposition (Prometheus-compatible
@@ -87,6 +97,18 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	}
 	p("dmwd_jobs_live %d\n", g.liveJobs)
 	p("dmwd_uptime_seconds %.3f\n", g.uptime.Seconds())
+	if g.journalEnabled {
+		p("dmwd_journal_enabled 1\n")
+		p("dmwd_journal_appends_total %d\n", g.journal.Appends)
+		p("dmwd_journal_fsyncs_total %d\n", g.journal.Fsyncs)
+		p("dmwd_journal_bytes_total %d\n", g.journal.Bytes)
+		p("dmwd_journal_segments %d\n", g.journal.Segments)
+		p("dmwd_journal_snapshots_total %d\n", g.journal.Snapshots)
+		p("dmwd_journal_replayed_jobs %d\n", g.journalReplayed)
+		p("dmwd_journal_recoveries_total %d\n", g.journalRecoveries)
+	} else {
+		p("dmwd_journal_enabled 0\n")
+	}
 
 	var cum int64
 	for i, ub := range latencyBucketsMS {

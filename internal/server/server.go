@@ -1,8 +1,10 @@
 // Package server is the resident auction service behind cmd/dmwd: a
 // bounded admission queue with backpressure, a worker pool that executes
 // jobs via the distributed protocol (internal/dmw) against SHARED
-// precomputed group parameters and fixed-base tables, an in-memory
-// result store with TTL eviction, and a plain-text metrics surface.
+// precomputed group parameters and fixed-base tables, a result store
+// with TTL eviction (in-memory by default; write-through to a WAL-
+// backed journal when Config.DataDir is set — see internal/journal and
+// docs/DURABILITY.md), and a plain-text metrics surface.
 //
 // The paper frames MinWork as "a set of parallel and independent Vickrey
 // auctions"; a single dmw.Run already parallelizes the m auctions of one
@@ -28,6 +30,7 @@ import (
 	"dmw/internal/bidcode"
 	protocol "dmw/internal/dmw"
 	"dmw/internal/group"
+	"dmw/internal/journal"
 	"dmw/internal/mechanism"
 	"dmw/internal/sched"
 )
@@ -71,6 +74,28 @@ type Config struct {
 	Limits Limits
 	// Logf receives lifecycle logs; nil discards them.
 	Logf func(format string, args ...any)
+
+	// DataDir enables durable persistence: every job lifecycle
+	// transition is written through a CRC-framed WAL (internal/journal)
+	// before it becomes visible, and New replays the journal so a
+	// restart loses no accepted job. Empty (the default) keeps the
+	// purely in-memory store.
+	DataDir string
+	// Fsync is the WAL flush policy: "always" (durable at the ack,
+	// slowest), "interval" (default; durable within FsyncInterval), or
+	// "never" (page cache only — survives process crashes, not power
+	// loss). Ignored without DataDir.
+	Fsync string
+	// FsyncInterval is the flush period under the interval policy
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery compacts the WAL (full-state snapshot + truncation
+	// of superseded segments) after this many appends. Default 1024;
+	// negative disables automatic compaction (a final snapshot is still
+	// taken on shutdown).
+	SnapshotEvery int
+	// SegmentBytes caps a WAL segment before rotation (default 4 MiB).
+	SegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +126,11 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 1024
+	} else if c.SnapshotEvery < 0 {
+		c.SnapshotEvery = 0 // disabled
+	}
 	return c
 }
 
@@ -111,8 +141,16 @@ type Server struct {
 	grp    *group.Group
 
 	queue   chan *Job
-	store   *store
+	store   Store
 	metrics *metrics
+
+	// jstore is non-nil when the store is journal-backed (DataDir set);
+	// it is only consulted for stats — all operations go through store.
+	jstore *journalStore
+	// replayedJobs / recoveries / tailTruncated describe the recovery
+	// New performed (zero for a fresh or in-memory server).
+	replayedJobs int
+	recoveries   int
 
 	mu       sync.Mutex // guards draining and the queue-close handshake
 	draining bool
@@ -121,6 +159,7 @@ type Server struct {
 	workersWG  sync.WaitGroup
 	janitorWG  sync.WaitGroup
 	stopSweeps chan struct{}
+	closeStore sync.Once
 
 	startTime time.Time
 }
@@ -147,15 +186,95 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: resolving group parameters: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		params:     params,
 		grp:        grp,
-		queue:      make(chan *Job, cfg.QueueDepth),
-		store:      newStore(),
 		metrics:    &metrics{},
 		stopSweeps: make(chan struct{}),
-	}, nil
+	}
+	mem := newMemStore()
+	s.store = mem
+	if cfg.DataDir != "" {
+		if err := s.openJournal(mem); err != nil {
+			return nil, err
+		}
+	}
+	if s.queue == nil {
+		s.queue = make(chan *Job, cfg.QueueDepth)
+	}
+	return s, nil
+}
+
+// openJournal opens the WAL in cfg.DataDir, replays prior state into
+// the in-memory index, re-enqueues jobs that were queued or running at
+// crash time, and compacts the recovered log into one fresh snapshot.
+func (s *Server) openJournal(mem *memStore) error {
+	cfg := s.cfg
+	pol, err := journal.ParseSyncPolicy(cfg.Fsync)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	jnl, rec, err := journal.Open(journal.Options{
+		Dir:          cfg.DataDir,
+		Sync:         pol,
+		SyncInterval: cfg.FsyncInterval,
+		SegmentBytes: cfg.SegmentBytes,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("server: opening journal: %w", err)
+	}
+	js := newJournalStore(mem, jnl, cfg.SnapshotEvery, cfg.Logf)
+	s.store, s.jstore = js, js
+
+	records, skipped := replayEntries(rec.Entries, cfg.Logf)
+	now := time.Now()
+	var requeue []*Job
+	restored, expired := 0, 0
+	for _, r := range records {
+		job := jobFromRecord(*r)
+		if job.State().Terminal() {
+			if job.expired(now) {
+				expired++ // past its TTL deadline: stay dead
+				continue
+			}
+			restored++
+		} else {
+			requeue = append(requeue, job)
+		}
+		if err := mem.Put(job); err != nil {
+			return err
+		}
+	}
+
+	// The queue must hold every re-enqueued job even if it exceeds the
+	// configured depth — accepted work is never shed.
+	depth := cfg.QueueDepth
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	s.queue = make(chan *Job, depth)
+	for _, job := range requeue {
+		s.queue <- job
+	}
+
+	if rec.Recovered {
+		s.recoveries = 1
+		s.replayedJobs = restored + len(requeue)
+		cfg.Logf("recovery: replayed %d jobs from %s (%d results restored, %d re-enqueued, %d expired, %d records skipped)%s",
+			s.replayedJobs, cfg.DataDir, restored, len(requeue), expired, skipped,
+			map[bool]string{true: "; torn log tail truncated", false: ""}[rec.TailTruncated])
+		// Compact immediately: the next start replays one snapshot
+		// instead of the accumulated tail, and the truncated/duplicate
+		// history is garbage-collected now.
+		if err := js.compactNow(); err != nil {
+			cfg.Logf("recovery: post-recovery snapshot: %v", err)
+		}
+	} else {
+		cfg.Logf("journal: initialized %s (fsync=%s)", cfg.DataDir, pol)
+	}
+	return nil
 }
 
 // Start launches the worker pool and the TTL janitor. It is idempotent.
@@ -191,7 +310,7 @@ func (s *Server) Start() {
 		for {
 			select {
 			case now := <-t.C:
-				if n := s.store.sweep(now); n > 0 {
+				if n := s.store.Sweep(now); n > 0 {
 					s.cfg.Logf("janitor: evicted %d expired jobs", n)
 				}
 			case <-s.stopSweeps:
@@ -207,7 +326,9 @@ func (s *Server) Start() {
 // queued. When admission fails with ErrQueueFull or ErrDraining the
 // job record is still created (state rejected) and queryable, so the
 // caller learns an ID either way; spec errors return (nil, error)
-// wrapping ErrInvalidSpec.
+// wrapping ErrInvalidSpec. With a journal-backed store the admission
+// record is durable before Submit returns — durability before
+// acknowledgment.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	bids, err := spec.materialize(s.cfg.Limits)
 	if err != nil {
@@ -219,33 +340,140 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.admit(job, now)
+}
 
+// admit persists and indexes the job, then races it against the
+// bounded queue. Ordering invariant: the admission record reaches the
+// store (and the WAL) BEFORE the job can reach a worker, so a job's
+// lifecycle appends always follow its admission append in the log.
+func (s *Server) admit(job *Job, now time.Time) (*Job, error) {
+	if s.Draining() {
+		// Fast path: journal the rejection as one terminal record.
+		job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
+		if err := s.store.Put(job); err != nil {
+			s.cfg.Logf("admit: persisting drain rejection: %v", err)
+		}
+		s.metrics.rejected.Add(1)
+		return job, ErrDraining
+	}
+	if err := s.store.Put(job); err != nil {
+		// Cannot make the admission durable: refuse it outright rather
+		// than accept work that would be silently lost by a restart.
+		s.metrics.rejected.Add(1)
+		return nil, err
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
-		s.store.put(job)
+		s.store.Finished(job)
 		s.metrics.rejected.Add(1)
 		return job, ErrDraining
 	}
 	select {
 	case s.queue <- job:
 		s.mu.Unlock()
-		s.store.put(job)
 		s.metrics.accepted.Add(1)
 		return job, nil
 	default:
 		s.mu.Unlock()
 		job.reject(ErrQueueFull.Error(), now, s.cfg.ResultTTL)
-		s.store.put(job)
+		s.store.Finished(job)
 		s.metrics.rejected.Add(1)
 		return job, ErrQueueFull
 	}
 }
 
+// BatchItem is the per-spec outcome of SubmitBatch.
+type BatchItem struct {
+	// Accepted reports whether the job was admitted to the queue.
+	Accepted bool `json:"accepted"`
+	// Error explains a rejection (invalid spec, queue full, draining).
+	Error string `json:"error,omitempty"`
+	// Job is the job view; nil only for specs that failed validation
+	// (those never get a job record).
+	Job *JobView `json:"job,omitempty"`
+}
+
+// SubmitBatch admits each spec independently against the bounded queue
+// (per-item accept/reject — one bad spec or a momentarily full queue
+// never fails the whole batch) while amortizing durability: all valid
+// admissions are journaled in ONE append batch, i.e. a single fsync
+// under the always policy, instead of one per job.
+func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
+	items := make([]BatchItem, len(specs))
+	now := time.Now()
+	jobs := make([]*Job, len(specs)) // nil where the spec was invalid
+	var valid []*Job
+	for i := range specs {
+		bids, err := specs[i].materialize(s.cfg.Limits)
+		if err != nil {
+			s.metrics.rejected.Add(1)
+			items[i].Error = err.Error()
+			continue
+		}
+		job, err := newJob(specs[i], bids, now)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		jobs[i] = job
+		valid = append(valid, job)
+	}
+
+	// Durability before visibility, amortized across the batch.
+	if err := s.store.PutBatch(valid); err != nil {
+		for i, job := range jobs {
+			if job != nil {
+				s.metrics.rejected.Add(1)
+				items[i] = BatchItem{Error: "persisting admission: " + err.Error()}
+			}
+		}
+		return items
+	}
+
+	for i, job := range jobs {
+		if job == nil {
+			continue
+		}
+		s.mu.Lock()
+		draining := s.draining
+		var accepted bool
+		if !draining {
+			select {
+			case s.queue <- job:
+				accepted = true
+			default:
+			}
+		}
+		s.mu.Unlock()
+
+		switch {
+		case accepted:
+			s.metrics.accepted.Add(1)
+			v := job.View()
+			items[i] = BatchItem{Accepted: true, Job: &v}
+		case draining:
+			job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
+			s.store.Finished(job)
+			s.metrics.rejected.Add(1)
+			v := job.View()
+			items[i] = BatchItem{Error: ErrDraining.Error(), Job: &v}
+		default:
+			job.reject(ErrQueueFull.Error(), now, s.cfg.ResultTTL)
+			s.store.Finished(job)
+			s.metrics.rejected.Add(1)
+			v := job.View()
+			items[i] = BatchItem{Error: ErrQueueFull.Error(), Job: &v}
+		}
+	}
+	return items
+}
+
 // Get looks a job up by ID.
 func (s *Server) Get(id string) (*Job, bool) {
-	return s.store.get(id, time.Now())
+	return s.store.Get(id, time.Now())
 }
 
 // QueueDepth reports the number of queued (not yet running) jobs.
@@ -270,13 +498,35 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	if !start.IsZero() {
 		uptime = time.Since(start)
 	}
-	s.metrics.writeTo(w, snapshotGauges{
+	g := snapshotGauges{
 		queueDepth: len(s.queue),
 		workers:    s.cfg.Workers,
 		draining:   draining,
-		liveJobs:   s.store.len(),
+		liveJobs:   s.store.Len(),
 		uptime:     uptime,
-	})
+	}
+	if s.jstore != nil {
+		g.journalEnabled = true
+		g.journal = s.jstore.j.Stats()
+		g.journalReplayed = int64(s.replayedJobs)
+		g.journalRecoveries = int64(s.recoveries)
+	}
+	s.metrics.writeTo(w, g)
+}
+
+// JournalStats returns the WAL counters and true when the server is
+// journal-backed; (zero, false) for the in-memory store.
+func (s *Server) JournalStats() (journal.Stats, bool) {
+	if s.jstore == nil {
+		return journal.Stats{}, false
+	}
+	return s.jstore.j.Stats(), true
+}
+
+// RecoveryStats reports how many jobs the last Open replayed and
+// whether a recovery happened at all (0, 0 for fresh/in-memory runs).
+func (s *Server) RecoveryStats() (replayedJobs, recoveries int) {
+	return s.replayedJobs, s.recoveries
 }
 
 // Shutdown drains the server: no new jobs are admitted, queued and
@@ -299,12 +549,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	if !started {
+		// Never-started server: nothing to drain, but the store (and
+		// its WAL) must still be released.
+		s.closeStore.Do(func() {
+			if err := s.store.Close(); err != nil {
+				s.cfg.Logf("shutdown: closing store: %v", err)
+			}
+		})
 		return nil
 	}
 	done := make(chan struct{})
 	go func() {
 		s.workersWG.Wait()
 		s.janitorWG.Wait()
+		// Drain complete: every accepted job is terminal, so the final
+		// snapshot captures a quiescent state before the WAL is sealed.
+		s.closeStore.Do(func() {
+			if err := s.store.Close(); err != nil {
+				s.cfg.Logf("shutdown: closing store: %v", err)
+			}
+		})
 		close(done)
 	}()
 	select {
@@ -319,6 +583,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // runJob executes one job on a worker.
 func (s *Server) runJob(job *Job) {
 	job.setRunning(time.Now())
+	s.store.Started(job)
 
 	par := s.cfg.AuctionParallelism
 	if job.Spec.Parallelism > 0 && job.Spec.Parallelism < par {
@@ -338,6 +603,7 @@ func (s *Server) runJob(job *Job) {
 	now := time.Now()
 	if err != nil {
 		job.finish(StateFailed, nil, nil, err.Error(), now, s.cfg.ResultTTL)
+		s.store.Finished(job)
 		s.metrics.failed.Add(1)
 		s.metrics.observe(now.Sub(job.submitted))
 		s.cfg.Logf("job %s failed: %v", job.ID, err)
@@ -346,6 +612,7 @@ func (s *Server) runJob(job *Job) {
 	matches := matchesCentralized(res, job.bids)
 	jr := buildResult(res, matches)
 	job.finish(StateDone, jr, res.Transcript, "", now, s.cfg.ResultTTL)
+	s.store.Finished(job)
 	s.metrics.completed.Add(1)
 	s.metrics.auctions.Add(int64(job.Tasks()))
 	s.metrics.groupExp.Add(jr.GroupExp)

@@ -5,26 +5,79 @@ import (
 	"time"
 )
 
-// store is the in-memory job index. Terminal jobs are retained for the
-// configured TTL so clients can poll results, then evicted by the
+// Store is the job index behind a Server. The in-memory store is the
+// default; when a data directory is configured the journal-backed store
+// (journalstore.go) wraps it write-through: every lifecycle transition
+// is appended to the WAL before it becomes visible, while reads stay
+// O(1) lock-held map hits — jobs are small, so the whole working set
+// lives in memory either way.
+//
+// TTL contract (pinned by TestSweepPreservesRestoredTTL): a terminal
+// job's retention clock is measured from its COMPLETION time — expires
+// is set exactly once, by Job.finish (or carried verbatim inside a
+// journal record) — and is preserved across restarts. Recovery
+// reinserts a restored terminal job with its original expires, never a
+// fresh now+TTL, so Sweep evicts it at the same wall-clock instant it
+// would have been evicted had the process never crashed; jobs already
+// past their deadline at recovery time are dropped during replay
+// instead of being resurrected. Sweep never touches non-terminal jobs.
+type Store interface {
+	// Put indexes a job at admission time (state queued or rejected).
+	// The journal-backed store persists it first and fails the admission
+	// if the record cannot be made durable.
+	Put(j *Job) error
+	// PutBatch indexes several jobs with one durability round-trip (a
+	// single WAL append batch, so one fsync under the always policy).
+	PutBatch(jobs []*Job) error
+	// Get looks a job up, evicting it lazily when expired.
+	Get(id string, now time.Time) (*Job, bool)
+	// Len counts live (unexpired) jobs without evicting.
+	Len() int
+	// Sweep evicts every expired terminal job, returning the count.
+	Sweep(now time.Time) int
+	// Started records a queued -> running transition (after the job's
+	// own state change). Best-effort in the journal-backed store: the
+	// job is already durable as queued, and a lost running marker only
+	// costs a redundant re-run after a crash.
+	Started(j *Job)
+	// Finished records a terminal transition (after the job's own state
+	// change), persisting the result and its TTL deadline.
+	Finished(j *Job)
+	// Close flushes and releases the store (final snapshot + WAL close
+	// for the journal-backed store). The in-memory store is a no-op.
+	Close() error
+}
+
+// memStore is the in-memory job index. Terminal jobs are retained for
+// the configured TTL so clients can poll results, then evicted by the
 // janitor (and opportunistically on lookup, so a stopped janitor —
 // e.g. in tests — still converges).
-type store struct {
+type memStore struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
 }
 
-func newStore() *store {
-	return &store{jobs: make(map[string]*Job)}
+func newMemStore() *memStore {
+	return &memStore{jobs: make(map[string]*Job)}
 }
 
-func (s *store) put(j *Job) {
+func (s *memStore) Put(j *Job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobs[j.ID] = j
+	return nil
 }
 
-func (s *store) get(id string, now time.Time) (*Job, bool) {
+func (s *memStore) PutBatch(jobs []*Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range jobs {
+		s.jobs[j.ID] = j
+	}
+	return nil
+}
+
+func (s *memStore) Get(id string, now time.Time) (*Job, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
@@ -40,15 +93,20 @@ func (s *store) get(id string, now time.Time) (*Job, bool) {
 	return j, true
 }
 
-// len counts live (unexpired) jobs without evicting.
-func (s *store) len() int {
+// Len counts live (unexpired) jobs without evicting.
+func (s *memStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.jobs)
 }
 
-// sweep evicts every expired job and returns how many were removed.
-func (s *store) sweep(now time.Time) int {
+// Sweep evicts every expired job and returns how many were removed.
+// Only terminal jobs can expire (Job.expired requires a terminal
+// state), and their deadline is the completion-time expires stamp —
+// restored jobs carry the original one, so a post-recovery sweep
+// behaves exactly like an uninterrupted process (see the Store
+// contract above).
+func (s *memStore) Sweep(now time.Time) int {
 	s.mu.Lock()
 	ids := make([]string, 0, len(s.jobs))
 	for id := range s.jobs {
@@ -72,4 +130,25 @@ func (s *store) sweep(now time.Time) int {
 		}
 	}
 	return removed
+}
+
+// Started / Finished are lifecycle no-ops in memory: the Job itself is
+// the source of truth and it is already in the map.
+func (s *memStore) Started(j *Job)  {}
+func (s *memStore) Finished(j *Job) {}
+
+// Close is a no-op for the in-memory store.
+func (s *memStore) Close() error { return nil }
+
+// snapshotJobs returns every indexed job (live or expired; the caller
+// filters). Used by the journal-backed store to build compaction
+// snapshots.
+func (s *memStore) snapshotJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
 }
