@@ -4,15 +4,19 @@
 GO ?= go
 # BENCH_OUT is the archived benchmark document `make bench` emits; bump
 # the suffix when re-baselining after a performance PR.
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_4.json
 # BENCHTIME trades precision for runtime; 0.2s is enough for the
 # crypto-level series to stabilize on an idle machine.
 BENCHTIME ?= 0.2s
+# GATEWAY_BENCHTIME is longer: the fleet series needs enough jobs in
+# flight (b.N >> total workers) to reach windowed steady state, or the
+# jobs/sec figure measures ramp-up instead of throughput.
+GATEWAY_BENCHTIME ?= 2s
 # FUZZTIME bounds each fuzzer in fuzz-smoke; long campaigns are run
 # manually with `go test -fuzz <Target> <pkg>`.
 FUZZTIME ?= 3s
 
-.PHONY: all build vet test test-race test-server bench bench-smoke bench-server fuzz-smoke ci
+.PHONY: all build vet test test-race test-server e2e-shard bench bench-smoke bench-server bench-gateway fuzz-smoke ci
 
 all: build vet test
 
@@ -32,6 +36,13 @@ test-race:
 test-server:
 	$(GO) test -race ./internal/server ./internal/dmw
 
+# e2e-shard is the sharded-fleet acceptance scenario: two REAL dmwd
+# replica processes (journal-backed, flocked data dirs) behind an
+# in-process dmwgw, one replica SIGKILLed mid-load, zero accepted-job
+# loss after restart. Runs under -race; CI runs this on every push.
+e2e-shard:
+	$(GO) test -race -run 'TestFailoverKillNineZeroLoss' -v -count=1 ./internal/gateway
+
 # bench runs the cryptographic inner-loop benchmarks (group, commit) and
 # the end-to-end suites (root package: Table 1 + server throughput) and
 # archives the parsed results as $(BENCH_OUT). Names are verbatim from
@@ -39,16 +50,25 @@ test-server:
 # baselines with `benchstat <(jq ...) <(jq ...)` or just diff the JSON.
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
-		./internal/group ./internal/commit ./internal/journal . | ./bin/benchjson -out $(BENCH_OUT)
+	( $(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
+		./internal/group ./internal/commit ./internal/journal && \
+	  $(GO) test -run xxx -bench 'Table1|ServerThroughput|MinWork' -benchmem -benchtime $(BENCHTIME) . && \
+	  $(GO) test -run xxx -bench GatewayThroughput -benchtime $(GATEWAY_BENCHTIME) . \
+	) | ./bin/benchjson -out $(BENCH_OUT)
 
 # bench-smoke compiles and runs every benchmark exactly once so the
-# benchmark code cannot bit-rot; CI runs this on every push.
+# benchmark code cannot bit-rot; CI runs this on every push. The root
+# package is included for the end-to-end server/gateway series.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime 1x ./internal/...
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/... .
 
 bench-server:
 	$(GO) test -run xxx -bench BenchmarkServerThroughput .
+
+# bench-gateway measures the sharded fleet scaling series on its own
+# (direct baseline, then dmwgw over 1/2/4 replicas).
+bench-gateway:
+	$(GO) test -run xxx -bench BenchmarkGatewayThroughput -benchtime 2s .
 
 # fuzz-smoke runs every fuzz target for a few seconds each (seed corpus
 # plus a short mutation burst) so the fuzzers cannot bit-rot; CI runs
@@ -59,4 +79,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
 	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
 
-ci: build vet test-race bench-smoke fuzz-smoke
+ci: build vet test-race e2e-shard bench-smoke fuzz-smoke

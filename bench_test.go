@@ -11,10 +11,15 @@ package dmw
 // fitted exponents.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +27,7 @@ import (
 	"dmw/internal/bidcode"
 	protocol "dmw/internal/dmw"
 	"dmw/internal/field"
+	"dmw/internal/gateway"
 	"dmw/internal/group"
 	"dmw/internal/mechanism"
 	"dmw/internal/poly"
@@ -354,5 +360,158 @@ func BenchmarkMinWorkCentralizedLarge(b *testing.B) {
 		if _, err := (mechanism.MinWork{}).Run(in); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// startBenchReplica boots one in-process dmwd core behind a real HTTP
+// listener for the gateway scaling benchmark.
+func startBenchReplica(b *testing.B) *httptest.Server {
+	b.Helper()
+	srv, err := server.New(server.Config{
+		Preset:     PresetTest64,
+		QueueDepth: 128,
+		Workers:    8,
+		ResultTTL:  time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return ts
+}
+
+// benchGatewaySpec is the scaling workload: a small auction over
+// WAN-emulated 10ms links (link_delay_ms), the deployment regime the
+// gateway exists for. Each job costs ~1ms of CPU but ~55ms of wall
+// clock waiting on round barriers, so a replica's throughput is bounded
+// by its worker pool (workers/latency), not by the host CPU — exactly
+// the bottleneck that motivates sharding, and the one adding replicas
+// relieves.
+func benchGatewaySpec(seed int64) server.JobSpec {
+	return server.JobSpec{
+		Bids:        [][]int{{1}, {3}, {2}, {3}},
+		W:           []int{1, 2, 3},
+		Seed:        seed,
+		LinkDelayMS: 10,
+	}
+}
+
+// benchHTTPJobs drives depth-windowed submit+wait pairs over HTTP
+// against base (a dmwd or a dmwgw front door) and reports jobs/sec.
+func benchHTTPJobs(b *testing.B, base string, depth int) {
+	b.Helper()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * depth,
+		MaxIdleConnsPerHost: 4 * depth,
+	}}
+	defer client.CloseIdleConnections()
+
+	runOne := func(i int) error {
+		body, err := json.Marshal(benchGatewaySpec(int64(i + 1)))
+		if err != nil {
+			return err
+		}
+		var id string
+		for {
+			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				time.Sleep(100 * time.Microsecond) // backpressure: retry
+				continue
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, data)
+			}
+			var view server.JobView
+			if err := json.Unmarshal(data, &view); err != nil {
+				return err
+			}
+			id = view.ID
+			break
+		}
+		resp, err := client.Get(base + "/v1/jobs/" + id + "?wait=30s")
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var view server.JobView
+		if err := json.Unmarshal(data, &view); err != nil {
+			return err
+		}
+		if view.State != server.StateDone {
+			return fmt.Errorf("job %s state %s: %s", id, view.State, view.Error)
+		}
+		return nil
+	}
+
+	sem := make(chan struct{}, depth)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := runOne(i); err != nil {
+				b.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// BenchmarkGatewayThroughput measures aggregate jobs/sec at an
+// in-flight window of 64 as the fleet grows: a direct single dmwd
+// (the pre-gateway baseline), then dmwgw fronting 1, 2, and 4
+// replicas. replicas=1 prices the proxy hop; replicas=2 and 4 show
+// the horizontal scaling the consistent-hash ring buys once a single
+// worker pool is the bottleneck.
+func BenchmarkGatewayThroughput(b *testing.B) {
+	const depth = 64
+	b.Run("direct", func(b *testing.B) {
+		ts := startBenchReplica(b)
+		benchHTTPJobs(b, ts.URL, depth)
+	})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			cfg := gateway.Config{HealthInterval: time.Second}
+			for i := 0; i < n; i++ {
+				ts := startBenchReplica(b)
+				cfg.Backends = append(cfg.Backends, gateway.Backend{
+					Name: fmt.Sprintf("rep%d", i), URL: ts.URL,
+				})
+			}
+			g, err := gateway.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			front := httptest.NewServer(g.Handler())
+			b.Cleanup(func() {
+				front.Close()
+				g.Close()
+			})
+			benchHTTPJobs(b, front.URL, depth)
+		})
 	}
 }

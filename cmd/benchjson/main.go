@@ -37,6 +37,11 @@ type Result struct {
 	// Package is the import path printed by `go test` for the enclosing
 	// "pkg:" block, when present.
 	Package string `json:"package,omitempty"`
+	// Suite classifies the series for dashboards that track one layer
+	// of the stack: "crypto" (group/commit inner loops), "journal"
+	// (WAL), "server" (single-dmwd end to end), "gateway" (sharded
+	// fleet end to end), or "paper" (Table 1 protocol artifacts).
+	Suite string `json:"suite,omitempty"`
 	// Iterations is the measured b.N.
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is the headline metric.
@@ -96,7 +101,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, line)
 			continue
 		}
-		r := Result{Name: m[1], Package: pkg, Iterations: iters}
+		r := Result{Name: m[1], Package: pkg, Suite: classify(pkg, m[1]), Iterations: iters}
 		if parseMetrics(m[3], &r) {
 			doc.Results = append(doc.Results, r)
 		}
@@ -128,6 +133,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// classify maps a benchmark to its suite. The package decides for the
+// per-layer packages; within the root package (mixed end-to-end
+// suites) the benchmark name prefix decides.
+func classify(pkg, name string) string {
+	switch {
+	case strings.HasSuffix(pkg, "/group"), strings.HasSuffix(pkg, "/commit"):
+		return "crypto"
+	case strings.HasSuffix(pkg, "/journal"):
+		return "journal"
+	case strings.HasPrefix(name, "BenchmarkGateway"):
+		return "gateway"
+	case strings.HasPrefix(name, "BenchmarkServer"):
+		return "server"
+	default:
+		return "paper"
+	}
 }
 
 // parseMetrics reads the "<value> <unit>" pairs following the iteration

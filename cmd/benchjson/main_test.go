@@ -56,6 +56,24 @@ func TestBenchLineParsing(t *testing.T) {
 	}
 }
 
+func TestSuiteClassification(t *testing.T) {
+	tests := []struct {
+		pkg, name, want string
+	}{
+		{"dmw/internal/group", "BenchmarkMontMul/test-64-8", "crypto"},
+		{"dmw/internal/commit", "BenchmarkBatchVerifyShares-8", "crypto"},
+		{"dmw/internal/journal", "BenchmarkAppend-8", "journal"},
+		{"dmw", "BenchmarkServerThroughput/depth=64-8", "server"},
+		{"dmw", "BenchmarkGatewayThroughput/replicas=2-8", "gateway"},
+		{"dmw", "BenchmarkTable1CommunicationDMW/n=8/m=2-8", "paper"},
+	}
+	for _, tc := range tests {
+		if got := classify(tc.pkg, tc.name); got != tc.want {
+			t.Errorf("classify(%q, %q) = %q, want %q", tc.pkg, tc.name, got, tc.want)
+		}
+	}
+}
+
 func TestNonBenchLinesRejected(t *testing.T) {
 	for _, line := range []string{
 		"goos: linux",

@@ -10,6 +10,7 @@
 //	     [-ttl 15m] [-max-n 64] [-max-m 64] [-q]
 //	     [-data-dir dir] [-fsync always|interval|never]
 //	     [-fsync-interval 100ms] [-snapshot-every 1024]
+//	     [-pprof-addr 127.0.0.1:6060]
 //
 // With -data-dir, job lifecycle records are written through a
 // CRC-framed write-ahead log before they are acknowledged, and a
@@ -43,6 +44,7 @@ import (
 
 	"dmw"
 	"dmw/internal/group"
+	"dmw/internal/pprofserve"
 	"dmw/internal/server"
 )
 
@@ -66,6 +68,8 @@ func run() error {
 		maxM     = flag.Int("max-m", 64, "maximum tasks per job (0 = unlimited)")
 		drainFor = flag.Duration("drain-timeout", time.Minute, "maximum time to wait for in-flight jobs on shutdown")
 		quiet    = flag.Bool("q", false, "suppress lifecycle logs")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
 
 		dataDir   = flag.String("data-dir", "", "enable durable persistence: WAL + snapshots in this directory (empty = in-memory)")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
@@ -102,6 +106,12 @@ func run() error {
 		}
 		cfg.Params = params
 	}
+
+	_, stopPprof, err := pprofserve.Start(*pprofAddr, logf)
+	if err != nil {
+		return fmt.Errorf("starting pprof server: %w", err)
+	}
+	defer stopPprof()
 
 	srv, err := server.New(cfg)
 	if err != nil {

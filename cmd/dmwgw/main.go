@@ -1,0 +1,159 @@
+// Command dmwgw is the stateless gateway that scales dmwd horizontally:
+// it fronts a fleet of dmwd replicas behind one address, placing every
+// job on a consistent-hash ring keyed by job ID, failing submissions
+// over to ring successors when a replica is down, scattering batches
+// along placement, and aggregating fleet metrics.
+//
+// Usage:
+//
+//	dmwgw -addr :7800 \
+//	      -backend a,http://127.0.0.1:7700 \
+//	      -backend b,http://127.0.0.1:7701,2 \
+//	      [-vnodes 128] [-max-inflight 256]
+//	      [-health-interval 1s] [-health-timeout 2s]
+//	      [-fail-after 2] [-recover-after 2]
+//	      [-request-timeout 60s] [-pprof-addr addr] [-q]
+//
+// Each -backend is "name,url[,weight]". The name is the replica's ring
+// identity: keep it stable across restarts and address changes so the
+// keyspace does not reshuffle. Weight scales the keyspace share for
+// heterogeneous replicas.
+//
+// The gateway holds no durable state; run several behind a TCP load
+// balancer for gateway redundancy. See docs/SCALING.md for topology,
+// failover semantics, and how placement interacts with per-replica
+// WALs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dmw/internal/gateway"
+	"dmw/internal/pprofserve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmwgw:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBackend parses "name,url[,weight]".
+func parseBackend(spec string) (gateway.Backend, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
+		return gateway.Backend{}, fmt.Errorf("backend %q: want name,url[,weight]", spec)
+	}
+	b := gateway.Backend{Name: parts[0], URL: parts[1], Weight: 1}
+	if len(parts) == 3 {
+		w, err := strconv.Atoi(parts[2])
+		if err != nil || w < 1 {
+			return gateway.Backend{}, fmt.Errorf("backend %q: weight must be a positive integer", spec)
+		}
+		b.Weight = w
+	}
+	return b, nil
+}
+
+func run() error {
+	var backends []gateway.Backend
+	var parseErr error
+	flag.Func("backend", "dmwd replica as name,url[,weight] (repeatable)", func(spec string) error {
+		b, err := parseBackend(spec)
+		if err != nil {
+			parseErr = err
+			return err
+		}
+		backends = append(backends, b)
+		return nil
+	})
+	var (
+		addr       = flag.String("addr", ":7800", "HTTP listen address")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per unit weight on the ring (0 = default)")
+		maxInFl    = flag.Int("max-inflight", 256, "max concurrent proxied requests per backend")
+		healthInt  = flag.Duration("health-interval", time.Second, "active /healthz probe period")
+		healthTO   = flag.Duration("health-timeout", 2*time.Second, "per-probe timeout")
+		failAfter  = flag.Int("fail-after", 2, "consecutive probe failures before ring ejection")
+		recovAfter = flag.Int("recover-after", 2, "consecutive probe successes before re-admission")
+		reqTO      = flag.Duration("request-timeout", time.Minute, "per-attempt proxy timeout")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
+		quiet      = flag.Bool("q", false, "suppress lifecycle logs")
+	)
+	flag.Parse()
+	if parseErr != nil {
+		return parseErr
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("at least one -backend is required")
+	}
+
+	logger := log.New(os.Stderr, "dmwgw: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	_, stopPprof, err := pprofserve.Start(*pprofAddr, logf)
+	if err != nil {
+		return fmt.Errorf("starting pprof server: %w", err)
+	}
+	defer stopPprof()
+
+	g, err := gateway.New(gateway.Config{
+		Backends:       backends,
+		VirtualNodes:   *vnodes,
+		MaxInFlight:    *maxInFl,
+		HealthInterval: *healthInt,
+		HealthTimeout:  *healthTO,
+		FailAfter:      *failAfter,
+		RecoverAfter:   *recovAfter,
+		RequestTimeout: *reqTO,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		logf("routing %d backends, listening on %s", len(backends), *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logf("received %s: shutting down", sig)
+	}
+	// The gateway is stateless: stopping new connections and letting
+	// in-flight proxies finish is the whole drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	logf("bye")
+	return nil
+}

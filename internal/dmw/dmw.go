@@ -82,6 +82,12 @@ type RunConfig struct {
 	// reports the simulated end-to-end time of the slowest auction
 	// chain (auctions are parallel).
 	Delays [][]time.Duration
+	// RealTimeDelays upgrades Delays from virtual-clock accounting to
+	// wall-clock WAN emulation: every round barrier actually waits for
+	// the round's slowest in-flight message, so the run takes (and
+	// measures) the end-to-end time real agents separated by those
+	// links would take. Requires Delays.
+	RealTimeDelays bool
 }
 
 // Tasks returns m.
@@ -132,6 +138,9 @@ func (c *RunConfig) Validate() error {
 	}
 	if c.Delays != nil && len(c.Delays) != c.Bid.N {
 		return fmt.Errorf("dmw: delay matrix has %d rows for %d agents", len(c.Delays), c.Bid.N)
+	}
+	if c.RealTimeDelays && c.Delays == nil {
+		return errors.New("dmw: RealTimeDelays requires a Delays matrix")
 	}
 	return nil
 }
@@ -254,6 +263,7 @@ func Run(cfg RunConfig) (*Result, error) {
 					recordErr(err)
 					return
 				}
+				nw.SetRealTime(cfg.RealTimeDelays)
 			}
 			env := &auctionEnv{
 				task:   task,
@@ -361,6 +371,15 @@ func settlePayments(cfg RunConfig, viewsByAgent [][]*AuctionOutcome, stats *tran
 	nw, err := transport.New(n)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Under wall-clock WAN emulation the claim round waits like every
+	// other round. (Virtual-clock accounting is deliberately left as
+	// before: the latency experiments model Phase IV as piggybacked.)
+	if cfg.RealTimeDelays && cfg.Delays != nil {
+		if err := nw.SetDelays(cfg.Delays); err != nil {
+			return nil, nil, err
+		}
+		nw.SetRealTime(true)
 	}
 	claimsCh := make(chan payment.Claim, n)
 	var wg sync.WaitGroup

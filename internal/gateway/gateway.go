@@ -1,0 +1,268 @@
+// Package gateway implements dmwgw, a stateless L7 router that fronts
+// a fleet of dmwd replicas and presents the same HTTP API surface.
+//
+// Placement is deterministic: every job is named (client-supplied or
+// gateway-generated ID) and hashed onto a consistent-hash ring
+// ([dmw/internal/ring]) of backends, so a given job ID always lands on
+// the same replica while that replica is healthy. Because dmwd
+// submissions are idempotent by ID and job outcomes are deterministic
+// in (spec, seed), the gateway can retry a submission against the next
+// ring successor on connect errors or 5xx responses without risking
+// duplicate work — the worst case is a duplicate admission on a
+// replica that later also receives the retry, which dedupes.
+//
+// The gateway holds no durable state. Restarting it loses nothing;
+// jobs live in the replicas (and their WALs). Reads route by the same
+// ring placement, falling through to successors so jobs submitted
+// during a failover window remain findable.
+package gateway
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmw/internal/ring"
+)
+
+// Backend names one dmwd replica.
+type Backend struct {
+	// Name is the stable ring identity; placement follows the name, not
+	// the address, so moving a replica to a new port does not reshuffle
+	// the keyspace.
+	Name string
+	// URL is the base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Weight scales the share of the keyspace (default 1).
+	Weight int
+}
+
+// Config configures New.
+type Config struct {
+	// Backends is the replica fleet. At least one is required.
+	Backends []Backend
+	// VirtualNodes per unit weight on the ring (default
+	// ring.DefaultVirtualNodes).
+	VirtualNodes int
+	// MaxInFlight bounds concurrent proxied requests per backend
+	// (default 256). Excess requests wait; the bound keeps one slow
+	// replica from absorbing every gateway goroutine.
+	MaxInFlight int
+	// HealthInterval is the active /healthz probe period (default 1s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 2s).
+	HealthTimeout time.Duration
+	// FailAfter consecutive probe failures eject a backend from the
+	// ring (default 2); RecoverAfter consecutive successes re-admit it
+	// (default 2).
+	FailAfter    int
+	RecoverAfter int
+	// RequestTimeout bounds one proxied attempt, excluding any ?wait
+	// long-poll allowance added on top (default 60s).
+	RequestTimeout time.Duration
+	// Logf receives lifecycle logs; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = ring.DefaultVirtualNodes
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// backend is the runtime state for one replica.
+type backend struct {
+	name string
+	// base is the replica address; atomic so SetBackendURL can re-point
+	// a backend (replica moved hosts/ports) under live traffic. The
+	// ring identity is the name, so re-pointing never reshuffles
+	// placement.
+	base   atomic.Pointer[url.URL]
+	weight int
+	client *http.Client
+	// sem bounds in-flight proxied requests to this replica.
+	sem chan struct{}
+
+	// up is the ring-membership view of health. Backends start up;
+	// the prober ejects after FailAfter consecutive failures.
+	up atomic.Bool
+
+	mu        sync.Mutex
+	fails     int    // consecutive probe failures
+	oks       int    // consecutive probe successes while ejected
+	replicaID string // last /healthz identity seen
+}
+
+// acquire takes an in-flight slot, honoring ctx.
+func (b *backend) acquire(ctx context.Context) error {
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *backend) release() { <-b.sem }
+
+// Gateway routes the dmwd HTTP API across a replica fleet.
+type Gateway struct {
+	cfg      Config
+	ring     *ring.Ring
+	backends map[string]*backend // by name; immutable after New
+	order    []string            // config order, for stable /healthz output
+	metrics  gwMetrics
+	start    time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a gateway over cfg.Backends and starts the health prober.
+// Call Close to stop it.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     ring.New(cfg.VirtualNodes),
+		backends: make(map[string]*backend, len(cfg.Backends)),
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+	}
+	for _, bc := range cfg.Backends {
+		if bc.Name == "" {
+			return nil, errors.New("gateway: backend with empty name")
+		}
+		if _, dup := g.backends[bc.Name]; dup {
+			return nil, fmt.Errorf("gateway: duplicate backend name %q", bc.Name)
+		}
+		u, err := url.Parse(bc.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("gateway: backend %q: invalid URL %q", bc.Name, bc.URL)
+		}
+		w := bc.Weight
+		if w < 1 {
+			w = 1
+		}
+		b := &backend{
+			name:   bc.Name,
+			weight: w,
+			sem:    make(chan struct{}, cfg.MaxInFlight),
+			client: &http.Client{
+				// Keep-alive pool sized for the in-flight bound: every
+				// concurrent request can park its connection instead of
+				// re-dialing, which is where gateway throughput lives.
+				Transport: &http.Transport{
+					MaxIdleConns:        cfg.MaxInFlight,
+					MaxIdleConnsPerHost: cfg.MaxInFlight,
+					IdleConnTimeout:     90 * time.Second,
+				},
+			},
+		}
+		b.base.Store(u)
+		b.up.Store(true)
+		g.backends[bc.Name] = b
+		g.order = append(g.order, bc.Name)
+		g.ring.Add(bc.Name, w)
+	}
+	g.wg.Add(1)
+	go g.healthLoop()
+	return g, nil
+}
+
+// Close stops the health prober and closes idle connections.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+	for _, b := range g.backends {
+		b.client.CloseIdleConnections()
+	}
+}
+
+// candidates returns the failover order for key: the ring owner first,
+// then its distinct successors. Ejected backends are already off the
+// ring; if every backend is ejected, fall back to the full fleet (a
+// best-effort attempt beats a guaranteed 503).
+func (g *Gateway) candidates(key string) []*backend {
+	names := g.ring.Successors(key, 0)
+	if len(names) == 0 {
+		names = g.order
+	}
+	out := make([]*backend, 0, len(names))
+	for _, n := range names {
+		out = append(out, g.backends[n])
+	}
+	return out
+}
+
+// newJobID names a gateway-generated job. IDs are what make retries
+// idempotent, so every submission gets one even when the client did
+// not care to choose.
+func newJobID() string {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failure on Linux means the process is doomed
+		// anyway; degrade to a time-derived ID rather than panic.
+		return fmt.Sprintf("gw-t%x", time.Now().UnixNano())
+	}
+	return "gw-" + hex.EncodeToString(buf[:])
+}
+
+// joinPath resolves path+query against the backend base URL.
+func (b *backend) joinPath(path, rawQuery string) string {
+	u := *b.base.Load()
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = rawQuery
+	return u.String()
+}
+
+// SetBackendURL re-points an existing backend at a new address — the
+// operator move for a replica that came back on a different host/port.
+// Placement is untouched (the ring keys on the backend name); only the
+// dial target changes.
+func (g *Gateway) SetBackendURL(name, rawURL string) error {
+	b, ok := g.backends[name]
+	if !ok {
+		return fmt.Errorf("gateway: unknown backend %q", name)
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("gateway: backend %q: invalid URL %q", name, rawURL)
+	}
+	b.base.Store(u)
+	return nil
+}

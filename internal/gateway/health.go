@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// backendHealth is the slice of dmwd's /healthz body the prober cares
+// about.
+type backendHealth struct {
+	Status    string `json:"status"`
+	ReplicaID string `json:"replica_id"`
+}
+
+// healthLoop actively probes every backend's /healthz on the configured
+// interval, ejecting persistently failing replicas from the ring and
+// re-admitting them once they answer again. Ejection is what converts
+// per-request failover (reactive, pays a timeout per request) into
+// rerouted placement (proactive, pays nothing): while a replica is off
+// the ring its keyspace shifts to the successors that failover was
+// already landing on, so placement and retry agree.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			for _, name := range g.order {
+				g.probe(g.backends[name])
+			}
+		}
+	}
+}
+
+// probe runs one health check and applies the ejection state machine.
+func (g *Gateway) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+	defer cancel()
+	healthy, rid := g.checkOnce(ctx, b)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rid != "" && rid != b.replicaID {
+		if b.replicaID != "" {
+			// Same address, new identity: the replica restarted (or the
+			// address was reused by a different instance). Placement is
+			// unaffected — the ring keys on the backend name — but the
+			// event is worth a log line and a counter for operators
+			// watching a crash-looping replica.
+			g.metrics.replicaRestarts.Add(1)
+			g.cfg.Logf("gateway: backend %s changed replica identity %s -> %s", b.name, b.replicaID, rid)
+		}
+		b.replicaID = rid
+	}
+	if healthy {
+		b.fails = 0
+		if !b.up.Load() {
+			b.oks++
+			if b.oks >= g.cfg.RecoverAfter {
+				b.oks = 0
+				b.up.Store(true)
+				g.ring.Add(b.name, b.weight)
+				g.metrics.readmitted.Add(1)
+				g.cfg.Logf("gateway: backend %s re-admitted to ring", b.name)
+			}
+		}
+		return
+	}
+	b.oks = 0
+	b.fails++
+	if b.up.Load() && b.fails >= g.cfg.FailAfter {
+		b.up.Store(false)
+		g.ring.Remove(b.name)
+		g.metrics.ejected.Add(1)
+		g.cfg.Logf("gateway: backend %s ejected after %d failed probes", b.name, b.fails)
+	}
+}
+
+// checkOnce performs one /healthz GET. A replica that answers 200 is
+// healthy; 503 (draining) still proves liveness for reads but must not
+// receive new placements, so it counts as unhealthy for ring purposes.
+func (g *Gateway) checkOnce(ctx context.Context, b *backend) (healthy bool, replicaID string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.joinPath("/healthz", ""), nil)
+	if err != nil {
+		return false, ""
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return false, ""
+	}
+	defer resp.Body.Close()
+	var hv backendHealth
+	if data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes)); err == nil {
+		_ = json.Unmarshal(data, &hv)
+	}
+	return resp.StatusCode == http.StatusOK, hv.ReplicaID
+}
+
+// gatewayHealth is the gateway's own /healthz body.
+type gatewayHealth struct {
+	Status     string          `json:"status"` // "ok" | "degraded" (some down) | "down" (all down)
+	UptimeSecs float64         `json:"uptime_seconds"`
+	Backends   []backendStatus `json:"backends"`
+}
+
+type backendStatus struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Weight    int    `json:"weight"`
+	Up        bool   `json:"up"`
+	ReplicaID string `json:"replica_id,omitempty"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hv := gatewayHealth{UptimeSecs: time.Since(g.start).Seconds()}
+	up := 0
+	for _, name := range g.order {
+		b := g.backends[name]
+		b.mu.Lock()
+		rid := b.replicaID
+		b.mu.Unlock()
+		alive := b.up.Load()
+		if alive {
+			up++
+		}
+		hv.Backends = append(hv.Backends, backendStatus{
+			Name: b.name, URL: b.base.Load().String(), Weight: b.weight, Up: alive, ReplicaID: rid,
+		})
+	}
+	status := http.StatusOK
+	switch {
+	case up == len(g.order):
+		hv.Status = "ok"
+	case up > 0:
+		hv.Status = "degraded"
+	default:
+		hv.Status = "down"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, hv)
+}

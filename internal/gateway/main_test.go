@@ -1,0 +1,63 @@
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dmw/internal/group"
+	"dmw/internal/server"
+)
+
+// replicaChildEnv holds the data dir when this test binary is re-exec'd
+// as a sacrificial dmwd replica for the kill -9 failover e2e. The child
+// is a real process with a real WAL: SIGKILL tests the actual crash
+// path, including the kernel releasing the data-dir flock.
+const replicaChildEnv = "DMWGW_REPLICA_CHILD_DIR"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(replicaChildEnv) != "" {
+		runReplicaChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runReplicaChild serves a journal-backed dmwd until killed, publishing
+// its listen address atomically at <dir>/addr.
+func runReplicaChild() {
+	dir := os.Getenv(replicaChildEnv)
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "replica child:", err)
+		os.Exit(1)
+	}
+	s, err := server.New(server.Config{
+		Preset:     group.PresetTest64,
+		QueueDepth: 256,
+		Workers:    2,
+		ResultTTL:  time.Minute,
+		Limits:     server.Limits{MaxAgents: 16, MaxTasks: 8},
+		DataDir:    dir,
+		Fsync:      "always",
+	})
+	if err != nil {
+		die(err)
+	}
+	s.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die(err)
+	}
+	addrFile := filepath.Join(dir, "addr")
+	if err := os.WriteFile(addrFile+".tmp", []byte("http://"+ln.Addr().String()), 0o644); err != nil {
+		die(err)
+	}
+	if err := os.Rename(addrFile+".tmp", addrFile); err != nil {
+		die(err)
+	}
+	_ = (&http.Server{Handler: s.Handler()}).Serve(ln) // blocks until SIGKILL
+}

@@ -1,0 +1,188 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// gwMetrics are the gateway's own counters (the fleet's counters are
+// scraped and summed at exposition time, never cached).
+type gwMetrics struct {
+	requests    atomic.Int64 // proxied API requests (submit/batch/read)
+	failovers   atomic.Int64 // attempts routed past the ring owner
+	unrouted    atomic.Int64 // requests (or batch items) no replica served
+	assignedIDs atomic.Int64 // job IDs generated at the gateway
+	batchShards atomic.Int64 // scatter-gather shards dispatched
+
+	backendErrors   atomic.Int64 // transport errors + 5xx from replicas
+	ejected         atomic.Int64 // ring ejections by the health prober
+	readmitted      atomic.Int64 // ring re-admissions
+	replicaRestarts atomic.Int64 // replica identity changes behind one address
+}
+
+// handleMetrics renders the gateway exposition: the dmwgw_* series
+// first, then every dmwd_* series summed across the replicas that
+// answered a live scrape. Summing is sound for the counters and the
+// histogram (bucket counts add); fleet-level gauges like queue depth
+// add into "total queued across the fleet", which is the number a
+// dashboard in front of a sharded fleet wants anyway.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# dmwgw gateway metrics; dmwd_* series are summed across live replicas\n")
+	p("dmwgw_requests_total %d\n", g.metrics.requests.Load())
+	p("dmwgw_failovers_total %d\n", g.metrics.failovers.Load())
+	p("dmwgw_unrouted_total %d\n", g.metrics.unrouted.Load())
+	p("dmwgw_assigned_ids_total %d\n", g.metrics.assignedIDs.Load())
+	p("dmwgw_batch_shards_total %d\n", g.metrics.batchShards.Load())
+	p("dmwgw_backend_errors_total %d\n", g.metrics.backendErrors.Load())
+	p("dmwgw_backend_ejections_total %d\n", g.metrics.ejected.Load())
+	p("dmwgw_backend_readmissions_total %d\n", g.metrics.readmitted.Load())
+	p("dmwgw_replica_restarts_total %d\n", g.metrics.replicaRestarts.Load())
+	p("dmwgw_uptime_seconds %.3f\n", time.Since(g.start).Seconds())
+
+	scraped := 0
+	agg := make(map[string]float64)
+	var order []string // first-seen order of series keys, for readability
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout)
+	defer cancel()
+	for _, name := range g.order {
+		b := g.backends[name]
+		p("dmwgw_backend_up{backend=%q} %d\n", b.name, boolToInt(b.up.Load()))
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			series, err := scrapeMetrics(ctx, b)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			scraped++
+			for _, kv := range series {
+				if _, seen := agg[kv.key]; !seen {
+					order = append(order, kv.key)
+				}
+				agg[kv.key] += kv.val
+			}
+		}(b)
+	}
+	wg.Wait()
+	p("dmwgw_backends_scraped %d\n", scraped)
+
+	// Deterministic output: first-seen order is per-scrape racy across
+	// goroutines, so sort lexically but keep histogram buckets in
+	// numeric +Inf-last order via the key encoding below.
+	sort.Strings(order)
+	for _, k := range order {
+		v := agg[k]
+		if v == float64(int64(v)) {
+			p("%s %d\n", seriesName(k), int64(v))
+		} else {
+			p("%s %g\n", seriesName(k), v)
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// series is one parsed exposition line.
+type series struct {
+	key string // sortable key (see sortKey)
+	val float64
+}
+
+// scrapeMetrics fetches and parses one replica's /metrics.
+func scrapeMetrics(ctx context.Context, b *backend) ([]series, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.joinPath("/metrics", ""), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	var out []series
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "name{labels} value" or "name value"; value is the last field.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		name, valStr := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, series{key: sortKey(name), val: v})
+	}
+	return out, nil
+}
+
+// sortKey makes histogram buckets sort numerically (le="2" before
+// le="10", +Inf last) under a plain lexical sort by zero-padding the
+// bound into the key. seriesName inverts it.
+func sortKey(name string) string {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "\"}") {
+		return name
+	}
+	labels := name[open+1 : len(name)-1]
+	if !strings.HasPrefix(labels, "le=\"") {
+		return name
+	}
+	bound := labels[len("le=\"") : len(labels)-1]
+	if bound == "+Inf" {
+		return name[:open] + "\x7f" // after any padded number
+	}
+	if f, err := strconv.ParseFloat(bound, 64); err == nil {
+		return name[:open] + fmt.Sprintf("\x01%012.3f", f)
+	}
+	return name
+}
+
+// seriesName inverts sortKey back to the exposition name.
+func seriesName(key string) string {
+	if i := strings.IndexByte(key, '\x7f'); i >= 0 {
+		return key[:i] + "{le=\"+Inf\"}"
+	}
+	if i := strings.IndexByte(key, '\x01'); i >= 0 {
+		f, err := strconv.ParseFloat(key[i+1:], 64)
+		if err != nil {
+			return key[:i]
+		}
+		return key[:i] + fmt.Sprintf("{le=\"%g\"}", f)
+	}
+	return key
+}

@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dmw/internal/server"
+)
+
+// maxBodyBytes / maxBatchBodyBytes mirror dmwd's own request bounds so
+// the gateway rejects oversized bodies before buffering them for
+// replay.
+const (
+	maxBodyBytes      = 1 << 20
+	maxBatchBodyBytes = 8 << 20
+	maxBatchJobs      = 256
+)
+
+// Handler returns the gateway's HTTP API — the same surface as one
+// dmwd, fronting the fleet:
+//
+//	POST /v1/jobs                 route by job ID (assigned if absent), failover to successors
+//	POST /v1/jobs/batch           scatter along ring placement, gather in input order
+//	GET  /v1/jobs/{id}            route by ID; successors searched on miss
+//	GET  /v1/jobs/{id}/transcript same routing as job reads
+//	GET  /healthz                 gateway + per-backend fleet view
+//	GET  /metrics                 gateway counters + summed fleet counters
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", g.handleSubmitBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/transcript", g.handleGetJob) // same routing; path preserved below
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// attempt is one proxied try against one backend. Returns the response
+// (body fully read into memory, bounded) or an error for "try the next
+// candidate" conditions.
+type attemptResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// tryBackend sends method+path(+query) with body to b. A transport
+// error or 5xx status is returned as err (failover-worthy); any other
+// status is a definitive answer.
+func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQuery string, body []byte) (*attemptResult, error) {
+	if err := b.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer b.release()
+
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.joinPath(path, rawQuery), rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		g.metrics.backendErrors.Add(1)
+		return nil, fmt.Errorf("backend %s: %w", b.name, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBatchBodyBytes))
+	if err != nil {
+		g.metrics.backendErrors.Add(1)
+		return nil, fmt.Errorf("backend %s: reading response: %w", b.name, err)
+	}
+	if resp.StatusCode >= 500 {
+		g.metrics.backendErrors.Add(1)
+		return nil, fmt.Errorf("backend %s: HTTP %d", b.name, resp.StatusCode)
+	}
+	return &attemptResult{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// forward walks the candidate list for key, returning the first
+// definitive response. 5xx and transport errors advance to the next
+// candidate; notFoundFallthrough additionally advances on 404 (job
+// reads: a failover-submitted job lives on a successor).
+func (g *Gateway) forward(ctx context.Context, key, method, path, rawQuery string, body []byte, notFoundFallthrough bool) (*attemptResult, error) {
+	cands := g.candidates(key)
+	var lastMiss *attemptResult
+	var lastErr error
+	for i, b := range cands {
+		if i > 0 {
+			g.metrics.failovers.Add(1)
+		}
+		res, err := g.tryBackend(ctx, b, method, path, rawQuery, body)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if notFoundFallthrough && res.status == http.StatusNotFound {
+			lastMiss = res
+			continue
+		}
+		return res, nil
+	}
+	if lastMiss != nil {
+		// Every reachable replica said 404: the ID is genuinely unknown.
+		return lastMiss, nil
+	}
+	return nil, lastErr
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	g.metrics.requests.Add(1)
+	var spec server.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec: " + err.Error()})
+		return
+	}
+	if spec.ID == "" {
+		// Naming the job here is what makes the retry below idempotent:
+		// a replica that received the first attempt and one that
+		// receives the retry agree on the identity.
+		spec.ID = newJobID()
+		g.metrics.assignedIDs.Add(1)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	res, err := g.forward(ctx, spec.ID, http.MethodPost, "/v1/jobs", "", body, false)
+	if err != nil {
+		g.metrics.unrouted.Add(1)
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "no replica accepted the job: " + err.Error()})
+		return
+	}
+	relay(w, res)
+}
+
+func (g *Gateway) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	g.metrics.requests.Add(1)
+	id := r.PathValue("id")
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout+readWaitAllowance(r))
+	defer cancel()
+	res, err := g.forward(ctx, id, http.MethodGet, r.URL.Path, r.URL.RawQuery, nil, true)
+	if err != nil {
+		g.metrics.unrouted.Add(1)
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "no replica reachable: " + err.Error()})
+		return
+	}
+	relay(w, res)
+}
+
+// readWaitAllowance extends the proxy deadline by the client's ?wait
+// long-poll so the gateway does not cut a poll short.
+func readWaitAllowance(r *http.Request) time.Duration {
+	if s := r.URL.Query().Get("wait"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 && d < time.Minute {
+			return d
+		}
+	}
+	return 0
+}
+
+// relay writes a buffered backend response to the client.
+func relay(w http.ResponseWriter, res *attemptResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// handleSubmitBatch splits the batch along ring placement, submits each
+// shard to its owner concurrently (per-shard failover, exactly like
+// single submits), and merges the per-item results back into input
+// order. A shard whose every candidate is unreachable reports per-item
+// errors rather than failing the whole batch — same per-item contract
+// as dmwd itself.
+func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	g.metrics.requests.Add(1)
+	var specs []server.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec array: " + err.Error()})
+		return
+	}
+	if len(specs) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty batch"})
+		return
+	}
+	if len(specs) > maxBatchJobs {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("batch of %d jobs exceeds limit %d", len(specs), maxBatchJobs)})
+		return
+	}
+
+	// Shard by ring owner, remembering each spec's input position.
+	type shard struct {
+		indices []int
+		specs   []server.JobSpec
+	}
+	shards := make(map[string]*shard)
+	for i := range specs {
+		if specs[i].ID == "" {
+			specs[i].ID = newJobID()
+			g.metrics.assignedIDs.Add(1)
+		}
+		owner, ok := g.ring.Owner(specs[i].ID)
+		if !ok {
+			owner = g.order[0] // fleet fully ejected; best effort
+		}
+		sh := shards[owner]
+		if sh == nil {
+			sh = &shard{}
+			shards[owner] = sh
+		}
+		sh.indices = append(sh.indices, i)
+		sh.specs = append(sh.specs, specs[i])
+	}
+	g.metrics.batchShards.Add(int64(len(shards)))
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	merged := make([]server.BatchItem, len(specs))
+	var wg sync.WaitGroup
+	for owner, sh := range shards {
+		wg.Add(1)
+		go func(owner string, sh *shard) {
+			defer wg.Done()
+			body, err := json.Marshal(sh.specs)
+			if err == nil {
+				var res *attemptResult
+				// Failover order keyed by the first job in the shard:
+				// every job in the shard has the same owner, so the
+				// successor walk is the same for all of them.
+				res, err = g.forward(ctx, sh.specs[0].ID, http.MethodPost, "/v1/jobs/batch", "", body, false)
+				if err == nil {
+					var items []server.BatchItem
+					if res.status == http.StatusOK && json.Unmarshal(res.body, &items) == nil && len(items) == len(sh.indices) {
+						for k, idx := range sh.indices {
+							merged[idx] = items[k]
+						}
+						return
+					}
+					err = fmt.Errorf("shard response HTTP %d", res.status)
+				}
+			}
+			g.metrics.unrouted.Add(int64(len(sh.indices)))
+			for _, idx := range sh.indices {
+				merged[idx] = server.BatchItem{Error: "replica " + owner + " unavailable: " + err.Error()}
+			}
+		}(owner, sh)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, merged)
+}

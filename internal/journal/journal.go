@@ -106,6 +106,7 @@ var ErrClosed = errors.New("journal: closed")
 type Journal struct {
 	opts Options
 	dir  string
+	lock *dirLock // exclusive flock on dir; held Open..Close
 
 	mu     sync.Mutex
 	f      *os.File // active segment
@@ -144,9 +145,17 @@ func Open(opts Options) (*Journal, *Recovery, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: creating dir: %w", err)
 	}
-	j := &Journal{opts: opts, dir: opts.Dir, stopFlush: make(chan struct{})}
+	// Two processes appending to one WAL interleave frames and corrupt
+	// each other's tail; refuse to share the dir at all. The flock dies
+	// with the process, so crash recovery never needs a manual unlock.
+	lock, err := acquireDirLock(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{opts: opts, dir: opts.Dir, lock: lock, stopFlush: make(chan struct{})}
 	rec, err := j.recover()
 	if err != nil {
+		_ = lock.release()
 		return nil, nil, err
 	}
 	if opts.Sync == SyncInterval {
@@ -392,6 +401,9 @@ func (j *Journal) Close() error {
 
 	close(j.stopFlush)
 	j.flushWG.Wait()
+	if lerr := j.lock.release(); err == nil {
+		err = lerr
+	}
 	if err != nil {
 		return fmt.Errorf("journal: close: %w", err)
 	}

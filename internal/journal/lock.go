@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the advisory lock guarding a data directory. The
+// file itself carries no state; exclusive ownership of the flock is
+// what matters. It is deliberately NOT removed on Close: unlinking a
+// lock file while another process may be blocked opening it is a
+// classic race (the second process can end up holding a lock on an
+// orphaned inode while a third re-creates the name).
+const lockFileName = "LOCK"
+
+// ErrLocked reports that another live process holds the data
+// directory. Callers match it with errors.Is.
+var ErrLocked = errors.New("journal: data dir locked by another process")
+
+// dirLock is an exclusively flocked file handle. The kernel releases
+// the lock automatically when the process dies (including SIGKILL), so
+// a crashed dmwd never wedges its data dir.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive advisory lock for dir, failing
+// fast (LOCK_NB) with ErrLocked when another process owns it.
+func acquireDirLock(dir string) (*dirLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("%w (%s): is another dmwd running with this -data-dir?", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("journal: flock %s: %w", path, err)
+	}
+	// Best-effort breadcrumb for operators inspecting the dir; the
+	// flock, not the contents, is authoritative.
+	_ = f.Truncate(0)
+	_, _ = fmt.Fprintf(f, "pid %d\n", os.Getpid())
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock and closes the handle. Idempotent.
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	// Closing the descriptor releases the flock; the explicit unlock
+	// just makes the intent legible (and the error observable).
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: unlocking data dir: %w", err)
+	}
+	return f.Close()
+}

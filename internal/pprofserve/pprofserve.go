@@ -1,0 +1,55 @@
+// Package pprofserve hosts the net/http/pprof endpoints on a dedicated
+// listener, separate from the service API.
+//
+// Keeping the profiler off the API port means (a) the debug surface is
+// never exposed through a load balancer or gateway by accident, and
+// (b) profiling a wedged API mux still works. Both dmwd and dmwgw gate
+// it behind -pprof-addr; empty means off (the default).
+//
+// Capture workflow (see docs/PERFORMANCE.md for the full runbook):
+//
+//	dmwd -pprof-addr 127.0.0.1:6060 ...
+//	go tool pprof -http=: http://127.0.0.1:6060/debug/pprof/profile?seconds=15
+package pprofserve
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Start serves the pprof handlers on addr. It returns the bound
+// address (useful with ":0") and a stop function. An empty addr is a
+// no-op: Start returns ("", noop, nil).
+func Start(addr string, logf func(format string, args ...any)) (bound string, stop func(), err error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+
+	// An explicit mux (rather than http.DefaultServeMux, which the
+	// net/http/pprof import side-effects into) keeps the debug surface
+	// exactly these routes, no matter what else the process registers.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			logf("pprof server: %v", serr)
+		}
+	}()
+	logf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,47 @@
+package pprofserve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartServesProfilesAndStops(t *testing.T) {
+	addr, stop, err := Start("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: HTTP %d body %q", resp.StatusCode, body)
+	}
+
+	// A real profile endpoint answers too (the cheap one).
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cmdline: HTTP %d", resp.StatusCode)
+	}
+
+	stop()
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Fatal("server still answering after stop")
+	}
+}
+
+func TestStartEmptyAddrIsNoop(t *testing.T) {
+	addr, stop, err := Start("", nil)
+	if err != nil || addr != "" {
+		t.Fatalf("Start(\"\") = %q, %v; want no-op", addr, err)
+	}
+	stop() // must not panic
+}

@@ -1,0 +1,246 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// keys generates n synthetic job IDs shaped like the gateway's.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("job-%016x", i*2654435761)
+	}
+	return out
+}
+
+func placements(r *Ring, ks []string) map[string]string {
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		owner, ok := r.Owner(k)
+		if !ok {
+			panic("empty ring")
+		}
+		out[k] = owner
+	}
+	return out
+}
+
+// TestBalance is the statistical balance bound: with >= 100 vnodes per
+// member and equal weights, every member's key share must sit within
+// a bounded spread of the fair share.
+func TestBalance(t *testing.T) {
+	const members = 4
+	r := New(128)
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("replica-%d", i), 1)
+	}
+	ks := keys(20000)
+	counts := make(map[string]int)
+	for k, owner := range placements(r, ks) {
+		_ = k
+		counts[owner]++
+	}
+	if len(counts) != members {
+		t.Fatalf("only %d members own keys, want %d", len(counts), members)
+	}
+	fair := float64(len(ks)) / members
+	min, max := len(ks), 0
+	for m, c := range counts {
+		t.Logf("%s: %d keys (%.1f%% of fair share)", m, c, 100*float64(c)/fair)
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// 128 vnodes keeps the spread well inside ±25% of fair for 4
+	// members; the max/min ratio bound below is the contract.
+	if ratio := float64(max) / float64(min); ratio > 1.5 {
+		t.Errorf("max/min key share = %.2f, want <= 1.5", ratio)
+	}
+	for _, c := range counts {
+		if dev := float64(c)/fair - 1; dev > 0.3 || dev < -0.3 {
+			t.Errorf("member share deviates %.0f%% from fair", dev*100)
+		}
+	}
+}
+
+// TestWeightedBalance checks that weight scales a member's share.
+func TestWeightedBalance(t *testing.T) {
+	r := New(128)
+	r.Add("big", 2)
+	r.Add("small-a", 1)
+	r.Add("small-b", 1)
+	ks := keys(20000)
+	counts := make(map[string]int)
+	for _, owner := range placements(r, ks) {
+		counts[owner]++
+	}
+	// big has half the ring points: expect ~2x a small member's share.
+	ratio := float64(counts["big"]) / (float64(counts["small-a"]+counts["small-b"]) / 2)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("weight-2 member holds %.2fx a weight-1 share, want ~2x", ratio)
+	}
+}
+
+// TestMinimalMovementOnAdd: adding a member must only move keys TO the
+// new member, and roughly its fair share of them.
+func TestMinimalMovementOnAdd(t *testing.T) {
+	r := New(128)
+	r.Add("a", 1)
+	r.Add("b", 1)
+	r.Add("c", 1)
+	ks := keys(10000)
+	before := placements(r, ks)
+
+	r.Add("d", 1)
+	after := placements(r, ks)
+
+	moved := 0
+	for k, owner := range after {
+		if owner != before[k] {
+			moved++
+			if owner != "d" {
+				t.Fatalf("key %s moved %s -> %s; adds may only move keys to the new member", k, before[k], owner)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(ks))
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("add moved %.1f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+// TestMinimalMovementOnRemove: removing a member must only move the
+// keys it owned.
+func TestMinimalMovementOnRemove(t *testing.T) {
+	r := New(128)
+	r.Add("a", 1)
+	r.Add("b", 1)
+	r.Add("c", 1)
+	ks := keys(10000)
+	before := placements(r, ks)
+
+	r.Remove("b")
+	after := placements(r, ks)
+
+	for k, owner := range after {
+		if owner == "b" {
+			t.Fatalf("key %s still owned by removed member", k)
+		}
+		if before[k] != "b" && owner != before[k] {
+			t.Fatalf("key %s moved %s -> %s; removals may only move the removed member's keys", k, before[k], owner)
+		}
+	}
+}
+
+// TestDeterminism pins placement as a pure function of the member set:
+// independent instances, insertion orders, and intervening churn all
+// yield identical placement — the property that lets any gateway
+// process (or restart) route a job ID to the same replica.
+func TestDeterminism(t *testing.T) {
+	ks := keys(500)
+
+	r1 := New(64)
+	r1.Add("x", 1)
+	r1.Add("y", 1)
+	r1.Add("z", 2)
+
+	r2 := New(64)
+	r2.Add("z", 2) // different insertion order
+	r2.Add("y", 1)
+	r2.Add("x", 1)
+
+	r3 := New(64) // churn: members come and go before settling
+	r3.Add("y", 1)
+	r3.Add("ghost", 3)
+	r3.Add("x", 1)
+	r3.Remove("ghost")
+	r3.Add("z", 2)
+
+	p1, p2, p3 := placements(r1, ks), placements(r2, ks), placements(r3, ks)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("placement depends on insertion order")
+	}
+	if !reflect.DeepEqual(p1, p3) {
+		t.Error("placement depends on membership history")
+	}
+
+	// Golden placements guard the hash function itself: changing it
+	// would silently re-shuffle every deployed cluster's placement
+	// (and orphan the per-replica WAL histories), so it must be a
+	// deliberate, visible decision.
+	golden := map[string]string{
+		"job-0000000000000000": "z",
+		"job-00000000009e3779": "y",
+		"job-000000013c6ef372": "x",
+	}
+	for k, want := range golden {
+		if got, _ := r1.Owner(k); got != want {
+			t.Errorf("golden placement Owner(%q) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestSuccessorsFailoverOrder checks the failover sequence: distinct
+// members, starting at the owner, covering the whole ring.
+func TestSuccessorsFailoverOrder(t *testing.T) {
+	r := New(64)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m, 1)
+	}
+	for _, k := range keys(50) {
+		owner, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("empty ring")
+		}
+		seq := r.Successors(k, 0)
+		if len(seq) != 3 {
+			t.Fatalf("Successors(%q, 0) = %v, want all 3 members", k, seq)
+		}
+		if seq[0] != owner {
+			t.Errorf("Successors(%q)[0] = %q, want owner %q", k, seq[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Errorf("Successors(%q) repeats %q", k, m)
+			}
+			seen[m] = true
+		}
+		if two := r.Successors(k, 2); !reflect.DeepEqual(two, seq[:2]) {
+			t.Errorf("Successors(%q, 2) = %v, want prefix %v", k, two, seq[:2])
+		}
+	}
+}
+
+// TestEmptyAndSingle covers the degenerate rings.
+func TestEmptyAndSingle(t *testing.T) {
+	r := New(0)
+	if _, ok := r.Owner("job-1"); ok {
+		t.Error("empty ring claims an owner")
+	}
+	if s := r.Successors("job-1", 3); s != nil {
+		t.Errorf("empty ring successors = %v", s)
+	}
+	r.Add("only", 1)
+	owner, ok := r.Owner("job-1")
+	if !ok || owner != "only" {
+		t.Errorf("single-member ring Owner = (%q, %v)", owner, ok)
+	}
+	r.Remove("only")
+	if _, ok := r.Owner("job-1"); ok {
+		t.Error("drained ring claims an owner")
+	}
+	// Removing an absent member and re-adding with the same weight are
+	// no-ops, not panics.
+	r.Remove("never-there")
+	r.Add("only", 1)
+	r.Add("only", 1)
+	if got := r.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+}

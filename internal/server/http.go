@@ -150,7 +150,12 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 
 // healthView is the GET /healthz body.
 type healthView struct {
-	Status     string  `json:"status"` // "ok" | "draining"
+	Status string `json:"status"` // "ok" | "draining"
+	// ReplicaID is this instance's stable identity (persisted in the
+	// data dir when durable, random otherwise): load balancers key on
+	// it to distinguish "same backend restarted" from "different
+	// backend behind a reused address".
+	ReplicaID  string  `json:"replica_id"`
 	UptimeSecs float64 `json:"uptime_seconds"`
 	QueueDepth int     `json:"queue_depth"`
 	Workers    int     `json:"workers"`
@@ -176,6 +181,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	hv := healthView{
 		Status:     "ok",
+		ReplicaID:  s.replicaID,
 		QueueDepth: len(s.queue),
 		Workers:    s.cfg.Workers,
 		LiveJobs:   s.store.Len(),

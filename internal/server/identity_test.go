@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testCtx returns a context that outlives any reasonable shutdown but
+// not a hung test run.
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestClientSuppliedIDRoundTrip: a valid client ID names the job and is
+// queryable; invalid IDs are 400-class spec errors.
+func TestClientSuppliedIDRoundTrip(t *testing.T) {
+	s := startServer(t, testConfig())
+	job, err := s.Submit(JobSpec{
+		ID:   "tenant-7:job.42",
+		Bids: [][]int{{1}, {3}, {2}, {3}},
+		W:    []int{1, 2, 3},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "tenant-7:job.42" {
+		t.Fatalf("job.ID = %q, want the client-supplied ID", job.ID)
+	}
+	if got, ok := s.Get("tenant-7:job.42"); !ok || got != job {
+		t.Fatal("client-named job not retrievable by its ID")
+	}
+
+	for _, bad := range []string{"has space", "ünicode", strings.Repeat("x", 65), "a/b"} {
+		_, err := s.Submit(JobSpec{ID: bad, Bids: [][]int{{1}, {2}, {2}, {1}}, W: []int{1, 2}})
+		if !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("Submit(id=%q) err = %v, want ErrInvalidSpec", bad, err)
+		}
+	}
+}
+
+// TestSubmitIdempotentByID: re-submitting an ID the server holds
+// returns the existing job — no duplicate admission, no re-run. This is
+// the contract that makes gateway failover retries safe.
+func TestSubmitIdempotentByID(t *testing.T) {
+	s := startServer(t, testConfig())
+	spec := JobSpec{ID: "idem-1", Bids: [][]int{{1}, {3}, {2}, {3}}, W: []int{1, 2, 3}, Seed: 5}
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.WaitDone(60 * time.Second) {
+		t.Fatal("job did not finish")
+	}
+	again, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("re-submission created a new job; want the existing one")
+	}
+	if got := s.metrics.deduped.Load(); got != 1 {
+		t.Errorf("deduped counter = %d, want 1", got)
+	}
+
+	// Batch path: an in-store ID dedupes, a duplicate within one batch
+	// is rejected per-item, fresh IDs are admitted.
+	items := s.SubmitBatch([]JobSpec{
+		{ID: "idem-1", Bids: [][]int{{1}, {3}, {2}, {3}}, W: []int{1, 2, 3}, Seed: 5},
+		{ID: "idem-2", Bids: [][]int{{2}, {3}, {1}, {3}}, W: []int{1, 2, 3}, Seed: 6},
+		{ID: "idem-2", Bids: [][]int{{2}, {3}, {1}, {3}}, W: []int{1, 2, 3}, Seed: 6},
+	})
+	if !items[0].Accepted || items[0].Job.ID != "idem-1" {
+		t.Errorf("batch dedupe item = %+v, want accepted existing job", items[0])
+	}
+	if !items[1].Accepted {
+		t.Errorf("fresh batch id rejected: %s", items[1].Error)
+	}
+	if items[2].Accepted || !strings.Contains(items[2].Error, "duplicate") {
+		t.Errorf("intra-batch duplicate item = %+v, want duplicate error", items[2])
+	}
+}
+
+// TestReplicaIDStableWhenDurable: the /healthz identity persists across
+// restarts on the same data dir, and differs between dirs.
+func TestReplicaIDStableWhenDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := s1.ReplicaID()
+	if id1 == "" {
+		t.Fatal("empty replica id")
+	}
+	if err := s1.Shutdown(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(testCtx(t))
+	if s2.ReplicaID() != id1 {
+		t.Errorf("replica id changed across restart: %q -> %q", id1, s2.ReplicaID())
+	}
+
+	other, err := New(journalConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Shutdown(testCtx(t))
+	if other.ReplicaID() == id1 {
+		t.Error("distinct data dirs share a replica id")
+	}
+}
+
+// TestReplicaIDRandomInMemory: without a data dir each instance draws a
+// fresh identity.
+func TestReplicaIDRandomInMemory(t *testing.T) {
+	a := startServer(t, testConfig())
+	b := startServer(t, testConfig())
+	if a.ReplicaID() == "" || a.ReplicaID() == b.ReplicaID() {
+		t.Errorf("in-memory replica ids %q vs %q: want distinct non-empty", a.ReplicaID(), b.ReplicaID())
+	}
+}
+
+// TestLinkDelayEmulation: a job with link_delay_ms takes at least
+// rounds x delay of wall clock, and the spec validates its bounds.
+func TestLinkDelayEmulation(t *testing.T) {
+	s := startServer(t, testConfig())
+
+	if _, err := s.Submit(JobSpec{LinkDelayMS: -1, Bids: [][]int{{1}, {2}, {2}, {1}}, W: []int{1, 2}}); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("negative link_delay_ms err = %v, want ErrInvalidSpec", err)
+	}
+	if _, err := s.Submit(JobSpec{LinkDelayMS: maxLinkDelayMS + 1, Bids: [][]int{{1}, {2}, {2}, {1}}, W: []int{1, 2}}); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("oversized link_delay_ms err = %v, want ErrInvalidSpec", err)
+	}
+
+	const delayMS = 5
+	start := time.Now()
+	job, err := s.Submit(JobSpec{
+		Bids:        [][]int{{1}, {3}, {2}, {3}},
+		W:           []int{1, 2, 3},
+		Seed:        3,
+		LinkDelayMS: delayMS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.WaitDone(60 * time.Second) {
+		t.Fatal("job did not finish")
+	}
+	if st := job.State(); st != StateDone {
+		t.Fatalf("state = %s (%s), want done", st, job.View().Error)
+	}
+	// The protocol needs several rounds; even a loose lower bound of
+	// 3 rounds x 5ms proves the barriers actually waited.
+	if elapsed := time.Since(start); elapsed < 3*delayMS*time.Millisecond {
+		t.Errorf("WAN-emulated job finished in %s; want >= %s", elapsed, 3*delayMS*time.Millisecond)
+	}
+	// Outcome must be identical to the undelayed run of the same spec.
+	ref, err := s.Submit(JobSpec{
+		ID:   "ref",
+		Bids: [][]int{{1}, {3}, {2}, {3}},
+		W:    []int{1, 2, 3},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.WaitDone(60 * time.Second) {
+		t.Fatal("reference job did not finish")
+	}
+	got, want := job.Result(), ref.Result()
+	if got == nil || want == nil {
+		t.Fatal("missing results")
+	}
+	for j := range want.Schedule {
+		if got.Schedule[j] != want.Schedule[j] {
+			t.Errorf("delayed schedule[%d] = %d, want %d", j, got.Schedule[j], want.Schedule[j])
+		}
+	}
+}

@@ -47,6 +47,14 @@ type RandomSpec struct {
 // JobSpec is the client-supplied description of one mechanism execution.
 // Exactly one of Bids and Random must be set.
 type JobSpec struct {
+	// ID optionally names the job. Client-supplied IDs make submission
+	// idempotent — re-submitting a spec with an ID the server already
+	// holds returns the existing job instead of admitting a duplicate —
+	// which is what lets the dmwgw gateway retry a submit against
+	// another replica without double-running it, and what pins a job's
+	// consistent-hash placement before the submit leaves the client.
+	// Allowed: 1-64 chars of [A-Za-z0-9._:-]. Empty = server-assigned.
+	ID string `json:"id,omitempty"`
 	// Bids is the explicit true-value matrix (agent x task); every entry
 	// must lie in W.
 	Bids [][]int `json:"bids,omitempty"`
@@ -67,6 +75,13 @@ type JobSpec struct {
 	Record bool `json:"record,omitempty"`
 	// CountOps attaches per-agent group-operation counters to the result.
 	CountOps bool `json:"count_ops,omitempty"`
+	// LinkDelayMS emulates a WAN in real time: every agent-to-agent link
+	// gets this one-way latency, and every protocol round genuinely
+	// waits for its slowest in-flight message. The job's wall-clock run
+	// time then approximates what agents separated by such links would
+	// experience — a latency-bound (rather than CPU-bound) workload.
+	// 0 (the default) disables emulation. Capped at 10 000 ms.
+	LinkDelayMS float64 `json:"link_delay_ms,omitempty"`
 }
 
 // ErrInvalidSpec wraps every admission-time validation failure, so the
@@ -77,9 +92,38 @@ func invalidSpecf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalidSpec, fmt.Sprintf(format, args...))
 }
 
+// maxLinkDelayMS caps JobSpec.LinkDelayMS so a hostile spec cannot park
+// a worker for minutes per round.
+const maxLinkDelayMS = 10000
+
+// validJobID reports whether a client-supplied job ID is admissible:
+// 1-64 characters drawn from [A-Za-z0-9._:-]. The alphabet is URL-path
+// safe (IDs appear verbatim in GET /v1/jobs/{id}).
+func validJobID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == ':' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // materialize validates the spec against the server limits and returns
 // the concrete bid matrix.
 func (sp *JobSpec) materialize(limits Limits) ([][]int, error) {
+	if sp.ID != "" && !validJobID(sp.ID) {
+		return nil, invalidSpecf("job id %q invalid (want 1-64 chars of [A-Za-z0-9._:-])", sp.ID)
+	}
+	if sp.LinkDelayMS < 0 || sp.LinkDelayMS > maxLinkDelayMS {
+		return nil, invalidSpecf("link_delay_ms = %g outside [0, %d]", sp.LinkDelayMS, maxLinkDelayMS)
+	}
 	if len(sp.W) == 0 {
 		sp.W = []int{1, 2, 3, 4}
 	}
@@ -234,9 +278,13 @@ type Job struct {
 }
 
 func newJob(spec JobSpec, bids [][]int, now time.Time) (*Job, error) {
-	id, err := newJobID()
-	if err != nil {
-		return nil, err
+	id := spec.ID
+	if id == "" {
+		var err error
+		id, err = newJobID()
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Job{
 		ID:        id,
@@ -256,6 +304,16 @@ func newJobID() (string, error) {
 		return "", fmt.Errorf("server: drawing job id: %w", err)
 	}
 	return "job-" + hex.EncodeToString(b[:]), nil
+}
+
+// newReplicaID draws the random instance identity used when no data dir
+// pins a persistent one.
+func newReplicaID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: drawing replica id: %w", err)
+	}
+	return "rep-" + hex.EncodeToString(b[:]), nil
 }
 
 // Agents and Tasks report the job dimensions.

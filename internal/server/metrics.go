@@ -21,6 +21,9 @@ type metrics struct {
 	rejected  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	// deduped counts idempotent re-submissions resolved to an existing
+	// job (client-supplied IDs; gateway failover retries land here).
+	deduped atomic.Int64
 	// auctions counts individual task auctions across completed jobs
 	// ("total auctions run").
 	auctions atomic.Int64
@@ -83,6 +86,7 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	p("dmwd_jobs_rejected_total %d\n", m.rejected.Load())
 	p("dmwd_jobs_completed_total %d\n", m.completed.Load())
 	p("dmwd_jobs_failed_total %d\n", m.failed.Load())
+	p("dmwd_jobs_deduped_total %d\n", m.deduped.Load())
 	p("dmwd_auctions_run_total %d\n", m.auctions.Load())
 	p("dmwd_group_exp_total %d\n", m.groupExp.Load())
 	p("dmwd_group_mul_total %d\n", m.groupMul.Load())

@@ -23,7 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -144,6 +147,12 @@ type Server struct {
 	store   Store
 	metrics *metrics
 
+	// replicaID identifies this server instance to load balancers: it
+	// is persisted in the data dir when durable (stable across restarts
+	// on the same state) and random otherwise, so a gateway can detect
+	// a different backend appearing behind a reused address.
+	replicaID string
+
 	// jstore is non-nil when the store is journal-backed (DataDir set);
 	// it is only consulted for stats — all operations go through store.
 	jstore *journalStore
@@ -203,8 +212,44 @@ func New(cfg Config) (*Server, error) {
 	if s.queue == nil {
 		s.queue = make(chan *Job, cfg.QueueDepth)
 	}
+	s.replicaID, err = loadOrCreateReplicaID(cfg.DataDir)
+	if err != nil {
+		if cerr := s.store.Close(); cerr != nil {
+			cfg.Logf("closing store after replica-id failure: %v", cerr)
+		}
+		return nil, err
+	}
 	return s, nil
 }
+
+// loadOrCreateReplicaID resolves the instance identity surfaced by
+// /healthz. With a data dir the ID lives in <dir>/replica_id and is
+// STABLE across restarts — a gateway seeing the same address answer
+// with a different replica_id knows the backend (and its WAL history)
+// was swapped, not restarted. Without a data dir every process start
+// draws a fresh random ID.
+func loadOrCreateReplicaID(dataDir string) (string, error) {
+	fresh, err := newReplicaID()
+	if err != nil {
+		return "", err
+	}
+	if dataDir == "" {
+		return fresh, nil
+	}
+	path := filepath.Join(dataDir, "replica_id")
+	if raw, err := os.ReadFile(path); err == nil {
+		if id := strings.TrimSpace(string(raw)); id != "" {
+			return id, nil
+		}
+	}
+	if err := os.WriteFile(path, []byte(fresh+"\n"), 0o644); err != nil {
+		return "", fmt.Errorf("server: persisting replica id: %w", err)
+	}
+	return fresh, nil
+}
+
+// ReplicaID returns this instance's identity (see loadOrCreateReplicaID).
+func (s *Server) ReplicaID() string { return s.replicaID }
 
 // openJournal opens the WAL in cfg.DataDir, replays prior state into
 // the in-memory index, re-enqueues jobs that were queued or running at
@@ -336,6 +381,15 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	now := time.Now()
+	// Idempotent re-submission: a client-supplied ID the server already
+	// holds returns the existing job (whatever its state) instead of
+	// admitting a duplicate — the contract gateway retries rely on.
+	if spec.ID != "" {
+		if job, ok := s.store.Get(spec.ID, now); ok {
+			s.metrics.deduped.Add(1)
+			return job, nil
+		}
+	}
 	job, err := newJob(spec, bids, now)
 	if err != nil {
 		return nil, err
@@ -406,12 +460,29 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 	now := time.Now()
 	jobs := make([]*Job, len(specs)) // nil where the spec was invalid
 	var valid []*Job
+	batchIDs := make(map[string]bool, len(specs))
 	for i := range specs {
 		bids, err := specs[i].materialize(s.cfg.Limits)
 		if err != nil {
 			s.metrics.rejected.Add(1)
 			items[i].Error = err.Error()
 			continue
+		}
+		// Idempotency for client-supplied IDs, mirroring Submit: an ID
+		// already indexed (or repeated within the batch) resolves to the
+		// existing admission instead of a duplicate run.
+		if id := specs[i].ID; id != "" {
+			if job, ok := s.store.Get(id, now); ok {
+				s.metrics.deduped.Add(1)
+				v := job.View()
+				items[i] = BatchItem{Accepted: job.State() != StateRejected, Job: &v}
+				continue
+			}
+			if batchIDs[id] {
+				items[i] = BatchItem{Error: fmt.Sprintf("duplicate job id %q within batch", id)}
+				continue
+			}
+			batchIDs[id] = true
 		}
 		job, err := newJob(specs[i], bids, now)
 		if err != nil {
@@ -599,6 +670,10 @@ func (s *Server) runJob(job *Job) {
 		CountOps:    job.Spec.CountOps,
 		Record:      job.Spec.Record,
 	}
+	if job.Spec.LinkDelayMS > 0 {
+		cfg.Delays = uniformDelays(job.Agents(), time.Duration(job.Spec.LinkDelayMS*float64(time.Millisecond)))
+		cfg.RealTimeDelays = true
+	}
 	res, err := protocol.Run(cfg)
 	now := time.Now()
 	if err != nil {
@@ -620,6 +695,21 @@ func (s *Server) runJob(job *Job) {
 	s.metrics.groupMultiExps.Add(jr.GroupMultiExps)
 	s.metrics.groupMultiExpTerms.Add(jr.GroupMultiExpTerms)
 	s.metrics.observe(now.Sub(job.submitted))
+}
+
+// uniformDelays builds the n x n one-way latency matrix for
+// JobSpec.LinkDelayMS: every off-diagonal link gets d.
+func uniformDelays(n int, d time.Duration) [][]time.Duration {
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = d
+			}
+		}
+	}
+	return m
 }
 
 // matchesCentralized compares the distributed outcome with the

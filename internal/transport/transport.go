@@ -251,6 +251,11 @@ type Network struct {
 	// delays[i][j], when set, is the one-way latency from agent i to
 	// agent j for the virtual-clock latency model.
 	delays [][]time.Duration
+	// realTime, when set alongside delays, makes each round barrier
+	// actually WAIT (wall clock) for the round's slowest in-flight
+	// message instead of only accounting it virtually — WAN emulation
+	// for end-to-end latency/throughput experiments.
+	realTime bool
 }
 
 // New creates a network for n agents with fresh statistics.
@@ -288,6 +293,20 @@ func (nw *Network) SetDelays(delays [][]time.Duration) error {
 	defer nw.mu.Unlock()
 	nw.delays = delays
 	return nil
+}
+
+// SetRealTime switches the latency model from virtual-clock accounting
+// to wall-clock emulation: when enabled (and a delay matrix is
+// installed), the last agent to finish a round sleeps for the round's
+// slowest in-flight message before the barrier releases, so a run
+// behaves — in real time — like agents separated by the configured
+// link latencies. Virtual-time accounting still accumulates, so
+// Stats.VirtualTime matches the emulated wait. Call before the first
+// round.
+func (nw *Network) SetRealTime(on bool) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.realTime = on
 }
 
 // N returns the number of agents.
@@ -366,6 +385,21 @@ func (ep *Endpoint) FinishRound() []Message {
 	}
 	nw.arrived++
 	if nw.arrived >= nw.live {
+		if wait := nw.realTimeWaitLocked(); wait > 0 {
+			// WAN emulation: the closing agent sleeps for the round's
+			// slowest in-flight message WITHOUT holding the lock, then
+			// delivers — unless a concurrent Crash already released the
+			// barrier (generation guard).
+			gen := nw.gen
+			nw.mu.Unlock()
+			time.Sleep(wait)
+			nw.mu.Lock()
+			if nw.gen != gen {
+				out := nw.inboxes[ep.id]
+				nw.inboxes[ep.id] = nil
+				return out
+			}
+		}
 		nw.deliverLocked()
 	} else {
 		gen := nw.gen
@@ -376,6 +410,28 @@ func (ep *Endpoint) FinishRound() []Message {
 	out := nw.inboxes[ep.id]
 	nw.inboxes[ep.id] = nil
 	return out
+}
+
+// realTimeWaitLocked returns the wall-clock wait the closing agent owes
+// the current round under WAN emulation: the slowest delay of any
+// pending message bound for a live recipient, or 0 when emulation is
+// off. Caller holds nw.mu.
+func (nw *Network) realTimeWaitLocked() time.Duration {
+	if !nw.realTime || nw.delays == nil {
+		return 0
+	}
+	var slowest time.Duration
+	for to := 0; to < nw.n; to++ {
+		if nw.crashed[to] {
+			continue
+		}
+		for _, m := range nw.pending[to] {
+			if d := nw.delays[m.From][to]; d > slowest {
+				slowest = d
+			}
+		}
+	}
+	return slowest
 }
 
 // deliverLocked moves pending messages into inboxes and releases the

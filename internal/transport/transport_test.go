@@ -310,3 +310,76 @@ func TestManyAgentsManyRounds(t *testing.T) {
 		t.Errorf("total messages = %d, want %d", nw.Stats().Messages(), want)
 	}
 }
+
+// uniformDelays builds an n x n matrix with delay d on every off-
+// diagonal link.
+func uniformDelays(n int, d time.Duration) [][]time.Duration {
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = d
+			}
+		}
+	}
+	return m
+}
+
+func TestRealTimeDelaysWaitWallClock(t *testing.T) {
+	const d = 30 * time.Millisecond
+	nw, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetDelays(uniformDelays(3, d)); err != nil {
+		t.Fatal(err)
+	}
+	nw.SetRealTime(true)
+	eps := endpoints(t, nw)
+
+	start := time.Now()
+	runRound(t, eps, func(ep *Endpoint) {
+		if err := ep.Send((ep.ID()+1)%3, KindShare, 0, payload{1}); err != nil {
+			t.Error(err)
+		}
+	})
+	if elapsed := time.Since(start); elapsed < d {
+		t.Errorf("round with %s links finished in %s; want >= %s", d, elapsed, d)
+	}
+	if vt := nw.Stats().VirtualTime(); vt != d {
+		t.Errorf("virtual time = %s, want %s", vt, d)
+	}
+
+	// An empty round (no in-flight messages) must not wait.
+	start = time.Now()
+	runRound(t, eps, nil)
+	if elapsed := time.Since(start); elapsed >= d {
+		t.Errorf("empty round waited %s; want immediate release", elapsed)
+	}
+}
+
+func TestRealTimeDelaysOffIsFast(t *testing.T) {
+	const d = 250 * time.Millisecond
+	nw, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetDelays(uniformDelays(2, d)); err != nil {
+		t.Fatal(err)
+	}
+	// Real time NOT enabled: the delay matrix is virtual-clock only.
+	eps := endpoints(t, nw)
+	start := time.Now()
+	runRound(t, eps, func(ep *Endpoint) {
+		if err := ep.Send(1-ep.ID(), KindShare, 0, payload{1}); err != nil {
+			t.Error(err)
+		}
+	})
+	if elapsed := time.Since(start); elapsed >= d {
+		t.Errorf("virtual-clock round took %s; must not sleep", elapsed)
+	}
+	if vt := nw.Stats().VirtualTime(); vt != d {
+		t.Errorf("virtual time = %s, want %s", vt, d)
+	}
+}
