@@ -7,9 +7,13 @@
 // the same replica while that replica is healthy. Because dmwd
 // submissions are idempotent by ID and job outcomes are deterministic
 // in (spec, seed), the gateway can retry a submission against the next
-// ring successor on connect errors or 5xx responses without risking
-// duplicate work — the worst case is a duplicate admission on a
-// replica that later also receives the retry, which dedupes.
+// ring successor on connect errors or server-fault 5xx responses
+// (500/502/504) without risking duplicate work — the worst case is a
+// duplicate admission on a replica that later also receives the retry,
+// which dedupes. A 503 is NOT retried elsewhere: it is dmwd's explicit
+// backpressure answer and is relayed (with Retry-After) so the owner —
+// which already journaled a rejected record for the ID — stays the
+// single source of truth for that job.
 //
 // The gateway holds no durable state. Restarting it loses nothing;
 // jobs live in the replicas (and their WALs). Reads route by the same

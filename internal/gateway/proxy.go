@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +22,11 @@ const (
 	maxBatchBodyBytes = 8 << 20
 	maxBatchJobs      = 256
 )
+
+// maxRelayBytes bounds a buffered backend RESPONSE (results, batch
+// item arrays, transcripts). Exceeding it is a backend error, never a
+// silent truncation — see tryBackend.
+const maxRelayBytes = 8 << 20
 
 // Handler returns the gateway's HTTP API — the same surface as one
 // dmwd, fronting the fleet:
@@ -64,8 +70,17 @@ type attemptResult struct {
 }
 
 // tryBackend sends method+path(+query) with body to b. A transport
-// error or 5xx status is returned as err (failover-worthy); any other
-// status is a definitive answer.
+// error or a 5xx status OTHER than 503 is returned as err
+// (failover-worthy); any other status is a definitive answer.
+//
+// 503 is deliberately definitive: dmwd's queue-full/draining response
+// has already created a durable rejected record for the job ID on that
+// replica. Failing the submit over to a ring successor would run the
+// job there while the owner keeps the rejection — divergent durable
+// state that reads (which hit the healthy owner first) would report as
+// "rejected" forever. Instead the 503 (with its Retry-After) is
+// relayed; dmwd re-admits the ID on retry, so backpressure never
+// poisons a job ID.
 func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQuery string, body []byte) (*attemptResult, error) {
 	if err := b.acquire(ctx); err != nil {
 		return nil, err
@@ -89,12 +104,19 @@ func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQ
 		return nil, fmt.Errorf("backend %s: %w", b.name, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBatchBodyBytes))
+	// Read one byte past the relay bound so overflow is DETECTED: a
+	// silently truncated body relayed with the original 200 would hand
+	// the client corrupt JSON.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
 	if err != nil {
 		g.metrics.backendErrors.Add(1)
 		return nil, fmt.Errorf("backend %s: reading response: %w", b.name, err)
 	}
-	if resp.StatusCode >= 500 {
+	if len(data) > maxRelayBytes {
+		g.metrics.backendErrors.Add(1)
+		return nil, fmt.Errorf("backend %s: response exceeds relay limit of %d bytes", b.name, maxRelayBytes)
+	}
+	if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
 		g.metrics.backendErrors.Add(1)
 		return nil, fmt.Errorf("backend %s: HTTP %d", b.name, resp.StatusCode)
 	}
@@ -102,9 +124,16 @@ func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQ
 }
 
 // forward walks the candidate list for key, returning the first
-// definitive response. 5xx and transport errors advance to the next
-// candidate; notFoundFallthrough additionally advances on 404 (job
-// reads: a failover-submitted job lives on a successor).
+// definitive response. Failover-worthy errors (see tryBackend) advance
+// to the next candidate; notFoundFallthrough additionally advances on
+// 404 (job reads: a failover-submitted job lives on a successor).
+//
+// A 404 is only returned when EVERY candidate answered it. If any
+// candidate was unreachable (transport error / failover-worthy 5xx)
+// and nobody found the job, the walk fails with that error instead:
+// the replica that durably holds the job may be the one that is down,
+// and telling the client "unknown ID" during that window reads as data
+// loss, while a 502 tells it to retry.
 func (g *Gateway) forward(ctx context.Context, key, method, path, rawQuery string, body []byte, notFoundFallthrough bool) (*attemptResult, error) {
 	cands := g.candidates(key)
 	var lastMiss *attemptResult
@@ -127,9 +156,13 @@ func (g *Gateway) forward(ctx context.Context, key, method, path, rawQuery strin
 		}
 		return res, nil
 	}
-	if lastMiss != nil {
-		// Every reachable replica said 404: the ID is genuinely unknown.
+	if lastMiss != nil && lastErr == nil {
+		// Every candidate answered, and all said 404: the ID is
+		// genuinely unknown.
 		return lastMiss, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no backend candidates")
 	}
 	return nil, lastErr
 }

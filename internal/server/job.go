@@ -428,6 +428,22 @@ func (j *Job) expired(now time.Time) bool {
 	return j.state.Terminal() && now.After(j.expires)
 }
 
+// matchesResubmit reports whether this record satisfies an idempotent
+// re-submission of its ID. It must still be live (not past its TTL)
+// and must not be a backpressure rejection: a rejected record is a
+// durable "refused, retry later" marker, and matching it would poison
+// the ID — a client retrying after queue-full/draining would get the
+// stale rejection back forever instead of running the job. Admission
+// replaces rejected records (see Store.PutIfAbsent).
+func (j *Job) matchesResubmit(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateRejected {
+		return false
+	}
+	return !(j.state.Terminal() && now.After(j.expires))
+}
+
 // JobView is the JSON snapshot served by GET /v1/jobs/{id}.
 type JobView struct {
 	ID     string   `json:"id"`

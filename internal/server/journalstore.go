@@ -74,6 +74,63 @@ func (s *journalStore) PutBatch(jobs []*Job) error {
 	return nil
 }
 
+func (s *journalStore) PutIfAbsent(j *Job, now time.Time) (*Job, error) {
+	existing, err := s.PutBatchIfAbsent([]*Job{j}, now)
+	if err != nil {
+		return nil, err
+	}
+	return existing[0], nil
+}
+
+// PutBatchIfAbsent journals and indexes the absent (or rejected-and-
+// replaceable) subset of jobs with one append batch. s.mu makes the
+// lookup/insert pair atomic: every admission goes through this mutex,
+// so two concurrent submissions of the same ID resolve to one winner.
+// (Sweep and lazy Get-eviction bypass s.mu but only ever delete
+// expired records, which would not have deduped anyway.) A replaced
+// rejected record simply gets a fresh admission append for the same
+// ID; recovery replay lets the later full record win, so the re-run
+// survives a crash too.
+func (s *journalStore) PutBatchIfAbsent(jobs []*Job, now time.Time) ([]*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existing := make([]*Job, len(jobs))
+	var fresh []*Job
+	var entries []journal.Entry
+	for i, job := range jobs {
+		if old, ok := s.mem.Get(job.ID, now); ok && old.matchesResubmit(now) {
+			existing[i] = old
+			continue
+		}
+		e, err := encodeRecord(recKindJob, job.record())
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+		fresh = append(fresh, job)
+	}
+	if len(fresh) == 0 {
+		return existing, nil
+	}
+	if err := s.j.AppendBatch(entries); err != nil {
+		if err == journal.ErrClosed {
+			// Same shutdown race as PutBatch: keep the (drain-rejection)
+			// records queryable in memory.
+			s.logf("journal closed; keeping %d admission record(s) in memory only", len(fresh))
+			if err := s.mem.PutBatch(fresh); err != nil {
+				return nil, err
+			}
+			return existing, nil
+		}
+		return nil, fmt.Errorf("server: journaling admission: %w", err)
+	}
+	if err := s.mem.PutBatch(fresh); err != nil {
+		return nil, err
+	}
+	s.maybeCompactLocked()
+	return existing, nil
+}
+
 func (s *journalStore) Get(id string, now time.Time) (*Job, bool) { return s.mem.Get(id, now) }
 func (s *journalStore) Len() int                                  { return s.mem.Len() }
 

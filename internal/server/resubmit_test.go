@@ -1,0 +1,214 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fourAgentSpec is a minimal valid spec with a client-supplied ID.
+func fourAgentSpec(id string, seed int64) JobSpec {
+	return JobSpec{ID: id, Bids: [][]int{{1}, {3}, {2}, {3}}, W: []int{1, 2, 3}, Seed: seed}
+}
+
+// TestResubmitAfterQueueFullRuns: a queue-full rejection must not
+// poison the job ID. The retry replaces the rejected record, is
+// admitted, and actually runs — the behavior a gateway (or any client
+// honoring Retry-After) depends on.
+func TestResubmitAfterQueueFullRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start yet: the filler stays queued, so the named submission
+	// bounces off the full queue.
+	filler, err := s.Submit(JobSpec{Bids: [][]int{{1}, {2}, {3}, {3}}, W: []int{1, 2, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected, err := s.Submit(fourAgentSpec("retry-after-503", 2))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if rejected.State() != StateRejected {
+		t.Fatalf("state = %s, want rejected", rejected.State())
+	}
+
+	// Drain the queue, then retry the same ID.
+	s.Start()
+	if !filler.WaitDone(60 * time.Second) {
+		t.Fatal("filler did not finish")
+	}
+	retried, err := s.Submit(fourAgentSpec("retry-after-503", 2))
+	if err != nil {
+		t.Fatalf("retry after queue-full rejected again: %v", err)
+	}
+	if retried == rejected {
+		t.Fatal("retry returned the stale rejected record; want a fresh admission")
+	}
+	if !retried.WaitDone(60 * time.Second) {
+		t.Fatal("re-admitted job did not finish")
+	}
+	if st := retried.State(); st != StateDone {
+		t.Fatalf("re-admitted job state = %s (%s), want done", st, retried.View().Error)
+	}
+	// The index now resolves the ID to the fresh run, not the rejection.
+	got, ok := s.Get("retry-after-503")
+	if !ok || got != retried {
+		t.Fatal("store still resolves the ID to the rejected record")
+	}
+	// And a live non-rejected record still dedupes as before.
+	again, err := s.Submit(fourAgentSpec("retry-after-503", 2))
+	if err != nil || again != retried {
+		t.Fatalf("dedupe after re-admission: job=%p err=%v, want %p", again, err, retried)
+	}
+
+	ctx := testCtx(t)
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResubmitAfterRejectDurable: with a WAL, the re-admission append
+// supersedes the rejected record on replay — a restart after the retry
+// recovers the job's real outcome, not the stale rejection.
+func TestResubmitAfterRejectDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalConfig(dir)
+	cfg.QueueDepth = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobSpec{Bids: [][]int{{1}, {2}, {3}, {3}}, W: []int{1, 2, 3}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(fourAgentSpec("durable-retry", 2)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+
+	s.Start()
+	// Wait for the queue to drain, then retry the rejected ID.
+	deadline := time.Now().Add(30 * time.Second)
+	var retried *Job
+	for {
+		retried, err = s.Submit(fourAgentSpec("durable-retry", 2))
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) || time.Now().After(deadline) {
+			t.Fatalf("retry: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !retried.WaitDone(60 * time.Second) {
+		t.Fatal("re-admitted job did not finish")
+	}
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same WAL: the replayed record must be the done run.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Shutdown(testCtx(t))
+	job, ok := s2.Get("durable-retry")
+	if !ok {
+		t.Fatal("re-admitted job lost across restart")
+	}
+	if st := job.State(); st != StateDone {
+		t.Fatalf("replayed state = %s, want done (re-admission must supersede the rejection)", st)
+	}
+}
+
+// TestConcurrentSameIDSubmitsAdmitOnce: the dedupe lookup and the
+// admission insert are one atomic store operation, so N racing
+// submissions of one ID resolve to a single job — no duplicate run, no
+// orphaned queue entry.
+func TestConcurrentSameIDSubmitsAdmitOnce(t *testing.T) {
+	s := startServer(t, testConfig())
+	const racers = 16
+	var wg sync.WaitGroup
+	results := make([]*Job, racers)
+	for r := 0; r < racers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			job, err := s.Submit(fourAgentSpec("race-1", 9))
+			if err != nil {
+				t.Errorf("racer %d: %v", r, err)
+				return
+			}
+			results[r] = job
+		}(r)
+	}
+	wg.Wait()
+	winner := results[0]
+	for r, job := range results {
+		if job != winner {
+			t.Fatalf("racer %d got a different job (%p vs %p); admission is not atomic", r, job, winner)
+		}
+	}
+	if !winner.WaitDone(60 * time.Second) {
+		t.Fatal("job did not finish")
+	}
+	if got := s.metrics.deduped.Load(); got != racers-1 {
+		t.Errorf("deduped = %d, want %d", got, racers-1)
+	}
+	if got := s.metrics.accepted.Load(); got != 1 {
+		t.Errorf("accepted = %d, want exactly 1 admission", got)
+	}
+}
+
+// TestBatchResubmitAfterReject: the batch path shares the re-admission
+// semantics — a previously rejected ID inside a batch is replaced and
+// runs, while live IDs keep deduping.
+func TestBatchResubmitAfterReject(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := s.SubmitBatch([]JobSpec{
+		fourAgentSpec("batch-a", 1),
+		fourAgentSpec("batch-b", 2),
+	})
+	if !items[0].Accepted {
+		t.Fatalf("first item rejected: %s", items[0].Error)
+	}
+	if items[1].Accepted || items[1].Job == nil || items[1].Job.State != StateRejected {
+		t.Fatalf("second item = %+v; want queue-full rejection with record", items[1])
+	}
+
+	s.Start()
+	a, _ := s.Get("batch-a")
+	if !a.WaitDone(60 * time.Second) {
+		t.Fatal("batch-a did not finish")
+	}
+
+	items = s.SubmitBatch([]JobSpec{
+		fourAgentSpec("batch-a", 1), // live done job: dedupes
+		fourAgentSpec("batch-b", 2), // rejected record: re-admits
+	})
+	if !items[0].Accepted || items[0].Job.State != StateDone {
+		t.Fatalf("dedupe item = %+v; want the existing done job", items[0])
+	}
+	if !items[1].Accepted {
+		t.Fatalf("re-admission item = %+v; want accepted", items[1])
+	}
+	b, ok := s.Get("batch-b")
+	if !ok || !b.WaitDone(60*time.Second) || b.State() != StateDone {
+		t.Fatal("re-admitted batch job did not run to done")
+	}
+
+	if err := s.Shutdown(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -374,6 +374,15 @@ func (s *Server) Start() {
 // wrapping ErrInvalidSpec. With a journal-backed store the admission
 // record is durable before Submit returns — durability before
 // acknowledgment.
+//
+// Client-supplied IDs make submission idempotent: re-submitting an ID
+// the server already holds in a non-rejected state returns the
+// existing job instead of admitting a duplicate — the contract gateway
+// retries rely on. A held REJECTED record does not dedupe: it is a
+// transient backpressure refusal, so the retry re-admits under the
+// same ID (replacing the rejection) and the job actually runs. The
+// lookup and the insert are one atomic store operation (PutIfAbsent),
+// so concurrent same-ID submissions admit exactly one job.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	bids, err := spec.materialize(s.cfg.Limits)
 	if err != nil {
@@ -381,15 +390,6 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	now := time.Now()
-	// Idempotent re-submission: a client-supplied ID the server already
-	// holds returns the existing job (whatever its state) instead of
-	// admitting a duplicate — the contract gateway retries rely on.
-	if spec.ID != "" {
-		if job, ok := s.store.Get(spec.ID, now); ok {
-			s.metrics.deduped.Add(1)
-			return job, nil
-		}
-	}
 	job, err := newJob(spec, bids, now)
 	if err != nil {
 		return nil, err
@@ -397,25 +397,39 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	return s.admit(job, now)
 }
 
-// admit persists and indexes the job, then races it against the
-// bounded queue. Ordering invariant: the admission record reaches the
-// store (and the WAL) BEFORE the job can reach a worker, so a job's
-// lifecycle appends always follow its admission append in the log.
+// admit persists and indexes the job (unless the ID dedupes to an
+// existing admission), then races it against the bounded queue.
+// Ordering invariant: the admission record reaches the store (and the
+// WAL) BEFORE the job can reach a worker, so a job's lifecycle appends
+// always follow its admission append in the log.
 func (s *Server) admit(job *Job, now time.Time) (*Job, error) {
 	if s.Draining() {
-		// Fast path: journal the rejection as one terminal record.
+		// Fast path: journal the rejection as one terminal record —
+		// unless the ID already names a live non-rejected job, which the
+		// rejection must not clobber.
 		job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
-		if err := s.store.Put(job); err != nil {
+		existing, err := s.store.PutIfAbsent(job, now)
+		if err != nil {
 			s.cfg.Logf("admit: persisting drain rejection: %v", err)
+		}
+		if existing != nil {
+			s.metrics.deduped.Add(1)
+			return existing, nil
 		}
 		s.metrics.rejected.Add(1)
 		return job, ErrDraining
 	}
-	if err := s.store.Put(job); err != nil {
+	existing, err := s.store.PutIfAbsent(job, now)
+	if err != nil {
 		// Cannot make the admission durable: refuse it outright rather
 		// than accept work that would be silently lost by a restart.
 		s.metrics.rejected.Add(1)
 		return nil, err
+	}
+	if existing != nil {
+		// Idempotent re-submission resolved atomically in the store.
+		s.metrics.deduped.Add(1)
+		return existing, nil
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -460,6 +474,7 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 	now := time.Now()
 	jobs := make([]*Job, len(specs)) // nil where the spec was invalid
 	var valid []*Job
+	var validIdx []int // valid[k] came from specs[validIdx[k]]
 	batchIDs := make(map[string]bool, len(specs))
 	for i := range specs {
 		bids, err := specs[i].materialize(s.cfg.Limits)
@@ -469,13 +484,17 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 			continue
 		}
 		// Idempotency for client-supplied IDs, mirroring Submit: an ID
-		// already indexed (or repeated within the batch) resolves to the
-		// existing admission instead of a duplicate run.
+		// already indexed in a non-rejected state (or repeated within
+		// the batch) resolves to the existing admission instead of a
+		// duplicate run. A held rejected record falls through and is
+		// replaced below — backpressure must not poison the ID. This
+		// lookup is only a fast path; PutBatchIfAbsent re-checks
+		// atomically at insert time.
 		if id := specs[i].ID; id != "" {
-			if job, ok := s.store.Get(id, now); ok {
+			if job, ok := s.store.Get(id, now); ok && job.State() != StateRejected {
 				s.metrics.deduped.Add(1)
 				v := job.View()
-				items[i] = BatchItem{Accepted: job.State() != StateRejected, Job: &v}
+				items[i] = BatchItem{Accepted: true, Job: &v}
 				continue
 			}
 			if batchIDs[id] {
@@ -491,10 +510,14 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 		}
 		jobs[i] = job
 		valid = append(valid, job)
+		validIdx = append(validIdx, i)
 	}
 
-	// Durability before visibility, amortized across the batch.
-	if err := s.store.PutBatch(valid); err != nil {
+	// Durability before visibility, amortized across the batch. The
+	// store resolves same-ID races atomically: slots that lost to a
+	// concurrent admission come back as existing jobs and dedupe.
+	existing, err := s.store.PutBatchIfAbsent(valid, now)
+	if err != nil {
 		for i, job := range jobs {
 			if job != nil {
 				s.metrics.rejected.Add(1)
@@ -502,6 +525,16 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 			}
 		}
 		return items
+	}
+	for k, old := range existing {
+		if old == nil {
+			continue
+		}
+		i := validIdx[k]
+		jobs[i] = nil // not ours; a concurrent submission won the ID
+		s.metrics.deduped.Add(1)
+		v := old.View()
+		items[i] = BatchItem{Accepted: true, Job: &v}
 	}
 
 	for i, job := range jobs {

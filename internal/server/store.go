@@ -29,6 +29,23 @@ type Store interface {
 	// PutBatch indexes several jobs with one durability round-trip (a
 	// single WAL append batch, so one fsync under the always policy).
 	PutBatch(jobs []*Job) error
+	// PutIfAbsent atomically indexes j at admission time UNLESS a live
+	// (unexpired) job with the same ID already exists in a non-rejected
+	// state — then the existing job is returned and the index is
+	// unchanged. The check and the insert happen under one lock, so two
+	// concurrent submissions of the same ID admit exactly one job (the
+	// idempotency contract gateway retries rely on). An existing
+	// rejected record is REPLACED by j: rejection is a transient
+	// backpressure refusal, and a retry of that ID must be able to run
+	// (see Job.matchesResubmit). The journal-backed store persists the
+	// admission before indexing it, exactly like Put.
+	PutIfAbsent(j *Job, now time.Time) (existing *Job, err error)
+	// PutBatchIfAbsent is PutIfAbsent over a batch, journaling the
+	// newly admitted subset with one append batch (one fsync under the
+	// always policy). existing is positionally aligned with jobs; a
+	// non-nil entry means that slot deduped to the returned job and the
+	// corresponding input was not stored.
+	PutBatchIfAbsent(jobs []*Job, now time.Time) (existing []*Job, err error)
 	// Get looks a job up, evicting it lazily when expired.
 	Get(id string, now time.Time) (*Job, bool)
 	// Len counts live (unexpired) jobs without evicting.
@@ -77,6 +94,35 @@ func (s *memStore) PutBatch(jobs []*Job) error {
 	return nil
 }
 
+// PutIfAbsent / PutBatchIfAbsent hold s.mu across the lookup AND the
+// insert, making admission atomic per ID. Lock order is always
+// store mutex -> Job.mu (matchesResubmit), never the reverse — Job
+// methods never call back into a store — so holding both is safe.
+func (s *memStore) PutIfAbsent(j *Job, now time.Time) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.jobs[j.ID]; ok && old.matchesResubmit(now) {
+		return old, nil
+	}
+	// Absent, expired, or rejected: (re-)admit j in its place.
+	s.jobs[j.ID] = j
+	return nil, nil
+}
+
+func (s *memStore) PutBatchIfAbsent(jobs []*Job, now time.Time) ([]*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existing := make([]*Job, len(jobs))
+	for i, j := range jobs {
+		if old, ok := s.jobs[j.ID]; ok && old.matchesResubmit(now) {
+			existing[i] = old
+			continue
+		}
+		s.jobs[j.ID] = j
+	}
+	return existing, nil
+}
+
 func (s *memStore) Get(id string, now time.Time) (*Job, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -86,7 +132,12 @@ func (s *memStore) Get(id string, now time.Time) (*Job, bool) {
 	}
 	if j.expired(now) {
 		s.mu.Lock()
-		delete(s.jobs, id)
+		// Re-check identity: a concurrent re-admission may have replaced
+		// the expired record since we released the lock; never evict the
+		// replacement.
+		if s.jobs[id] == j {
+			delete(s.jobs, id)
+		}
 		s.mu.Unlock()
 		return nil, false
 	}
@@ -124,9 +175,13 @@ func (s *memStore) Sweep(now time.Time) int {
 		}
 		if j.expired(now) { // takes j.mu; never held together with s.mu
 			s.mu.Lock()
-			delete(s.jobs, id)
+			// Same identity re-check as Get: only evict the job we
+			// examined, not a re-admitted replacement under the same ID.
+			if s.jobs[id] == j {
+				delete(s.jobs, id)
+				removed++
+			}
 			s.mu.Unlock()
-			removed++
 		}
 	}
 	return removed
