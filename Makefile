@@ -2,6 +2,11 @@
 # fuzz-smoke (see .github/workflows/ci.yml).
 
 GO ?= go
+# VERSION is stamped into every binary via -ldflags (dmwd/dmwgw expose
+# it as the *_build_info metric and in GET /healthz). git describe when
+# available, "dev" otherwise — same default the unstamped var carries.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X dmw/internal/obs.Version=$(VERSION)"
 # BENCH_OUT is the archived benchmark document `make bench` emits; bump
 # the suffix when re-baselining after a performance PR.
 BENCH_OUT ?= BENCH_4.json
@@ -16,15 +21,29 @@ GATEWAY_BENCHTIME ?= 2s
 # manually with `go test -fuzz <Target> <pkg>`.
 FUZZTIME ?= 3s
 
-.PHONY: all build vet test test-race test-server e2e-shard bench bench-smoke bench-server bench-gateway fuzz-smoke ci
+.PHONY: all build bin vet test test-race test-server e2e-shard obs-smoke bench bench-smoke bench-server bench-gateway fuzz-smoke ci
 
 all: build vet test
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
+# bin builds the version-stamped daemon + tool binaries into ./bin.
+bin:
+	$(GO) build $(LDFLAGS) -o bin/ ./cmd/dmwd ./cmd/dmwgw ./cmd/dmwtrace
+
+# vet runs the standard analyzers everywhere, plus the shadow analyzer
+# when its external binary is installed (it is not part of the base
+# toolchain, so its absence is a skip, not a failure):
+#   go install golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@latest
 vet:
 	$(GO) vet ./...
+	@if command -v shadow >/dev/null 2>&1; then \
+		echo "$(GO) vet -vettool=$$(command -v shadow) ./..."; \
+		$(GO) vet -vettool=$$(command -v shadow) ./...; \
+	else \
+		echo "shadow analyzer not installed; skipping strict vet pass"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -42,6 +61,14 @@ test-server:
 # loss after restart. Runs under -race; CI runs this on every push.
 e2e-shard:
 	$(GO) test -race -run 'TestFailoverKillNineZeroLoss' -v -count=1 ./internal/gateway
+
+# obs-smoke boots a REAL dmwd process (JSON logs, -addr :0), submits a
+# traced job over HTTP, asserts the trace endpoint serves at least one
+# span per DMW phase, SIGTERMs the daemon, and checks that it exits
+# cleanly and that every log line parses as JSON. Runs under -race so a
+# leaked shutdown goroutine fails loudly; CI runs this on every push.
+obs-smoke:
+	$(GO) test -race -run 'TestObsSmoke' -v -count=1 ./cmd/dmwd
 
 # bench runs the cryptographic inner-loop benchmarks (group, commit) and
 # the end-to-end suites (root package: Table 1 + server throughput) and
@@ -79,4 +106,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
 	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
 
-ci: build vet test-race e2e-shard bench-smoke fuzz-smoke
+ci: build vet test-race e2e-shard obs-smoke bench-smoke fuzz-smoke

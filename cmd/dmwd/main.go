@@ -11,6 +11,13 @@
 //	     [-data-dir dir] [-fsync always|interval|never]
 //	     [-fsync-interval 100ms] [-snapshot-every 1024]
 //	     [-pprof-addr 127.0.0.1:6060]
+//	     [-log-level info] [-log-format text|json] [-addr-file path]
+//
+// Logs are structured (log/slog): -log-format json emits one JSON
+// object per line for machine consumption, each carrying the
+// request's X-Request-Id correlation ID where one applies. -addr-file
+// writes the bound listen address (useful with -addr :0) for scripts
+// and the obs-smoke harness. See docs/OBSERVABILITY.md.
 //
 // With -data-dir, job lifecycle records are written through a
 // CRC-framed write-ahead log before they are acknowledged, and a
@@ -35,7 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +52,7 @@ import (
 
 	"dmw"
 	"dmw/internal/group"
+	"dmw/internal/obs"
 	"dmw/internal/pprofserve"
 	"dmw/internal/server"
 )
@@ -71,6 +80,10 @@ func run() error {
 
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
 
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		logFormat = flag.String("log-format", obs.LogFormatText, "log output format: text | json; see docs/OBSERVABILITY.md")
+		addrFile  = flag.String("addr-file", "", "write the bound listen address to this file (use with -addr :0)")
+
 		dataDir   = flag.String("data-dir", "", "enable durable persistence: WAL + snapshots in this directory (empty = in-memory)")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 		fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
@@ -78,11 +91,17 @@ func run() error {
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "dmwd: ", log.LstdFlags)
-	logf := logger.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	slogger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
+	if *quiet {
+		slogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	slogger = slogger.With("component", "dmwd")
+	// Legacy printf-style lifecycle lines flow through the same handler
+	// (and the same -log-format) as the structured events.
+	logf := obs.Logf(slogger)
 
 	cfg := server.Config{
 		Preset:             *preset,
@@ -92,6 +111,7 @@ func run() error {
 		ResultTTL:          *ttl,
 		Limits:             server.Limits{MaxAgents: *maxN, MaxTasks: *maxM},
 		Logf:               logf,
+		Logger:             slogger,
 		DataDir:            *dataDir,
 		Fsync:              *fsync,
 		FsyncInterval:      *fsyncInt,
@@ -122,16 +142,29 @@ func run() error {
 	}
 	srv.Start()
 
+	// Listen explicitly (rather than ListenAndServe) so the bound
+	// address is known before serving: -addr :0 plus -addr-file is how
+	// scripts and the obs-smoke harness boot a daemon on a free port and
+	// find it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		logf("listening on %s", *addr)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logf("listening on %s", ln.Addr())
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			errCh <- err
 		}
 	}()

@@ -13,6 +13,14 @@
 //	      [-health-interval 1s] [-health-timeout 2s]
 //	      [-fail-after 2] [-recover-after 2]
 //	      [-request-timeout 60s] [-pprof-addr addr] [-q]
+//	      [-log-level info] [-log-format text|json]
+//
+// Logs are structured (log/slog); -log-format json emits one JSON
+// object per line. Every proxied request carries an X-Request-Id
+// correlation ID — adopted from the client or minted here — that the
+// gateway forwards to the replica, so one grep joins the gateway's
+// access/failover lines with the replica's job lifecycle lines. See
+// docs/OBSERVABILITY.md.
 //
 // Each -backend is "name,url[,weight]". The name is the replica's ring
 // identity: keep it stable across restarts and address changes so the
@@ -29,7 +37,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"dmw/internal/gateway"
+	"dmw/internal/obs"
 	"dmw/internal/pprofserve"
 )
 
@@ -88,6 +98,8 @@ func run() error {
 		recovAfter = flag.Int("recover-after", 2, "consecutive probe successes before re-admission")
 		reqTO      = flag.Duration("request-timeout", time.Minute, "per-attempt proxy timeout")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		logFormat  = flag.String("log-format", obs.LogFormatText, "log output format: text | json; see docs/OBSERVABILITY.md")
 		quiet      = flag.Bool("q", false, "suppress lifecycle logs")
 	)
 	flag.Parse()
@@ -98,11 +110,15 @@ func run() error {
 		return fmt.Errorf("at least one -backend is required")
 	}
 
-	logger := log.New(os.Stderr, "dmwgw: ", log.LstdFlags)
-	logf := logger.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	slogger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
+	if *quiet {
+		slogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	slogger = slogger.With("component", "dmwgw")
+	logf := obs.Logf(slogger)
 
 	_, stopPprof, err := pprofserve.Start(*pprofAddr, logf)
 	if err != nil {
@@ -120,6 +136,7 @@ func run() error {
 		RecoverAfter:   *recovAfter,
 		RequestTimeout: *reqTO,
 		Logf:           logf,
+		Logger:         slogger,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,65 @@
+// Command dmwtrace renders a dmwd protocol trace — the JSONL span
+// stream served by GET /v1/jobs/{id}/trace — as a text waterfall: one
+// line per span, indented by parentage, with a proportional bar over
+// the trace's time range.
+//
+// Usage:
+//
+//	dmwtrace [-width 64] [trace.jsonl]
+//
+// With no file argument, spans are read from stdin, so the natural
+// workflow pipes the daemon (or the gateway fronting it) straight in:
+//
+//	curl -s localhost:7700/v1/jobs/<id>/trace | dmwtrace
+//
+// Submit the job with "trace": true to have dmwd record spans; see
+// docs/OBSERVABILITY.md for the span model (job root, per-task auction
+// spans, per-phase children) and how to read the waterfall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dmw/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmwtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	width := flag.Int("width", 64, "waterfall bar width in characters")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dmwtrace [-width n] [trace.jsonl]\nreads span JSONL (GET /v1/jobs/{id}/trace) from the file or stdin\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		flag.Usage()
+		return fmt.Errorf("at most one trace file, got %d args", flag.NArg())
+	}
+
+	spans, err := obs.ReadJSONL(in)
+	if err != nil {
+		return fmt.Errorf("reading spans: %w", err)
+	}
+	return obs.Waterfall(os.Stdout, spans, *width)
+}

@@ -11,6 +11,7 @@ import (
 	"dmw/internal/commit"
 	"dmw/internal/field"
 	"dmw/internal/group"
+	"dmw/internal/obs"
 	"dmw/internal/poly"
 	"dmw/internal/strategy"
 	"dmw/internal/transport"
@@ -55,6 +56,10 @@ type auctionEnv struct {
 	rhos [][]*big.Int
 	// echo enables the digest-exchange hardening of echo.go.
 	echo bool
+	// clock, when non-nil, receives the round-1 barrier crossing of
+	// every agent so the run-level bidding phase ends with its slowest
+	// auction (see phaseClock).
+	clock *phaseClock
 }
 
 // agentRun is the per-agent state of one auction.
@@ -86,6 +91,10 @@ type agentRun struct {
 	// verification (package audit). Only one agent records per auction.
 	rec *AuctionTranscript
 
+	// tr, when non-nil, records protocol phase spans. Like rec, only
+	// one agent traces per auction; a nil tracer absorbs every call.
+	tr *auctionTracer
+
 	// gammas caches the Gamma_{k,l} evaluations shared by the first- and
 	// second-price verification passes.
 	gammas *commit.GammaTable
@@ -99,13 +108,15 @@ type agentRun struct {
 // agent's perspective. It always keeps its communication rounds aligned
 // with the other agents (see package strategy).
 func runAgentAuction(env *auctionEnv, me int, g *group.Group, ep transport.Conn,
-	hooks *strategy.Hooks, truthBid int, rng io.Reader, rec *AuctionTranscript) (*AuctionOutcome, []string, error) {
+	hooks *strategy.Hooks, truthBid int, rng io.Reader, rec *AuctionTranscript,
+	tr *auctionTracer) (*AuctionOutcome, []string, error) {
 
 	if hooks == nil {
 		hooks = &strategy.Hooks{}
 	}
 	a := &agentRun{
 		rec:      rec,
+		tr:       tr,
 		env:      env,
 		me:       me,
 		g:        g,
@@ -166,25 +177,37 @@ func (a *agentRun) logf(format string, args ...any) {
 
 func (a *agentRun) run() (*AuctionOutcome, error) {
 	// ---- Round 1: Phase II Bidding — shares (p2p) + commitments. ----
+	// Span ends are explicit on every exit path rather than deferred:
+	// a deferred End would stretch each phase span to the function end.
+	bsp := a.tr.phaseSpan("bidding", "II")
 	if err := a.bid1(); err != nil {
+		bsp.End()
 		return nil, err
 	}
 	round1 := a.ep.FinishRound()
+	a.env.clock.markBiddingEnd()
 	a.collect(round1)
 	a.logf("round 1 (bidding): sent shares and commitments")
 	a.rec.recordBidding(a)
 	if reason, err := a.echoCheck(round1); err != nil {
+		bsp.End()
 		return nil, err
 	} else if reason != "" {
+		bsp.End()
 		return a.aborted(reason), nil
 	}
+	bsp.End()
 
 	// ---- Round 2: Phase III step 1-2 — verify, publish Lambda/Psi. ----
+	vsp := a.tr.phaseSpan("commit_verify", "III")
 	a.verifySharesAndCommitments()
+	vsp.End()
 	if fa := a.hooks.FalseAbort; a.abortReason == "" && fa != nil && fa(a.env.task) {
 		a.abortReason = "spurious abort raised by strategy"
 	}
+	lsp := a.tr.phaseSpan("lambda_psi", "III")
 	if err := a.publishLambdaPsiOrAbort(); err != nil {
+		lsp.End()
 		return nil, err
 	}
 	round2 := a.ep.FinishRound()
@@ -192,11 +215,14 @@ func (a *agentRun) run() (*AuctionOutcome, error) {
 	a.logf("round 2 (allocating): published Lambda/Psi")
 	a.rec.recordLambdaPsi(a)
 	if reason, err := a.echoCheck(round2); err != nil {
+		lsp.End()
 		return nil, err
 	} else if reason != "" {
+		lsp.End()
 		return a.aborted(reason), nil
 	}
 	if a.abortSeen || a.abortReason != "" {
+		lsp.End()
 		return a.aborted(a.firstReason("peer aborted after bidding")), nil
 	}
 
@@ -213,6 +239,7 @@ func (a *agentRun) run() (*AuctionOutcome, error) {
 			reason = fmt.Sprintf("first-price resolution failed: %v", err)
 		}
 	}
+	lsp.End()
 	if reason != "" {
 		a.abortReason = reason
 		if err := a.broadcast(transport.KindAbort, AbortPayload{Reason: reason}); err != nil {
@@ -242,7 +269,9 @@ func (a *agentRun) run() (*AuctionOutcome, error) {
 	a.logf("winner identified: agent %d", winner)
 
 	// ---- Second-price round (step III.4). ----
+	psp := a.tr.phaseSpan("second_price", "III")
 	secondPrice, reason, err := a.resolveSecondPrice(winner)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -529,6 +558,7 @@ func (a *agentRun) discloseAndFindWinner(firstPrice int) (winner int, abortReaso
 	attempted := make([]bool, env.n)
 	round := 3
 	for len(valid) < needed {
+		dsp := a.tr.phaseSpan("disclosure", "III", obs.Int("round", round))
 		// Deterministic designation: the first (needed - len(valid))
 		// pseudonyms that have not yet attempted.
 		var designated []int
@@ -541,10 +571,12 @@ func (a *agentRun) discloseAndFindWinner(firstPrice int) (winner int, abortReaso
 			// Announce and abort: disclosure sources exhausted.
 			reason := "not enough valid disclosures for winner identification"
 			if err := a.broadcast(transport.KindAbort, AbortPayload{Reason: reason}); err != nil {
+				dsp.End()
 				return -1, "", err
 			}
 			a.collect(a.ep.FinishRound())
 			a.logf("round %d (allocating): abort: %s", round, reason)
+			dsp.End()
 			return -1, reason, nil
 		}
 		for _, k := range designated {
@@ -571,8 +603,10 @@ func (a *agentRun) discloseAndFindWinner(firstPrice int) (winner int, abortReaso
 		a.logf("round %d (allocating): disclosure round, %d designated", round, len(designated))
 		round++
 		if reason, err := a.echoCheck(msgs); err != nil {
+			dsp.End()
 			return -1, "", err
 		} else if reason != "" {
+			dsp.End()
 			return -1, reason, nil
 		}
 
@@ -595,6 +629,7 @@ func (a *agentRun) discloseAndFindWinner(firstPrice int) (winner int, abortReaso
 			got[a.me] = myDisclosure
 		}
 		if a.abortSeen {
+			dsp.End()
 			return -1, "peer aborted during winner identification", nil
 		}
 		// Validate via equation (13). This check is part of the shared
@@ -613,6 +648,7 @@ func (a *agentRun) discloseAndFindWinner(firstPrice int) (winner int, abortReaso
 			valid[k] = f
 			a.rec.recordDisclosure(k, f)
 		}
+		dsp.End()
 	}
 
 	// Pick the y*+1 smallest-pseudonym valid disclosers.

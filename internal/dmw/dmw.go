@@ -28,6 +28,7 @@ import (
 	"math/big"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"dmw/internal/commit"
 	"dmw/internal/group"
 	"dmw/internal/mechanism"
+	"dmw/internal/obs"
 	"dmw/internal/payment"
 	"dmw/internal/sched"
 	"dmw/internal/strategy"
@@ -88,6 +90,14 @@ type RunConfig struct {
 	// measures) the end-to-end time real agents separated by those
 	// links would take. Requires Delays.
 	RealTimeDelays bool
+	// Trace, when non-nil, records protocol spans (per-auction spans
+	// with per-phase children, plus init and settlement segments) into
+	// the recorder. Nil — the default, and what every benchmark uses —
+	// keeps the run allocation-free of tracing work.
+	Trace *obs.Recorder
+	// TraceParent parents every recorded span (the server passes the
+	// job's root span); 0 roots them at the trace top level.
+	TraceParent obs.SpanID
 }
 
 // Tasks returns m.
@@ -177,10 +187,16 @@ type Result struct {
 	// Transcript holds the published record of the run when
 	// RunConfig.Record is set; nil otherwise.
 	Transcript *Transcript
+	// Phases partitions the run's wall clock into the five segments of
+	// PhaseNames; the durations sum to the run duration exactly. Always
+	// populated (the server's dmwd_phase_seconds histograms feed from
+	// it on every job, traced or not).
+	Phases []PhaseTiming
 }
 
 // Run executes the distributed mechanism.
 func Run(cfg RunConfig) (*Result, error) {
+	t0 := time.Now()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -234,6 +250,13 @@ func Run(cfg RunConfig) (*Result, error) {
 		par = runtime.GOMAXPROCS(0)
 	}
 	sem := make(chan struct{}, par)
+
+	// Phase I ends here: everything above is validation and shared
+	// precomputation. The clock's epoch doubles as the bidding start.
+	tInit := time.Now()
+	clock := &phaseClock{epoch: tInit}
+	cfg.Trace.Record(PhaseInit, cfg.TraceParent, t0, tInit, obs.Attr{Key: "phase", Value: "I"})
+
 	var (
 		wg     sync.WaitGroup
 		errMu  sync.Mutex
@@ -253,6 +276,8 @@ func Run(cfg RunConfig) (*Result, error) {
 		go func(task int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			asp := cfg.Trace.Start("auction", cfg.TraceParent, obs.Int("task", task))
+			defer asp.End()
 			nw, err := transport.New(n)
 			if err != nil {
 				recordErr(err)
@@ -273,6 +298,7 @@ func Run(cfg RunConfig) (*Result, error) {
 				powers: sharedPowers,
 				rhos:   sharedRhos,
 				echo:   cfg.EchoVerification,
+				clock:  clock,
 			}
 			var agentWG sync.WaitGroup
 			logs := make([][]string, n)
@@ -294,7 +320,11 @@ func Run(cfg RunConfig) (*Result, error) {
 					if transcripts != nil && i == 0 {
 						rec = transcripts[task]
 					}
-					view, log, err := runAgentAuction(env, i, ag, ep, cfg.strategyFor(i), cfg.TrueBids[i][task], rng, rec)
+					var tr *auctionTracer
+					if cfg.Trace != nil && i == 0 {
+						tr = &auctionTracer{rec: cfg.Trace, parent: asp.ID()}
+					}
+					view, log, err := runAgentAuction(env, i, ag, ep, cfg.strategyFor(i), cfg.TrueBids[i][task], rng, rec, tr)
 					if err != nil {
 						recordErr(err)
 						ep.Crash()
@@ -307,6 +337,13 @@ func Run(cfg RunConfig) (*Result, error) {
 			agentWG.Wait()
 			stats.Merge(nw.Stats())
 			roundLogs[task] = logs[0]
+			if v := viewsByAgent[0][task]; v != nil {
+				if v.Aborted {
+					asp.SetAttr("aborted", v.AbortReason)
+				} else {
+					asp.SetAttr("winner", strconv.Itoa(v.Winner))
+				}
+			}
 		}(task)
 	}
 	wg.Wait()
@@ -341,10 +378,14 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	// Phase IV: payment claims, one session-wide round.
+	tAlloc := time.Now()
+	ssp := cfg.Trace.Start(PhaseSettlement, cfg.TraceParent, obs.Attr{Key: "phase", Value: "IV"})
 	settlement, claims, err := settlePayments(cfg, viewsByAgent, stats)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
+	tSettle := time.Now()
 
 	res := &Result{
 		Auctions:   consensus,
@@ -361,6 +402,19 @@ func Run(cfg RunConfig) (*Result, error) {
 		res.Transcript = tr
 	}
 	res.assembleOutcome(cfg)
+
+	// Partition the run's wall clock into the five phase segments. The
+	// segments are disjoint and cover [t0, now] exactly, so their sum
+	// equals the run duration (the phase-histogram acceptance test
+	// pins this against the server's end-to-end job latency).
+	bidEnd := clock.biddingEnd(tInit, tAlloc)
+	res.Phases = []PhaseTiming{
+		{Phase: PhaseInit, Duration: tInit.Sub(t0)},
+		{Phase: PhaseBidding, Duration: bidEnd.Sub(tInit)},
+		{Phase: PhaseAllocation, Duration: tAlloc.Sub(bidEnd)},
+		{Phase: PhaseSettlement, Duration: tSettle.Sub(tAlloc)},
+		{Phase: PhaseFinalize, Duration: time.Since(tSettle)},
+	}
 	return res, nil
 }
 

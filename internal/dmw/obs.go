@@ -1,0 +1,102 @@
+package dmw
+
+// Observability support for a Run: always-on phase timings (cheap — a
+// handful of clock reads and one CAS per round-1 barrier) and optional
+// span tracing through an obs.Recorder. The two are deliberately
+// decoupled: Result.Phases feeds the dmwd_phase_seconds histograms on
+// every job, while spans are recorded only when RunConfig.Trace is set,
+// so the no-tracing hot path stays allocation-free.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dmw/internal/obs"
+)
+
+// Phase segment names, in order. The five segments partition the run's
+// wall clock exactly: init (Phase I — validation and precomputation),
+// bidding (Phase II — through the round-1 barrier of the slowest
+// auction), allocation (Phase III — the remaining auction rounds plus
+// consensus), settlement (Phase IV — the payment-claim round), and
+// finalize (outcome assembly). Their durations sum to the run duration.
+const (
+	PhaseInit       = "init"
+	PhaseBidding    = "bidding"
+	PhaseAllocation = "allocation"
+	PhaseSettlement = "settlement"
+	PhaseFinalize   = "finalize"
+)
+
+// PhaseNames lists the phase segments every Result.Phases reports, in
+// execution order (the server iterates it to pre-register histogram
+// label values).
+var PhaseNames = []string{PhaseInit, PhaseBidding, PhaseAllocation, PhaseSettlement, PhaseFinalize}
+
+// PhaseTiming is one wall-clock segment of a run.
+type PhaseTiming struct {
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration"`
+}
+
+// phaseClock tracks the latest round-1 barrier crossing over all
+// auctions and agents (a CAS-max), marking where Phase II ends and
+// Phase III begins for the run as a whole. The auctions are parallel,
+// so the run-level bidding phase ends when the SLOWEST auction leaves
+// its bidding round.
+type phaseClock struct {
+	epoch time.Time
+	// maxNS is the largest observed offset from epoch, in nanoseconds.
+	maxNS atomic.Int64
+}
+
+// markBiddingEnd records "now" as a candidate bidding-phase end.
+// Nil-safe: agent sessions (session.go) run without a clock.
+func (c *phaseClock) markBiddingEnd() {
+	if c == nil {
+		return
+	}
+	ns := int64(time.Since(c.epoch))
+	for {
+		cur := c.maxNS.Load()
+		if ns <= cur || c.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// biddingEnd returns the recorded bidding end clamped into [lo, hi], so
+// the phase segments stay disjoint and non-negative even when no agent
+// marked the clock (every auction crashed before round 1).
+func (c *phaseClock) biddingEnd(lo, hi time.Time) time.Time {
+	if c == nil {
+		return lo
+	}
+	t := c.epoch.Add(time.Duration(c.maxNS.Load()))
+	if t.Before(lo) {
+		return lo
+	}
+	if t.After(hi) {
+		return hi
+	}
+	return t
+}
+
+// auctionTracer carries the span-recording context of one auction into
+// the agent that records it (agent 0, matching the RoundLogs
+// convention). A nil tracer — every auction when tracing is off, and
+// every agent but one when it is on — absorbs all calls.
+type auctionTracer struct {
+	rec    *obs.Recorder
+	parent obs.SpanID // the auction span
+}
+
+// phaseSpan opens a child span annotated with the DMW phase numeral
+// ("I".."IV"), the attribute the trace endpoint's consumers group by.
+func (t *auctionTracer) phaseSpan(name, phase string, attrs ...obs.Attr) *obs.ActiveSpan {
+	if t == nil || t.rec == nil {
+		return nil
+	}
+	attrs = append(attrs, obs.Attr{Key: "phase", Value: phase})
+	return t.rec.Start(name, t.parent, attrs...)
+}

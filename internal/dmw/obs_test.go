@@ -1,0 +1,134 @@
+package dmw
+
+import (
+	"testing"
+	"time"
+
+	"dmw/internal/obs"
+)
+
+// TestRunPhaseTimingsPartition pins the Result.Phases contract: five
+// segments in PhaseNames order whose durations are non-negative and sum
+// to the run's wall clock (within the measurement slop of taking the
+// outer stopwatch around Run itself).
+func TestRunPhaseTimingsPartition(t *testing.T) {
+	cfg := baseConfig(7)
+	t0 := time.Now()
+	res := mustRun(t, cfg)
+	elapsed := time.Since(t0)
+
+	if len(res.Phases) != len(PhaseNames) {
+		t.Fatalf("got %d phases, want %d", len(res.Phases), len(PhaseNames))
+	}
+	var sum time.Duration
+	for i, p := range res.Phases {
+		if p.Phase != PhaseNames[i] {
+			t.Errorf("phase[%d] = %q, want %q", i, p.Phase, PhaseNames[i])
+		}
+		if p.Duration < 0 {
+			t.Errorf("phase %s has negative duration %v", p.Phase, p.Duration)
+		}
+		sum += p.Duration
+	}
+	if sum > elapsed {
+		t.Errorf("phase sum %v exceeds outer elapsed %v", sum, elapsed)
+	}
+	// The segments partition Run's own wall clock; the outer stopwatch
+	// adds only call overhead, so the sum must cover most of it.
+	if sum < elapsed/2 {
+		t.Errorf("phase sum %v under half of elapsed %v — segments must cover the run", sum, elapsed)
+	}
+	// Bidding and allocation do the protocol work; on any real machine
+	// they dominate and must be nonzero.
+	if res.Phases[1].Duration+res.Phases[2].Duration == 0 {
+		t.Error("bidding+allocation measured zero")
+	}
+}
+
+// TestRunTraceSpans runs a traced execution and pins the span contract
+// the trace endpoint's consumers rely on: every DMW phase numeral
+// appears, auction spans parent the phase spans, and all spans parent
+// up to the supplied TraceParent.
+func TestRunTraceSpans(t *testing.T) {
+	rec := obs.NewRecorder()
+	root := rec.Start("job", 0)
+
+	cfg := baseConfig(11)
+	cfg.Trace = rec
+	cfg.TraceParent = root.ID()
+	res := mustRun(t, cfg)
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	byID := map[obs.SpanID]obs.Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+
+	phases := map[string]int{}
+	auctions := map[string]int{}
+	for _, s := range spans {
+		if ph := s.Attr("phase"); ph != "" {
+			phases[ph]++
+		}
+		if s.Name == "auction" {
+			auctions[s.Attr("task")]++
+			if s.Parent != root.ID() {
+				t.Errorf("auction span %d parented to %d, want job root %d", s.ID, s.Parent, root.ID())
+			}
+		}
+		// Every span chains up to the job root.
+		seen := 0
+		for cur := s; cur.Parent != 0; {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				if cur.Parent == root.ID() {
+					break
+				}
+				t.Fatalf("span %d (%s) has unknown parent %d", cur.ID, cur.Name, cur.Parent)
+			}
+			cur = p
+			if seen++; seen > len(spans) {
+				t.Fatal("parent cycle")
+			}
+		}
+	}
+	for _, ph := range []string{"I", "II", "III", "IV"} {
+		if phases[ph] == 0 {
+			t.Errorf("no span carries phase %q (got %v)", ph, phases)
+		}
+	}
+	if want := cfg.Tasks(); len(auctions) != want {
+		t.Errorf("auction spans for %d tasks, want %d", len(auctions), want)
+	}
+	// Phase spans nest under their auction: find one bidding span and
+	// check its parent is an auction span.
+	found := false
+	for _, s := range spans {
+		if s.Name == "bidding" {
+			found = true
+			if p, ok := byID[s.Parent]; !ok || p.Name != "auction" {
+				t.Errorf("bidding span parented to %v, want an auction span", s.Parent)
+			}
+		}
+	}
+	if !found {
+		t.Error("no bidding span recorded")
+	}
+	// The result itself is unaffected by tracing.
+	if res.Outcome == nil || res.Settlement == nil {
+		t.Error("traced run missing outcome/settlement")
+	}
+
+	// An untraced run of the same config produces the same decisions.
+	cfg2 := baseConfig(11)
+	res2 := mustRun(t, cfg2)
+	for j := range res.Auctions {
+		if !res.Auctions[j].sameDecision(&res2.Auctions[j]) {
+			t.Errorf("task %d: traced and untraced runs diverge", j)
+		}
+	}
+}

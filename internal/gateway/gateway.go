@@ -27,6 +27,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
@@ -34,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dmw/internal/obs"
 	"dmw/internal/ring"
 )
 
@@ -74,6 +77,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logf receives lifecycle logs; nil discards.
 	Logf func(format string, args ...any)
+	// Logger receives structured logs (access lines, failover hops,
+	// scrape failures), each carrying the request's correlation ID where
+	// one applies. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +108,9 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -116,6 +126,10 @@ type backend struct {
 	client *http.Client
 	// sem bounds in-flight proxied requests to this replica.
 	sem chan struct{}
+	// reqHist observes proxied-attempt wall time against this replica
+	// (dmwgw_backend_request_seconds{backend=...}); errors observe too —
+	// a replica that fails slowly is exactly what the histogram is for.
+	reqHist *obs.Histogram
 
 	// up is the ring-membership view of health. Backends start up;
 	// the prober ejects after FailAfter consecutive failures.
@@ -147,6 +161,10 @@ type Gateway struct {
 	order    []string            // config order, for stable /healthz output
 	metrics  gwMetrics
 	start    time.Time
+	// instanceID identifies this gateway process in dmwgw_build_info and
+	// structured logs; random per boot (the gateway is stateless, so a
+	// restart genuinely is a new instance).
+	instanceID string
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -161,11 +179,12 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, errors.New("gateway: no backends configured")
 	}
 	g := &Gateway{
-		cfg:      cfg,
-		ring:     ring.New(cfg.VirtualNodes),
-		backends: make(map[string]*backend, len(cfg.Backends)),
-		start:    time.Now(),
-		stop:     make(chan struct{}),
+		cfg:        cfg,
+		ring:       ring.New(cfg.VirtualNodes),
+		backends:   make(map[string]*backend, len(cfg.Backends)),
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+		instanceID: newJobID(),
 	}
 	for _, bc := range cfg.Backends {
 		if bc.Name == "" {
@@ -183,9 +202,10 @@ func New(cfg Config) (*Gateway, error) {
 			w = 1
 		}
 		b := &backend{
-			name:   bc.Name,
-			weight: w,
-			sem:    make(chan struct{}, cfg.MaxInFlight),
+			name:    bc.Name,
+			weight:  w,
+			sem:     make(chan struct{}, cfg.MaxInFlight),
+			reqHist: obs.NewHistogram(backendLatencyBucketsS),
 			client: &http.Client{
 				// Keep-alive pool sized for the in-flight bound: every
 				// concurrent request can park its connection instead of

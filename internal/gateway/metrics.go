@@ -13,7 +13,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dmw/internal/obs"
 )
+
+// backendLatencyBucketsS are the upper bounds (seconds) of the
+// per-backend proxied-request latency histograms
+// (dmwgw_backend_request_seconds{backend=...}). One proxied attempt
+// spans a job submit (fast) up to a ?wait long-poll, so the buckets
+// run from 1ms to a minute.
+var backendLatencyBucketsS = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
 // gwMetrics are the gateway's own counters (the fleet's counters are
 // scraped and summed at exposition time, never cached).
@@ -28,6 +37,12 @@ type gwMetrics struct {
 	ejected         atomic.Int64 // ring ejections by the health prober
 	readmitted      atomic.Int64 // ring re-admissions
 	replicaRestarts atomic.Int64 // replica identity changes behind one address
+	// scrapeErrors counts replica /metrics scrapes dropped from the
+	// fleet aggregation — unreachable replicas AND replicas whose body
+	// failed to parse (a malformed line poisons the whole scrape; see
+	// scrapeMetrics). Dashboards alert on this: a nonzero rate means the
+	// summed dmwd_* series are an undercount.
+	scrapeErrors atomic.Int64
 }
 
 // handleMetrics renders the gateway exposition: the dmwgw_* series
@@ -41,6 +56,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
 	p("# dmwgw gateway metrics; dmwd_* series are summed across live replicas\n")
+	obs.WriteBuildInfo(w, "dmwgw", g.instanceID)
 	p("dmwgw_requests_total %d\n", g.metrics.requests.Load())
 	p("dmwgw_failovers_total %d\n", g.metrics.failovers.Load())
 	p("dmwgw_unrouted_total %d\n", g.metrics.unrouted.Load())
@@ -51,6 +67,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("dmwgw_backend_readmissions_total %d\n", g.metrics.readmitted.Load())
 	p("dmwgw_replica_restarts_total %d\n", g.metrics.replicaRestarts.Load())
 	p("dmwgw_uptime_seconds %.3f\n", time.Since(g.start).Seconds())
+	for _, name := range g.order {
+		g.backends[name].reqHist.Write(w, "dmwgw_backend_request_seconds", `backend="`+name+`"`)
+	}
+	obs.WriteRuntimeMetrics(w, "dmwgw")
 
 	scraped := 0
 	agg := make(map[string]float64)
@@ -67,6 +87,13 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			series, err := scrapeMetrics(ctx, b)
 			if err != nil {
+				// Skip-and-count: an unreachable replica or a malformed
+				// body drops that replica from this aggregation pass but
+				// never corrupts it. The error is counted and logged, the
+				// remaining replicas still sum.
+				g.metrics.scrapeErrors.Add(1)
+				g.cfg.Logger.Warn("metrics scrape failed",
+					"backend", b.name, "error", err.Error())
 				return
 			}
 			mu.Lock()
@@ -82,6 +109,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	p("dmwgw_backends_scraped %d\n", scraped)
+	// Emitted after the scatter-gather so this exposition reflects its
+	// OWN scrape pass: a skipped replica shows up in the same body whose
+	// sums it is missing from.
+	p("dmwgw_backend_scrape_errors_total %d\n", g.metrics.scrapeErrors.Load())
 
 	// Deterministic output: first-seen order is per-scrape racy across
 	// goroutines, so sort lexically but keep histogram buckets in
@@ -110,7 +141,11 @@ type series struct {
 	val float64
 }
 
-// scrapeMetrics fetches and parses one replica's /metrics.
+// scrapeMetrics fetches and parses one replica's /metrics. A malformed
+// line fails the WHOLE scrape: a body that does not parse cleanly is a
+// body whose other lines cannot be trusted either (truncated responses
+// shear mid-line, and half a counter summed into the fleet total is
+// worse than a missing replica). The caller counts the skip.
 func scrapeMetrics(ctx context.Context, b *backend) ([]series, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.joinPath("/metrics", ""), nil)
 	if err != nil {
@@ -138,36 +173,44 @@ func scrapeMetrics(ctx context.Context, b *backend) ([]series, error) {
 		// "name{labels} value" or "name value"; value is the last field.
 		i := strings.LastIndexByte(line, ' ')
 		if i < 0 {
-			continue
+			return nil, fmt.Errorf("malformed metrics line %q", line)
 		}
 		name, valStr := line[:i], line[i+1:]
 		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
-			continue
+			return nil, fmt.Errorf("malformed metrics value in line %q: %v", line, err)
 		}
 		out = append(out, series{key: sortKey(name), val: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scanning metrics body: %w", err)
 	}
 	return out, nil
 }
 
 // sortKey makes histogram buckets sort numerically (le="2" before
 // le="10", +Inf last) under a plain lexical sort by zero-padding the
-// bound into the key. seriesName inverts it.
+// bound into the key. The le label is always LAST in the exposition
+// (obs.Histogram.Write emits extra labels before it), so the encoded
+// key keeps e.g. dmwd_phase_seconds buckets grouped per phase with the
+// bounds in numeric order inside each group. seriesName inverts it.
 func sortKey(name string) string {
-	open := strings.IndexByte(name, '{')
-	if open < 0 || !strings.HasSuffix(name, "\"}") {
+	if !strings.HasSuffix(name, "\"}") || strings.IndexByte(name, '{') < 0 {
 		return name
 	}
-	labels := name[open+1 : len(name)-1]
-	if !strings.HasPrefix(labels, "le=\"") {
+	j := strings.LastIndex(name, `le="`)
+	if j < 0 || (name[j-1] != '{' && name[j-1] != ',') {
 		return name
 	}
-	bound := labels[len("le=\"") : len(labels)-1]
+	prefix := name[:j] // keeps the '{' or 'labels,' lead-in
+	bound := name[j+len(`le="`) : len(name)-len(`"}`)]
 	if bound == "+Inf" {
-		return name[:open] + "\x7f" // after any padded number
+		return prefix + "\x7f" // after any padded number
 	}
 	if f, err := strconv.ParseFloat(bound, 64); err == nil {
-		return name[:open] + fmt.Sprintf("\x01%012.3f", f)
+		// 9 fractional digits cover the finest bucket bound in use
+		// (100µs = 0.0001s) with room below it.
+		return prefix + fmt.Sprintf("\x01%022.9f", f)
 	}
 	return name
 }
@@ -175,14 +218,14 @@ func sortKey(name string) string {
 // seriesName inverts sortKey back to the exposition name.
 func seriesName(key string) string {
 	if i := strings.IndexByte(key, '\x7f'); i >= 0 {
-		return key[:i] + "{le=\"+Inf\"}"
+		return key[:i] + `le="+Inf"}`
 	}
 	if i := strings.IndexByte(key, '\x01'); i >= 0 {
 		f, err := strconv.ParseFloat(key[i+1:], 64)
 		if err != nil {
 			return key[:i]
 		}
-		return key[:i] + fmt.Sprintf("{le=\"%g\"}", f)
+		return key[:i] + fmt.Sprintf(`le="%g"}`, f)
 	}
 	return key
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"dmw/internal/obs"
 	"dmw/internal/server"
 )
 
@@ -35,17 +36,65 @@ const maxRelayBytes = 8 << 20
 //	POST /v1/jobs/batch           scatter along ring placement, gather in input order
 //	GET  /v1/jobs/{id}            route by ID; successors searched on miss
 //	GET  /v1/jobs/{id}/transcript same routing as job reads
+//	GET  /v1/jobs/{id}/trace      same routing; relays the replica's span JSONL
 //	GET  /healthz                 gateway + per-backend fleet view
 //	GET  /metrics                 gateway counters + summed fleet counters
+//
+// Every route runs behind the request-ID middleware: the X-Request-Id
+// header is adopted (or generated), echoed to the client, forwarded on
+// every backend attempt, and logged — one correlation ID follows a job
+// from the client through the gateway onto whichever replica ran it.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
 	mux.HandleFunc("POST /v1/jobs/batch", g.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/transcript", g.handleGetJob) // same routing; path preserved below
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", g.handleGetJob)      // same routing; path preserved below
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
-	return mux
+	return g.withRequestID(mux)
+}
+
+// ridKey carries the request's correlation ID through the context, from
+// the middleware down to every backend attempt under that request.
+type ridKey struct{}
+
+// requestIDFrom extracts the middleware-assigned correlation ID.
+func requestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// statusWriter captures the response status for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestID is the correlation middleware, the gateway twin of
+// dmwd's: adopt the inbound X-Request-Id (sanitized) or mint one, echo
+// it to the client, thread it through the context so tryBackend stamps
+// it onto every replica attempt, and emit one access-log line.
+func (g *Gateway) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := obs.CleanRequestID(r.Header.Get(obs.HeaderRequestID))
+		w.Header().Set(obs.HeaderRequestID, rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		g.cfg.Logger.Info("http",
+			"request_id", rid,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
+	})
 }
 
 type apiError struct {
@@ -87,6 +136,11 @@ func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQ
 	}
 	defer b.release()
 
+	// Observe the attempt's wall time whatever its outcome: transport
+	// errors and 5xx answers took real time the fleet dashboard must see.
+	start := time.Now()
+	defer func() { b.reqHist.Observe(time.Since(start).Seconds()) }()
+
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -97,6 +151,11 @@ func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQ
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Forward the correlation ID so the replica's access log, job record
+	// and trace carry the same request_id the gateway logged.
+	if rid := requestIDFrom(ctx); rid != "" {
+		req.Header.Set(obs.HeaderRequestID, rid)
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {
@@ -141,6 +200,17 @@ func (g *Gateway) forward(ctx context.Context, key, method, path, rawQuery strin
 	for i, b := range cands {
 		if i > 0 {
 			g.metrics.failovers.Add(1)
+			cause := "not found on predecessor"
+			if lastErr != nil {
+				cause = lastErr.Error()
+			}
+			g.cfg.Logger.Warn("failover",
+				"request_id", requestIDFrom(ctx),
+				"key", key,
+				"path", path,
+				"to", b.name,
+				"hop", i,
+				"cause", cause)
 		}
 		res, err := g.tryBackend(ctx, b, method, path, rawQuery, body)
 		if err != nil {

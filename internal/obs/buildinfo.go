@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// Version is the build version stamp, settable at link time:
+//
+//	go build -ldflags "-X dmw/internal/obs.Version=v1.2.3" ./...
+//
+// The Makefile stamps it from `git describe` (see the VERSION variable);
+// an unstamped binary reports "dev".
+var Version = "dev"
+
+// GoVersion reports the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// WriteBuildInfo emits the <prefix>_build_info gauge: constant value 1
+// with the build identity as labels, the standard Prometheus idiom for
+// joining version metadata onto any other series. replicaID may be
+// empty (the gateway has no persistent replica identity; it labels its
+// per-process instance ID instead).
+func WriteBuildInfo(w io.Writer, prefix, replicaID string) {
+	if replicaID != "" {
+		fmt.Fprintf(w, "%s_build_info{version=%q,go_version=%q,replica_id=%q} 1\n",
+			prefix, Version, GoVersion(), replicaID)
+		return
+	}
+	fmt.Fprintf(w, "%s_build_info{version=%q,go_version=%q} 1\n", prefix, Version, GoVersion())
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with atomic counters and a
+// Prometheus-text-format exposition. Buckets are stored per-bucket and
+// rendered CUMULATIVELY (each le bound counts every observation at or
+// below it, +Inf equals _count) — the contract the text format
+// requires and TestMetricsHistogramContract pins against a parser.
+type Histogram struct {
+	// bounds are the ascending upper bounds in the observed unit; the
+	// final +Inf bucket is implicit.
+	bounds []float64
+	// buckets[i] counts observations v with bounds[i-1] < v <= bounds[i];
+	// buckets[len(bounds)] is the +Inf overflow bucket.
+	buckets []atomic.Int64
+	count   atomic.Int64
+	// sumMicro accumulates the sum in millionths of the observed unit,
+	// keeping it integral under concurrent adds.
+	sumMicro atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. Panics on unordered bounds: that is a programming error, not
+// an operational condition.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value (in the histogram's unit).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(int64(v * 1e6))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1e6 }
+
+// Write renders the exposition for series name with optional constant
+// labels (e.g. `phase="bidding"`; empty for none). The le label always
+// comes last so the gateway's bucket-aware aggregation sort keeps
+// working on unlabeled histograms.
+func (h *Histogram) Write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, ub, cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, strconv.FormatFloat(h.Sum(), 'f', 6, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.count.Load())
+}

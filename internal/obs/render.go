@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Waterfall renders a span set as a text waterfall/flame view: one line
+// per span, indented by parentage, with a proportional bar over the
+// trace's full time range. width is the bar width in characters
+// (minimum 16; 0 picks a default of 48). This is the renderer behind
+// cmd/dmwtrace.
+func Waterfall(w io.Writer, spans []Span, width int) error {
+	if width <= 0 {
+		width = 48
+	}
+	if width < 16 {
+		width = 16
+	}
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no spans")
+		return err
+	}
+
+	byID := make(map[SpanID]*Span, len(spans))
+	children := make(map[SpanID][]*Span)
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	var roots []*Span
+	minStart, maxEnd := spans[0].StartUS, spans[0].StartUS+spans[0].DurUS
+	for i := range spans {
+		s := &spans[i]
+		if s.StartUS < minStart {
+			minStart = s.StartUS
+		}
+		if end := s.StartUS + s.DurUS; end > maxEnd {
+			maxEnd = end
+		}
+		if s.Parent != 0 && byID[s.Parent] != nil && s.Parent != s.ID {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(list []*Span) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].StartUS != list[j].StartUS {
+				return list[i].StartUS < list[j].StartUS
+			}
+			return list[i].ID < list[j].ID
+		})
+	}
+	order(roots)
+	for _, kids := range children {
+		order(kids)
+	}
+
+	// Flatten depth-first to compute the label column width first.
+	type row struct {
+		label string
+		span  *Span
+	}
+	var rows []row
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		label := strings.Repeat("  ", depth) + s.Name
+		for _, a := range s.Attrs {
+			label += " " + a.Key + "=" + a.Value
+		}
+		rows = append(rows, row{label: label, span: s})
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+
+	labelW := 0
+	for _, r := range rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	total := maxEnd - minStart
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "trace: %d spans, %s total\n", len(spans),
+		fmtDur(time.Duration(total)*time.Microsecond))
+	for _, r := range rows {
+		s := r.span
+		off := int(int64(width) * (s.StartUS - minStart) / total)
+		barLen := int(int64(width) * s.DurUS / total)
+		if barLen < 1 {
+			barLen = 1
+		}
+		if off >= width {
+			off = width - 1
+		}
+		if off+barLen > width {
+			barLen = width - off
+		}
+		bar := strings.Repeat(" ", off) + strings.Repeat("█", barLen) +
+			strings.Repeat(" ", width-off-barLen)
+		if _, err := fmt.Fprintf(w, "%-*s |%s| %9s\n", labelW, r.label, bar,
+			fmtDur(s.Duration())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur keeps durations short and scannable (three significant units
+// max beats time.Duration's full precision in a column).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

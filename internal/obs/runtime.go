@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimeMetrics emits the Go runtime gauges both daemons expose:
+//
+//	<prefix>_go_goroutines            current goroutine count
+//	<prefix>_go_heap_bytes            live heap (HeapAlloc)
+//	<prefix>_go_heap_objects          live heap objects
+//	<prefix>_go_gc_runs_total         completed GC cycles
+//	<prefix>_go_gc_pause_seconds_total cumulative stop-the-world pause
+//
+// ReadMemStats stops the world briefly; at metrics-scrape cadence
+// (seconds) that cost is noise.
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "%s_go_goroutines %d\n", prefix, runtime.NumGoroutine())
+	fmt.Fprintf(w, "%s_go_heap_bytes %d\n", prefix, ms.HeapAlloc)
+	fmt.Fprintf(w, "%s_go_heap_objects %d\n", prefix, ms.HeapObjects)
+	fmt.Fprintf(w, "%s_go_gc_runs_total %d\n", prefix, ms.NumGC)
+	fmt.Fprintf(w, "%s_go_gc_pause_seconds_total %.6f\n", prefix, float64(ms.PauseTotalNs)/1e9)
+}

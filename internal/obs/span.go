@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within a trace; 0 means "no span" and is
+// what a nil *ActiveSpan reports, so parentage chains stay correct even
+// when an outer layer traced and an inner layer did not.
+type SpanID uint64
+
+// Attr is one key/value annotation on a span. Values are strings; use
+// Int for numeric convenience. The compact JSON keys keep the JSONL
+// export small (a 64-task trace is a few hundred spans).
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Int builds an integer-valued attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
+
+// Span is one finished, exported span. Timestamps are offsets from the
+// trace epoch measured on the monotonic clock, so spans order and
+// subtract correctly regardless of wall-clock adjustments.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartUS/DurUS are microseconds since the trace epoch / duration.
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Start returns the span start as a duration since the trace epoch.
+func (s Span) Start() time.Duration { return time.Duration(s.StartUS) * time.Microsecond }
+
+// Duration returns the span duration.
+func (s Span) Duration() time.Duration { return time.Duration(s.DurUS) * time.Microsecond }
+
+// Recorder collects the spans of one trace (one job). It is safe for
+// concurrent use: the parallel auction goroutines of a run record into
+// the same recorder. The zero cost contract: every method on a nil
+// *Recorder (and on the nil *ActiveSpan a nil recorder emits) is a
+// no-op, so instrumented code never branches on "is tracing on".
+type Recorder struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	next  SpanID
+	spans []Span
+}
+
+// NewRecorder starts a trace whose epoch is now.
+func NewRecorder() *Recorder { return NewRecorderAt(time.Now()) }
+
+// NewRecorderAt starts a trace with an explicit epoch — the server uses
+// the job submission time so queue-wait spans begin at offset zero.
+func NewRecorderAt(epoch time.Time) *Recorder {
+	return &Recorder{epoch: epoch}
+}
+
+// Epoch returns the trace epoch.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+func (r *Recorder) nextID() SpanID {
+	r.next++
+	return r.next
+}
+
+// Start opens a live span under parent (0 = root). Returns nil on a nil
+// recorder; all ActiveSpan methods tolerate that.
+func (r *Recorder) Start(name string, parent SpanID, attrs ...Attr) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	id := r.nextID()
+	r.mu.Unlock()
+	return &ActiveSpan{r: r, id: id, parent: parent, name: name, start: time.Now(), attrs: attrs}
+}
+
+// Record appends an already-measured span (phase segments computed
+// after the fact). Returns the new span's ID for parenting.
+func (r *Recorder) Record(name string, parent SpanID, start, end time.Time, attrs ...Attr) SpanID {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextID()
+	r.spans = append(r.spans, Span{
+		ID:      id,
+		Parent:  parent,
+		Name:    name,
+		StartUS: start.Sub(r.epoch).Microseconds(),
+		DurUS:   end.Sub(start).Microseconds(),
+		Attrs:   attrs,
+	})
+	return id
+}
+
+// Spans snapshots the finished spans, ordered by start offset (ties by
+// ID, which is allocation order).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ActiveSpan is a live span handle. Nil handles (from a nil recorder)
+// absorb every call.
+type ActiveSpan struct {
+	r      *Recorder
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// ID returns the span's ID (0 on nil, keeping child spans rooted).
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches (or overwrites) an attribute.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and commits it to the recorder. Idempotent.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, Span{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(s.r.epoch).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Attrs:   attrs,
+	})
+	s.r.mu.Unlock()
+}
+
+// WriteJSONL exports spans one JSON object per line — the body of
+// GET /v1/jobs/{id}/trace and the input format of cmd/dmwtrace.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL span stream. Blank lines are skipped;
+// anything else that fails to parse is an error (a truncated trace
+// should be loud, not silently shorter).
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

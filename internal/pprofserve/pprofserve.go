@@ -13,6 +13,7 @@
 package pprofserve
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -22,6 +23,11 @@ import (
 // Start serves the pprof handlers on addr. It returns the bound
 // address (useful with ":0") and a stop function. An empty addr is a
 // no-op: Start returns ("", noop, nil).
+//
+// stop is synchronous: it shuts the listener down AND waits for the
+// serve goroutine to return, so a daemon that defers it exits with no
+// goroutine left running (the race detector in the daemons' shutdown
+// tests would flag one that leaked past main).
 func Start(addr string, logf func(format string, args ...any)) (bound string, stop func(), err error) {
 	if addr == "" {
 		return "", func() {}, nil
@@ -45,11 +51,24 @@ func Start(addr string, logf func(format string, args ...any)) (bound string, st
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
 			logf("pprof server: %v", serr)
 		}
 	}()
 	logf("pprof listening on http://%s/debug/pprof/", ln.Addr())
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	stop = func() {
+		// Graceful first (lets an in-flight profile download finish),
+		// hard-close on timeout, and in every case wait for the serve
+		// goroutine before returning.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
 }

@@ -3,8 +3,10 @@ package pprofserve
 import (
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestStartServesProfilesAndStops(t *testing.T) {
@@ -34,6 +36,46 @@ func TestStartServesProfilesAndStops(t *testing.T) {
 
 	stop()
 	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Fatal("server still answering after stop")
+	}
+}
+
+// TestStopWaitsForServeGoroutine pins the synchronous-stop contract:
+// after stop() returns, the serve goroutine is gone — a daemon that
+// defers stop exits with nothing still running (the shutdown path the
+// race detector watches in the obs-smoke harness).
+func TestStopWaitsForServeGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	addr, stop, err := Start("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the server so its accept loop has demonstrably run.
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	stop()
+
+	// The serve goroutine must be gone. Allow a few scheduler beats for
+	// unrelated runtime goroutines (e.g. the finalizer) to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after stop: %d, want <= %d (serve goroutine leaked)",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// And stop is idempotent-adjacent in spirit: the port no longer answers.
+	if _, err := http.Get("http://" + addr + "/debug/pprof/cmdline"); err == nil {
 		t.Fatal("server still answering after stop")
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"dmw/internal/audit"
+	"dmw/internal/obs"
 )
 
 // maxBodyBytes bounds POST bodies; a 64x64 bid matrix is ~20 KB of
@@ -30,17 +32,63 @@ const maxWait = 30 * time.Second
 //	POST /v1/jobs/batch           submit an array of jobs (per-item accept/reject)
 //	GET  /v1/jobs/{id}            job status/result (optional ?wait=5s)
 //	GET  /v1/jobs/{id}/transcript verifiable transcript envelope (audit)
+//	GET  /v1/jobs/{id}/trace      protocol span trace as JSONL (spec trace:true)
 //	GET  /healthz                 liveness + drain state
 //	GET  /metrics                 plain-text counters and histograms
+//
+// Every route runs behind the request-ID middleware: the X-Request-Id
+// header is echoed (or generated), stamped onto submitted jobs, and
+// attached to the structured access log line of each request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/jobs/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/transcript", s.handleTranscript)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.withRequestID(mux)
+}
+
+// ridKey carries the request's correlation ID through the context.
+type ridKey struct{}
+
+// requestIDFrom extracts the middleware-assigned correlation ID.
+func requestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// statusWriter captures the response status for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestID is the correlation middleware: it adopts the inbound
+// X-Request-Id (sanitized) or generates one, echoes it on the response,
+// threads it through the context for handlers to stamp onto job specs,
+// and emits one structured access-log line per request.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := obs.CleanRequestID(r.Header.Get(obs.HeaderRequestID))
+		w.Header().Set(obs.HeaderRequestID, rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		s.cfg.Logger.Info("http",
+			"request_id", rid,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
+	})
 }
 
 // apiError is the uniform JSON error envelope.
@@ -63,6 +111,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec: " + err.Error()})
 		return
+	}
+	if spec.RequestID == "" {
+		spec.RequestID = requestIDFrom(r.Context())
 	}
 	job, err := s.Submit(spec)
 	switch {
@@ -100,6 +151,13 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	if len(specs) > maxBatchJobs {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("batch of %d jobs exceeds limit %d", len(specs), maxBatchJobs)})
 		return
+	}
+	if rid := requestIDFrom(r.Context()); rid != "" {
+		for i := range specs {
+			if specs[i].RequestID == "" {
+				specs[i].RequestID = rid
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, s.SubmitBatch(specs))
 }
@@ -148,6 +206,31 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves the recorded protocol spans as JSONL (one span
+// object per line), the input format of cmd/dmwtrace. 404 for unknown
+// jobs and for jobs submitted without "trace": true; 409 while the job
+// is still queued or running (traces are attached at completion).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
+		return
+	}
+	if !job.State().Terminal() {
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished; poll GET /v1/jobs/{id} first"})
+		return
+	}
+	spans := job.Spans()
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no trace recorded; submit the job with \"trace\": true"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := obs.WriteJSONL(w, spans); err != nil {
+		s.cfg.Logf("job %s: writing trace: %v", job.ID, err)
+	}
+}
+
 // healthView is the GET /healthz body.
 type healthView struct {
 	Status string `json:"status"` // "ok" | "draining"
@@ -155,7 +238,11 @@ type healthView struct {
 	// data dir when durable, random otherwise): load balancers key on
 	// it to distinguish "same backend restarted" from "different
 	// backend behind a reused address".
-	ReplicaID  string  `json:"replica_id"`
+	ReplicaID string `json:"replica_id"`
+	// Version is the build stamp (-ldflags -X dmw/internal/obs.Version;
+	// "dev" unstamped), with the Go toolchain alongside.
+	Version    string  `json:"version"`
+	GoVersion  string  `json:"go_version"`
 	UptimeSecs float64 `json:"uptime_seconds"`
 	QueueDepth int     `json:"queue_depth"`
 	Workers    int     `json:"workers"`
@@ -182,6 +269,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hv := healthView{
 		Status:     "ok",
 		ReplicaID:  s.replicaID,
+		Version:    obs.Version,
+		GoVersion:  obs.GoVersion(),
 		QueueDepth: len(s.queue),
 		Workers:    s.cfg.Workers,
 		LiveJobs:   s.store.Len(),

@@ -12,6 +12,7 @@ import (
 
 	"dmw/internal/bidcode"
 	protocol "dmw/internal/dmw"
+	"dmw/internal/obs"
 )
 
 // JobState is a job's position in its lifecycle:
@@ -82,6 +83,18 @@ type JobSpec struct {
 	// experience — a latency-bound (rather than CPU-bound) workload.
 	// 0 (the default) disables emulation. Capped at 10 000 ms.
 	LinkDelayMS float64 `json:"link_delay_ms,omitempty"`
+	// Trace records protocol spans for this job (queue wait, per-auction
+	// spans with per-phase children), retrievable as JSONL from
+	// GET /v1/jobs/{id}/trace once the job is terminal. Off by default:
+	// untraced jobs pay zero tracing cost.
+	Trace bool `json:"trace,omitempty"`
+	// RequestID is the correlation ID for this submission. The HTTP
+	// layer stamps it from the X-Request-Id header (generating one when
+	// the client sent none), it rides the journal record like every
+	// other spec field, and it appears on the job view and on every log
+	// line the job emits — the thread that ties a gateway access log to
+	// the backend log to the job record.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrInvalidSpec wraps every admission-time validation failure, so the
@@ -270,6 +283,7 @@ type Job struct {
 	errMsg     string
 	result     *JobResult
 	transcript *protocol.Transcript
+	spans      []obs.Span
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -374,6 +388,23 @@ func (j *Job) Transcript() *protocol.Transcript {
 	return j.transcript
 }
 
+// setTrace attaches the recorded spans (worker-side, before finish).
+// Traces live with the in-memory record only: they are diagnostics, not
+// state, so they are not journaled and do not survive a restart.
+func (j *Job) setTrace(spans []obs.Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.spans = spans
+}
+
+// Spans returns the recorded trace (nil unless the spec set trace and
+// the job ran to a terminal state).
+func (j *Job) Spans() []obs.Span {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spans
+}
+
 // startedAt returns the running-transition timestamp.
 func (j *Job) startedAt() time.Time {
 	j.mu.Lock()
@@ -452,6 +483,9 @@ type JobView struct {
 	Agents int      `json:"agents"`
 	Tasks  int      `json:"tasks"`
 	Seed   int64    `json:"seed"`
+	// RequestID is the correlation ID of the submission that admitted
+	// this job (see JobSpec.RequestID).
+	RequestID string `json:"request_id,omitempty"`
 
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
@@ -462,6 +496,8 @@ type JobView struct {
 
 	Result        *JobResult `json:"result,omitempty"`
 	HasTranscript bool       `json:"has_transcript"`
+	// HasTrace reports whether GET /v1/jobs/{id}/trace will serve spans.
+	HasTrace bool `json:"has_trace,omitempty"`
 }
 
 // View snapshots the job for serialization.
@@ -474,9 +510,11 @@ func (j *Job) View() JobView {
 		Error:         j.errMsg,
 		Agents:        len(j.bids),
 		Seed:          j.Spec.Seed,
+		RequestID:     j.Spec.RequestID,
 		SubmittedAt:   j.submitted.UTC().Format(time.RFC3339Nano),
 		Result:        j.result,
 		HasTranscript: j.transcript != nil,
+		HasTrace:      len(j.spans) > 0,
 	}
 	if len(j.bids) > 0 {
 		v.Tasks = len(j.bids[0])

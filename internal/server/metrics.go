@@ -6,16 +6,32 @@ import (
 	"sync/atomic"
 	"time"
 
+	protocol "dmw/internal/dmw"
 	"dmw/internal/journal"
+	"dmw/internal/obs"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the per-job
 // latency histogram; the final implicit bucket is +Inf.
-var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// phaseBucketsS are the upper bounds (seconds) of the per-phase
+// duration histograms. Phases are fractions of a job, so the buckets
+// reach one decade lower than the job-latency buckets.
+var phaseBucketsS = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// PhaseQueueWait is the server-side segment preceding the protocol
+// phases: admission to worker pickup. Together with dmw.PhaseNames it
+// makes the dmwd_phase_seconds series sum to (approximately — modulo
+// the store write between pickup and run) the end-to-end job latency.
+const PhaseQueueWait = "queue_wait"
+
+// phaseOrder fixes the exposition order of dmwd_phase_seconds.
+var phaseOrder = append([]string{PhaseQueueWait}, protocol.PhaseNames...)
 
 // metrics holds the process-lifetime counters exported by GET /metrics.
-// All fields are atomics: the worker pool and the HTTP handlers touch
-// them concurrently.
+// All fields are atomics (or internally-atomic histograms): the worker
+// pool and the HTTP handlers touch them concurrently.
 type metrics struct {
 	accepted  atomic.Int64
 	rejected  atomic.Int64
@@ -27,6 +43,8 @@ type metrics struct {
 	// auctions counts individual task auctions across completed jobs
 	// ("total auctions run").
 	auctions atomic.Int64
+	// traced counts jobs that recorded a protocol trace.
+	traced atomic.Int64
 	// groupExp / groupMul / groupMultiExps / groupMultiExpTerms
 	// accumulate the per-agent group-operation counters of completed
 	// count_ops jobs: single exponentiations, modular multiplications,
@@ -39,23 +57,38 @@ type metrics struct {
 	groupMultiExps     atomic.Uint64
 	groupMultiExpTerms atomic.Uint64
 
-	latBuckets [len(latencyBucketsMS) + 1]atomic.Int64
-	latCount   atomic.Int64
-	latSumUS   atomic.Int64 // microseconds, to keep the sum integral
+	// latency is the end-to-end job latency histogram in milliseconds
+	// (dmwd_job_latency_ms_*).
+	latency *obs.Histogram
+	// phases holds one seconds-denominated histogram per phase segment
+	// of phaseOrder (dmwd_phase_seconds{phase=...}).
+	phases map[string]*obs.Histogram
+}
+
+// newMetrics builds the metric set with its histograms registered.
+func newMetrics() *metrics {
+	m := &metrics{
+		latency: obs.NewHistogram(latencyBucketsMS),
+		phases:  make(map[string]*obs.Histogram, len(phaseOrder)),
+	}
+	for _, name := range phaseOrder {
+		m.phases[name] = obs.NewHistogram(phaseBucketsS)
+	}
+	return m
 }
 
 // observe records one completed/failed job's end-to-end latency.
 func (m *metrics) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for ; i < len(latencyBucketsMS); i++ {
-		if ms <= latencyBucketsMS[i] {
-			break
-		}
+	m.latency.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// observePhase records one phase segment's duration. Unknown phase
+// names are dropped rather than panicking — the protocol may grow
+// segments faster than the exposition.
+func (m *metrics) observePhase(phase string, d time.Duration) {
+	if h := m.phases[phase]; h != nil {
+		h.Observe(d.Seconds())
 	}
-	m.latBuckets[i].Add(1)
-	m.latCount.Add(1)
-	m.latSumUS.Add(int64(d / time.Microsecond))
 }
 
 // snapshotGauges are the point-in-time values the server contributes to
@@ -66,6 +99,7 @@ type snapshotGauges struct {
 	draining   bool
 	liveJobs   int
 	uptime     time.Duration
+	replicaID  string
 
 	// journal* carry the WAL counters when the store is journal-backed
 	// (journalEnabled); the exposition emits dmwd_journal_enabled either
@@ -82,11 +116,13 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 
 	p("# dmwd plain-text metrics; counters are monotonic since process start\n")
+	obs.WriteBuildInfo(w, "dmwd", g.replicaID)
 	p("dmwd_jobs_accepted_total %d\n", m.accepted.Load())
 	p("dmwd_jobs_rejected_total %d\n", m.rejected.Load())
 	p("dmwd_jobs_completed_total %d\n", m.completed.Load())
 	p("dmwd_jobs_failed_total %d\n", m.failed.Load())
 	p("dmwd_jobs_deduped_total %d\n", m.deduped.Load())
+	p("dmwd_jobs_traced_total %d\n", m.traced.Load())
 	p("dmwd_auctions_run_total %d\n", m.auctions.Load())
 	p("dmwd_group_exp_total %d\n", m.groupExp.Load())
 	p("dmwd_group_mul_total %d\n", m.groupMul.Load())
@@ -114,13 +150,9 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 		p("dmwd_journal_enabled 0\n")
 	}
 
-	var cum int64
-	for i, ub := range latencyBucketsMS {
-		cum += m.latBuckets[i].Load()
-		p("dmwd_job_latency_ms_bucket{le=\"%g\"} %d\n", ub, cum)
+	m.latency.Write(w, "dmwd_job_latency_ms", "")
+	for _, name := range phaseOrder {
+		m.phases[name].Write(w, "dmwd_phase_seconds", `phase="`+name+`"`)
 	}
-	cum += m.latBuckets[len(latencyBucketsMS)].Load()
-	p("dmwd_job_latency_ms_bucket{le=\"+Inf\"} %d\n", cum)
-	p("dmwd_job_latency_ms_sum %.3f\n", float64(m.latSumUS.Load())/1000.0)
-	p("dmwd_job_latency_ms_count %d\n", m.latCount.Load())
+	obs.WriteRuntimeMetrics(w, "dmwd")
 }

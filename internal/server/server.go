@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -35,6 +36,7 @@ import (
 	"dmw/internal/group"
 	"dmw/internal/journal"
 	"dmw/internal/mechanism"
+	"dmw/internal/obs"
 	"dmw/internal/sched"
 )
 
@@ -75,8 +77,14 @@ type Config struct {
 	ResultTTL time.Duration
 	// Limits bound admissible job sizes (default 64 agents, 64 tasks).
 	Limits Limits
-	// Logf receives lifecycle logs; nil discards them.
+	// Logf receives lifecycle logs; nil discards them. cmd/dmwd routes
+	// this through the same slog handler as Logger (obs.Logf), so every
+	// legacy printf line obeys -log-format too.
 	Logf func(format string, args ...any)
+	// Logger receives structured events (HTTP access lines, job
+	// lifecycle transitions) with request_id correlation attributes;
+	// nil discards them.
+	Logger *slog.Logger
 
 	// DataDir enables durable persistence: every job lifecycle
 	// transition is written through a CRC-framed WAL (internal/journal)
@@ -128,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 1024
@@ -199,7 +210,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		params:     params,
 		grp:        grp,
-		metrics:    &metrics{},
+		metrics:    newMetrics(),
 		stopSweeps: make(chan struct{}),
 	}
 	mem := newMemStore()
@@ -608,6 +619,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		draining:   draining,
 		liveJobs:   s.store.Len(),
 		uptime:     uptime,
+		replicaID:  s.replicaID,
 	}
 	if s.jstore != nil {
 		g.journalEnabled = true
@@ -686,8 +698,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // runJob executes one job on a worker.
 func (s *Server) runJob(job *Job) {
-	job.setRunning(time.Now())
+	start := time.Now()
+	job.setRunning(start)
 	s.store.Started(job)
+	s.metrics.observePhase(PhaseQueueWait, start.Sub(job.submitted))
+
+	// Tracing is per-job opt-in: untraced jobs carry a nil recorder all
+	// the way down (nil *obs.Recorder absorbs every call), so the
+	// benchmark path records nothing and allocates nothing.
+	var rec *obs.Recorder
+	var root *obs.ActiveSpan
+	if job.Spec.Trace {
+		rec = obs.NewRecorderAt(job.submitted)
+		rec.Record(PhaseQueueWait, 0, job.submitted, start)
+		root = rec.Start("job", 0,
+			obs.Attr{Key: "job_id", Value: job.ID},
+			obs.Attr{Key: "request_id", Value: job.Spec.RequestID})
+	}
 
 	par := s.cfg.AuctionParallelism
 	if job.Spec.Parallelism > 0 && job.Spec.Parallelism < par {
@@ -702,6 +729,8 @@ func (s *Server) runJob(job *Job) {
 		Parallelism: par,
 		CountOps:    job.Spec.CountOps,
 		Record:      job.Spec.Record,
+		Trace:       rec,
+		TraceParent: root.ID(),
 	}
 	if job.Spec.LinkDelayMS > 0 {
 		cfg.Delays = uniformDelays(job.Agents(), time.Duration(job.Spec.LinkDelayMS*float64(time.Millisecond)))
@@ -709,16 +738,33 @@ func (s *Server) runJob(job *Job) {
 	}
 	res, err := protocol.Run(cfg)
 	now := time.Now()
+	if res != nil {
+		for _, p := range res.Phases {
+			s.metrics.observePhase(p.Phase, p.Duration)
+		}
+	}
 	if err != nil {
+		root.SetAttr("state", string(StateFailed))
+		root.End()
+		job.setTrace(rec.Spans())
 		job.finish(StateFailed, nil, nil, err.Error(), now, s.cfg.ResultTTL)
 		s.store.Finished(job)
 		s.metrics.failed.Add(1)
 		s.metrics.observe(now.Sub(job.submitted))
 		s.cfg.Logf("job %s failed: %v", job.ID, err)
+		s.cfg.Logger.Error("job failed",
+			"job_id", job.ID, "request_id", job.Spec.RequestID, "error", err.Error(),
+			"elapsed_ms", float64(now.Sub(job.submitted))/float64(time.Millisecond))
 		return
 	}
 	matches := matchesCentralized(res, job.bids)
 	jr := buildResult(res, matches)
+	root.SetAttr("state", string(StateDone))
+	root.End()
+	if rec != nil {
+		job.setTrace(rec.Spans())
+		s.metrics.traced.Add(1)
+	}
 	job.finish(StateDone, jr, res.Transcript, "", now, s.cfg.ResultTTL)
 	s.store.Finished(job)
 	s.metrics.completed.Add(1)
@@ -728,6 +774,12 @@ func (s *Server) runJob(job *Job) {
 	s.metrics.groupMultiExps.Add(jr.GroupMultiExps)
 	s.metrics.groupMultiExpTerms.Add(jr.GroupMultiExpTerms)
 	s.metrics.observe(now.Sub(job.submitted))
+	s.cfg.Logger.Info("job done",
+		"job_id", job.ID, "request_id", job.Spec.RequestID,
+		"agents", job.Agents(), "tasks", job.Tasks(),
+		"matches_centralized", matches,
+		"queue_wait_ms", float64(start.Sub(job.submitted))/float64(time.Millisecond),
+		"run_ms", float64(now.Sub(start))/float64(time.Millisecond))
 }
 
 // uniformDelays builds the n x n one-way latency matrix for
