@@ -9,7 +9,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X dmw/internal/obs.Version=$(VERSION)"
 # BENCH_OUT is the archived benchmark document `make bench` emits; bump
 # the suffix when re-baselining after a performance PR.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_6.json
 # BENCHTIME trades precision for runtime; 0.2s is enough for the
 # crypto-level series to stabilize on an idle machine.
 BENCHTIME ?= 0.2s
@@ -21,7 +21,7 @@ GATEWAY_BENCHTIME ?= 2s
 # manually with `go test -fuzz <Target> <pkg>`.
 FUZZTIME ?= 3s
 
-.PHONY: all build bin vet test test-race test-server e2e-shard obs-smoke bench bench-smoke bench-server bench-gateway fuzz-smoke ci
+.PHONY: all build bin vet test test-race test-server e2e-shard e2e-tenant obs-smoke bench bench-smoke bench-server bench-gateway fuzz-smoke ci
 
 all: build vet test
 
@@ -62,6 +62,17 @@ test-server:
 e2e-shard:
 	$(GO) test -race -run 'TestFailoverKillNineZeroLoss' -v -count=1 ./internal/gateway
 
+# e2e-tenant is the multi-tenant acceptance scenario: two REAL dmwd
+# replicas loaded with a tenants config behind an in-process dmwgw. A
+# burst tenant overdrives its quota and degrades to per-tenant 429s
+# (with derived Retry-After and X-Admission-Price) while a steady
+# tenant keeps being admitted; one gateway SSE firehose stays open
+# across a replica SIGKILL and still delivers the survivor's events;
+# the fleet /metrics scrape sums the per-tenant counters. See
+# docs/TENANCY.md. Runs under -race; CI runs this on every push.
+e2e-tenant:
+	$(GO) test -race -run 'TestE2ETenantIsolationAndStreamSurvival' -v -count=1 ./internal/gateway
+
 # obs-smoke boots a REAL dmwd process (JSON logs, -addr :0), submits a
 # traced job over HTTP, asserts the trace endpoint serves at least one
 # span per DMW phase, SIGTERMs the daemon, and checks that it exits
@@ -78,7 +89,7 @@ obs-smoke:
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	( $(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
-		./internal/group ./internal/commit ./internal/journal && \
+		./internal/group ./internal/commit ./internal/journal ./internal/tenant && \
 	  $(GO) test -run xxx -bench 'Table1|ServerThroughput|MinWork' -benchmem -benchtime $(BENCHTIME) . && \
 	  $(GO) test -run xxx -bench GatewayThroughput -benchtime $(GATEWAY_BENCHTIME) . \
 	) | ./bin/benchjson -out $(BENCH_OUT)
@@ -106,4 +117,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
 	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
 
-ci: build vet test-race e2e-shard obs-smoke bench-smoke fuzz-smoke
+ci: build vet test-race e2e-shard e2e-tenant obs-smoke bench-smoke fuzz-smoke

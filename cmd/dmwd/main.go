@@ -10,6 +10,7 @@
 //	     [-ttl 15m] [-max-n 64] [-max-m 64] [-q]
 //	     [-data-dir dir] [-fsync always|interval|never]
 //	     [-fsync-interval 100ms] [-snapshot-every 1024]
+//	     [-tenants tenants.json]
 //	     [-pprof-addr 127.0.0.1:6060]
 //	     [-log-level info] [-log-format text|json] [-addr-file path]
 //
@@ -55,6 +56,7 @@ import (
 	"dmw/internal/obs"
 	"dmw/internal/pprofserve"
 	"dmw/internal/server"
+	"dmw/internal/tenant"
 )
 
 func main() {
@@ -88,6 +90,8 @@ func run() error {
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 		fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync interval")
 		snapEvery = flag.Int("snapshot-every", 1024, "WAL appends between snapshot compactions (-1 disables)")
+
+		tenantsFile = flag.String("tenants", "", "per-tenant limits JSON (rate/burst/quota/weight); empty = single unlimited default tenant; see docs/TENANCY.md")
 	)
 	flag.Parse()
 
@@ -125,6 +129,13 @@ func run() error {
 			return err
 		}
 		cfg.Params = params
+	}
+	if *tenantsFile != "" {
+		tc, err := tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			return err
+		}
+		cfg.Tenants = tc
 	}
 
 	_, stopPprof, err := pprofserve.Start(*pprofAddr, logf)

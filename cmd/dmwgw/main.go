@@ -97,6 +97,7 @@ func run() error {
 		failAfter  = flag.Int("fail-after", 2, "consecutive probe failures before ring ejection")
 		recovAfter = flag.Int("recover-after", 2, "consecutive probe successes before re-admission")
 		reqTO      = flag.Duration("request-timeout", time.Minute, "per-attempt proxy timeout")
+		streamTO   = flag.Duration("stream-timeout", 15*time.Minute, "relayed SSE stream lifetime bound (negative = unbounded)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 		logFormat  = flag.String("log-format", obs.LogFormatText, "log output format: text | json; see docs/OBSERVABILITY.md")
@@ -135,6 +136,7 @@ func run() error {
 		FailAfter:      *failAfter,
 		RecoverAfter:   *recovAfter,
 		RequestTimeout: *reqTO,
+		StreamTimeout:  *streamTO,
 		Logf:           logf,
 		Logger:         slogger,
 	})

@@ -24,12 +24,13 @@ type child struct {
 }
 
 // spawnChild starts (or restarts) a replica process on dir and waits
-// for it to publish its address.
-func spawnChild(t *testing.T, dir string) *child {
+// for it to publish its address. extraEnv entries ("KEY=value") reach
+// the child verbatim (e.g. a tenants config via replicaTenantsEnv).
+func spawnChild(t *testing.T, dir string, extraEnv ...string) *child {
 	t.Helper()
 	_ = os.Remove(filepath.Join(dir, "addr")) // stale address from a previous life
 	cmd := exec.Command(os.Args[0])
-	cmd.Env = append(os.Environ(), replicaChildEnv+"="+dir)
+	cmd.Env = append(append(os.Environ(), replicaChildEnv+"="+dir), extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)

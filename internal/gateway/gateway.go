@@ -75,6 +75,11 @@ type Config struct {
 	// RequestTimeout bounds one proxied attempt, excluding any ?wait
 	// long-poll allowance added on top (default 60s).
 	RequestTimeout time.Duration
+	// StreamTimeout bounds one relayed SSE stream (job event streams and
+	// the fleet firehose). Streams are long-lived by design, so the
+	// default is generous (15m); 0 takes the default, negative disables
+	// the bound entirely.
+	StreamTimeout time.Duration
 	// Logf receives lifecycle logs; nil discards.
 	Logf func(format string, args ...any)
 	// Logger receives structured logs (access lines, failover hops,
@@ -104,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.StreamTimeout == 0 {
+		c.StreamTimeout = 15 * time.Minute
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}

@@ -6,11 +6,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"dmw/internal/group"
 	"dmw/internal/server"
+	"dmw/internal/tenant"
 )
 
 // replicaChildEnv holds the data dir when this test binary is re-exec'd
@@ -18,6 +20,11 @@ import (
 // is a real process with a real WAL: SIGKILL tests the actual crash
 // path, including the kernel releasing the data-dir flock.
 const replicaChildEnv = "DMWGW_REPLICA_CHILD_DIR"
+
+// replicaTenantsEnv optionally carries a tenants config (the same JSON
+// the dmwd -tenants flag loads) for the child, so the tenancy e2e can
+// run real replicas with real per-tenant admission control.
+const replicaTenantsEnv = "DMWGW_REPLICA_TENANTS"
 
 func TestMain(m *testing.M) {
 	if os.Getenv(replicaChildEnv) != "" {
@@ -35,7 +42,7 @@ func runReplicaChild() {
 		fmt.Fprintln(os.Stderr, "replica child:", err)
 		os.Exit(1)
 	}
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		Preset:     group.PresetTest64,
 		QueueDepth: 256,
 		Workers:    2,
@@ -43,7 +50,15 @@ func runReplicaChild() {
 		Limits:     server.Limits{MaxAgents: 16, MaxTasks: 8},
 		DataDir:    dir,
 		Fsync:      "always",
-	})
+	}
+	if raw := os.Getenv(replicaTenantsEnv); raw != "" {
+		tc, err := tenant.ParseConfig(strings.NewReader(raw))
+		if err != nil {
+			die(err)
+		}
+		cfg.Tenants = tc
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		die(err)
 	}

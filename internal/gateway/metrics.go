@@ -32,6 +32,7 @@ type gwMetrics struct {
 	unrouted    atomic.Int64 // requests (or batch items) no replica served
 	assignedIDs atomic.Int64 // job IDs generated at the gateway
 	batchShards atomic.Int64 // scatter-gather shards dispatched
+	streams     atomic.Int64 // SSE relays started (job streams + firehoses)
 
 	backendErrors   atomic.Int64 // transport errors + 5xx from replicas
 	ejected         atomic.Int64 // ring ejections by the health prober
@@ -62,6 +63,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("dmwgw_unrouted_total %d\n", g.metrics.unrouted.Load())
 	p("dmwgw_assigned_ids_total %d\n", g.metrics.assignedIDs.Load())
 	p("dmwgw_batch_shards_total %d\n", g.metrics.batchShards.Load())
+	p("dmwgw_streams_total %d\n", g.metrics.streams.Load())
 	p("dmwgw_backend_errors_total %d\n", g.metrics.backendErrors.Load())
 	p("dmwgw_backend_ejections_total %d\n", g.metrics.ejected.Load())
 	p("dmwgw_backend_readmissions_total %d\n", g.metrics.readmitted.Load())

@@ -13,6 +13,7 @@ import (
 
 	"dmw/internal/obs"
 	"dmw/internal/server"
+	"dmw/internal/tenant"
 )
 
 // maxBodyBytes / maxBatchBodyBytes mirror dmwd's own request bounds so
@@ -37,6 +38,8 @@ const maxRelayBytes = 8 << 20
 //	GET  /v1/jobs/{id}            route by ID; successors searched on miss
 //	GET  /v1/jobs/{id}/transcript same routing as job reads
 //	GET  /v1/jobs/{id}/trace      same routing; relays the replica's span JSONL
+//	GET  /v1/jobs/{id}/events     same routing; relays the replica's SSE stream
+//	GET  /v1/events               fleet firehose: every replica's SSE events merged
 //	GET  /healthz                 gateway + per-backend fleet view
 //	GET  /metrics                 gateway counters + summed fleet counters
 //
@@ -51,6 +54,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", g.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/transcript", g.handleGetJob) // same routing; path preserved below
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", g.handleGetJob)      // same routing; path preserved below
+	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleJobEvents)
+	mux.HandleFunc("GET /v1/events", g.handleFirehose)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return g.withRequestID(mux)
@@ -66,6 +71,19 @@ func requestIDFrom(ctx context.Context) string {
 	return rid
 }
 
+// tenantKey carries the inbound X-Tenant-Id through the context so
+// EVERY backend attempt — including failover retries — presents the
+// same identity. A retry that dropped the header would be admitted
+// (and rate-accounted) as the default tenant on the successor.
+type tenantKey struct{}
+
+// tenantFrom extracts the middleware-captured tenant identity ("" when
+// the client sent none).
+func tenantFrom(ctx context.Context) string {
+	tid, _ := ctx.Value(tenantKey{}).(string)
+	return tid
+}
+
 // statusWriter captures the response status for access logging.
 type statusWriter struct {
 	http.ResponseWriter
@@ -77,6 +95,17 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so the SSE relays see a
+// flushable stream through the access-log wrapper.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController traversal.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // withRequestID is the correlation middleware, the gateway twin of
 // dmwd's: adopt the inbound X-Request-Id (sanitized) or mint one, echo
 // it to the client, thread it through the context so tryBackend stamps
@@ -87,7 +116,11 @@ func (g *Gateway) withRequestID(next http.Handler) http.Handler {
 		w.Header().Set(obs.HeaderRequestID, rid)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		ctx := context.WithValue(r.Context(), ridKey{}, rid)
+		if tid := r.Header.Get(tenant.HeaderTenantID); tid != "" {
+			ctx = context.WithValue(ctx, tenantKey{}, tenant.CleanID(tid))
+		}
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		g.cfg.Logger.Info("http",
 			"request_id", rid,
 			"method", r.Method,
@@ -130,6 +163,13 @@ type attemptResult struct {
 // "rejected" forever. Instead the 503 (with its Retry-After) is
 // relayed; dmwd re-admits the ID on retry, so backpressure never
 // poisons a job ID.
+//
+// 429 is definitive for the same family of reasons: it is the tenant
+// policy layer's deliberate answer (rate / quota / price), computed by
+// the replica that owns the job ID. Retrying it on a successor would
+// let a throttled tenant shop for the one replica whose token bucket
+// still has room, defeating per-replica admission control. The 429
+// relays with its derived Retry-After and X-Admission-Price intact.
 func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQuery string, body []byte) (*attemptResult, error) {
 	if err := b.acquire(ctx); err != nil {
 		return nil, err
@@ -156,6 +196,11 @@ func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQ
 	// and trace carry the same request_id the gateway logged.
 	if rid := requestIDFrom(ctx); rid != "" {
 		req.Header.Set(obs.HeaderRequestID, rid)
+	}
+	// Forward the tenant identity on every attempt: admission control on
+	// a failover successor must see the same tenant the owner would have.
+	if tid := tenantFrom(ctx); tid != "" {
+		req.Header.Set(tenant.HeaderTenantID, tid)
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {
@@ -294,13 +339,20 @@ func readWaitAllowance(r *http.Request) time.Duration {
 	return 0
 }
 
-// relay writes a buffered backend response to the client.
+// relay writes a buffered backend response to the client. Retry-After
+// and X-Admission-Price pass through unmodified: dmwd's 503s AND 429s
+// are definitive per-replica answers (tryBackend never fails either
+// over), and the backoff/price the owner computed is the one the
+// client must see.
 func relay(w http.ResponseWriter, res *attemptResult) {
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	if ra := res.header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
+	}
+	if price := res.header.Get(tenant.HeaderAdmissionPrice); price != "" {
+		w.Header().Set(tenant.HeaderAdmissionPrice, price)
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)

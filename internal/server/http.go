@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"dmw/internal/audit"
 	"dmw/internal/obs"
+	"dmw/internal/tenant"
 )
 
 // maxBodyBytes bounds POST bodies; a 64x64 bid matrix is ~20 KB of
@@ -33,12 +36,15 @@ const maxWait = 30 * time.Second
 //	GET  /v1/jobs/{id}            job status/result (optional ?wait=5s)
 //	GET  /v1/jobs/{id}/transcript verifiable transcript envelope (audit)
 //	GET  /v1/jobs/{id}/trace      protocol span trace as JSONL (spec trace:true)
+//	GET  /v1/jobs/{id}/events     job lifecycle as Server-Sent Events (sse.go)
+//	GET  /v1/events               tenant firehose SSE (?tenant= filters)
 //	GET  /healthz                 liveness + drain state
 //	GET  /metrics                 plain-text counters and histograms
 //
 // Every route runs behind the request-ID middleware: the X-Request-Id
 // header is echoed (or generated), stamped onto submitted jobs, and
-// attached to the structured access log line of each request.
+// attached to the structured access log line of each request. Submits
+// additionally honor the X-Tenant-Id header (tenancy; docs/TENANCY.md).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -46,6 +52,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/transcript", s.handleTranscript)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/events", s.handleFirehose)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.withRequestID(mux)
@@ -70,6 +78,20 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the wrapped writer so the SSE handlers see a
+// flushable stream through the access-log wrapper. net/http always
+// implements Flusher, so the assertion only fails under exotic
+// middleware — then Flush degrades to a no-op and events arrive when
+// the transport buffer fills.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController traversal.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // withRequestID is the correlation middleware: it adopts the inbound
 // X-Request-Id (sanitized) or generates one, echoes it on the response,
@@ -104,6 +126,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfterSeconds renders d as an integral Retry-After value: whole
+// seconds, rounded up, at least 1 (a zero would invite an immediate
+// retry storm).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// setRejectionHeaders stamps the refusal guidance derived at admission
+// time: a Retry-After computed from the actual refusing gate (token
+// refill time for rate limits, expected queue-drain time otherwise —
+// never a hardcoded constant) and the current admission price.
+func setRejectionHeaders(w http.ResponseWriter, rej *Rejection) {
+	w.Header().Set("Retry-After", retryAfterSeconds(rej.RetryAfter))
+	w.Header().Set(tenant.HeaderAdmissionPrice, strconv.FormatFloat(rej.Price, 'f', 4, 64))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -115,15 +157,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.RequestID == "" {
 		spec.RequestID = requestIDFrom(r.Context())
 	}
+	if spec.Tenant == "" {
+		spec.Tenant = r.Header.Get(tenant.HeaderTenantID)
+	}
 	job, err := s.Submit(spec)
+	var rej *Rejection
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.View())
 	case errors.Is(err, ErrInvalidSpec):
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.As(err, &rej) && rej.Throttled():
+		// Per-tenant refusal: 429, no job record (nothing to poll), the
+		// caller's budget — not server capacity — is what ran out.
+		setRejectionHeaders(w, rej)
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.As(err, &rej):
+		// Global backpressure: the job record exists (state rejected) so
+		// the client sees a consistent view, but the submission was
+		// refused; another replica may have room.
+		setRejectionHeaders(w, rej)
+		writeJSON(w, http.StatusServiceUnavailable, job.View())
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		// Backpressure: the job record exists (state rejected) so the
-		// client sees a consistent view, but the submission was refused.
+		// Bare-sentinel fallback (no derived guidance attached).
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, job.View())
 	default:
@@ -152,11 +208,14 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("batch of %d jobs exceeds limit %d", len(specs), maxBatchJobs)})
 		return
 	}
-	if rid := requestIDFrom(r.Context()); rid != "" {
-		for i := range specs {
-			if specs[i].RequestID == "" {
-				specs[i].RequestID = rid
-			}
+	rid := requestIDFrom(r.Context())
+	tid := r.Header.Get(tenant.HeaderTenantID)
+	for i := range specs {
+		if specs[i].RequestID == "" {
+			specs[i].RequestID = rid
+		}
+		if specs[i].Tenant == "" {
+			specs[i].Tenant = tid
 		}
 	}
 	writeJSON(w, http.StatusOK, s.SubmitBatch(specs))
@@ -247,6 +306,13 @@ type healthView struct {
 	QueueDepth int     `json:"queue_depth"`
 	Workers    int     `json:"workers"`
 	LiveJobs   int     `json:"live_jobs"`
+	// AdmissionPrice is the current demand price (EWMA of queue
+	// pressure in [0, ~1+]); clients calibrate max_price bids on it.
+	AdmissionPrice float64 `json:"admission_price"`
+	// Tenants counts known tenant identities; EventSubscribers counts
+	// live SSE subscriptions on the event hub.
+	Tenants          int `json:"tenants"`
+	EventSubscribers int `json:"event_subscribers"`
 	// Journal summarizes the WAL when durability is enabled (-data-dir).
 	Journal *journalView `json:"journal,omitempty"`
 }
@@ -267,13 +333,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining, start := s.draining, s.startTime
 	s.mu.Unlock()
 	hv := healthView{
-		Status:     "ok",
-		ReplicaID:  s.replicaID,
-		Version:    obs.Version,
-		GoVersion:  obs.GoVersion(),
-		QueueDepth: len(s.queue),
-		Workers:    s.cfg.Workers,
-		LiveJobs:   s.store.Len(),
+		Status:           "ok",
+		ReplicaID:        s.replicaID,
+		Version:          obs.Version,
+		GoVersion:        obs.GoVersion(),
+		QueueDepth:       s.queue.Len(),
+		Workers:          s.cfg.Workers,
+		LiveJobs:         s.store.Len(),
+		AdmissionPrice:   s.observePrice(time.Now()),
+		Tenants:          s.registry.Len(),
+		EventSubscribers: s.hub.Subscribers(),
 	}
 	if st, ok := s.JournalStats(); ok {
 		replayed, recoveries := s.RecoveryStats()

@@ -13,6 +13,7 @@ import (
 	"dmw/internal/bidcode"
 	protocol "dmw/internal/dmw"
 	"dmw/internal/obs"
+	"dmw/internal/tenant"
 )
 
 // JobState is a job's position in its lifecycle:
@@ -95,6 +96,17 @@ type JobSpec struct {
 	// line the job emits — the thread that ties a gateway access log to
 	// the backend log to the job record.
 	RequestID string `json:"request_id,omitempty"`
+	// Tenant is the admission identity this job is charged against. The
+	// HTTP layer stamps it from the X-Tenant-Id header when the spec
+	// leaves it empty; unusable values fold into the default tenant
+	// (tenant.CleanID). It rides the journal record, so recovery
+	// re-reserves quota under the right identity.
+	Tenant string `json:"tenant,omitempty"`
+	// MaxPrice is an optional admission bid: when the current demand
+	// price (see docs/TENANCY.md) exceeds it, the submission is shed
+	// with 429 reason "price" instead of queuing. 0 means "pay any
+	// price" — the job is never price-shed.
+	MaxPrice float64 `json:"max_price,omitempty"`
 }
 
 // ErrInvalidSpec wraps every admission-time validation failure, so the
@@ -137,6 +149,12 @@ func (sp *JobSpec) materialize(limits Limits) ([][]int, error) {
 	if sp.LinkDelayMS < 0 || sp.LinkDelayMS > maxLinkDelayMS {
 		return nil, invalidSpecf("link_delay_ms = %g outside [0, %d]", sp.LinkDelayMS, maxLinkDelayMS)
 	}
+	if sp.MaxPrice < 0 {
+		return nil, invalidSpecf("max_price = %g negative", sp.MaxPrice)
+	}
+	// Canonicalize the tenant identity once, here, so admission, the
+	// journal record, metrics labels, and event streams all agree.
+	sp.Tenant = tenant.CleanID(sp.Tenant)
 	if len(sp.W) == 0 {
 		sp.W = []int{1, 2, 3, 4}
 	}
@@ -284,6 +302,7 @@ type Job struct {
 	result     *JobResult
 	transcript *protocol.Transcript
 	spans      []obs.Span
+	events     []tenant.Event
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -405,6 +424,33 @@ func (j *Job) Spans() []obs.Span {
 	return j.spans
 }
 
+// maxJobEvents caps a job's replay history. A normal lifecycle is ~10
+// events (admitted, running, one per phase, terminal), so the cap only
+// guards pathological cases; the terminal event is always kept so an
+// SSE replay can end the stream.
+const maxJobEvents = 128
+
+// appendEvent records ev (already sequence-stamped by the hub) in the
+// job's replay history, served to late SSE subscribers before the live
+// stream.
+func (j *Job) appendEvent(ev tenant.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.events) >= maxJobEvents-1 && !tenant.TerminalEvent(ev.Type) {
+		return
+	}
+	j.events = append(j.events, ev)
+}
+
+// Events snapshots the job's event history in publish order.
+func (j *Job) Events() []tenant.Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]tenant.Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
 // startedAt returns the running-transition timestamp.
 func (j *Job) startedAt() time.Time {
 	j.mu.Lock()
@@ -486,6 +532,8 @@ type JobView struct {
 	// RequestID is the correlation ID of the submission that admitted
 	// this job (see JobSpec.RequestID).
 	RequestID string `json:"request_id,omitempty"`
+	// Tenant is the admission identity the job was charged against.
+	Tenant string `json:"tenant,omitempty"`
 
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
@@ -511,6 +559,7 @@ func (j *Job) View() JobView {
 		Agents:        len(j.bids),
 		Seed:          j.Spec.Seed,
 		RequestID:     j.Spec.RequestID,
+		Tenant:        j.Spec.Tenant,
 		SubmittedAt:   j.submitted.UTC().Format(time.RFC3339Nano),
 		Result:        j.result,
 		HasTranscript: j.transcript != nil,

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,13 +65,25 @@ type metrics struct {
 	// phases holds one seconds-denominated histogram per phase segment
 	// of phaseOrder (dmwd_phase_seconds{phase=...}).
 	phases map[string]*obs.Histogram
+
+	// tenantMu guards the per-tenant label maps below. Cardinality is
+	// bounded by the registry (tenant.CleanID folding plus the dynamic-
+	// table cap), so these maps cannot grow without bound.
+	tenantMu sync.Mutex
+	// tenantAdmitted counts dmwd_tenant_admitted_total{tenant=...}.
+	tenantAdmitted map[string]int64
+	// tenantRejected counts dmwd_tenant_rejected_total{tenant=...,
+	// reason=...} (reasons: rate | quota | price | queue_full | draining).
+	tenantRejected map[string]map[string]int64
 }
 
 // newMetrics builds the metric set with its histograms registered.
 func newMetrics() *metrics {
 	m := &metrics{
-		latency: obs.NewHistogram(latencyBucketsMS),
-		phases:  make(map[string]*obs.Histogram, len(phaseOrder)),
+		latency:        obs.NewHistogram(latencyBucketsMS),
+		phases:         make(map[string]*obs.Histogram, len(phaseOrder)),
+		tenantAdmitted: make(map[string]int64),
+		tenantRejected: make(map[string]map[string]int64),
 	}
 	for _, name := range phaseOrder {
 		m.phases[name] = obs.NewHistogram(phaseBucketsS)
@@ -91,6 +105,26 @@ func (m *metrics) observePhase(phase string, d time.Duration) {
 	}
 }
 
+// noteAdmitted counts one admission under the tenant's label.
+func (m *metrics) noteAdmitted(tenantID string) {
+	m.tenantMu.Lock()
+	m.tenantAdmitted[tenantID]++
+	m.tenantMu.Unlock()
+}
+
+// noteRejected counts one refusal under the tenant's label and the
+// gate's reason.
+func (m *metrics) noteRejected(tenantID, reason string) {
+	m.tenantMu.Lock()
+	byReason := m.tenantRejected[tenantID]
+	if byReason == nil {
+		byReason = make(map[string]int64)
+		m.tenantRejected[tenantID] = byReason
+	}
+	byReason[reason]++
+	m.tenantMu.Unlock()
+}
+
 // snapshotGauges are the point-in-time values the server contributes to
 // the exposition alongside the monotonic counters.
 type snapshotGauges struct {
@@ -101,6 +135,13 @@ type snapshotGauges struct {
 	uptime     time.Duration
 	replicaID  string
 
+	// admissionPrice is the demand-priced admission gauge
+	// (dmwd_admission_price); the event-hub trio covers the SSE layer.
+	admissionPrice   float64
+	eventSubscribers int
+	eventsPublished  uint64
+	eventsDropped    uint64
+
 	// journal* carry the WAL counters when the store is journal-backed
 	// (journalEnabled); the exposition emits dmwd_journal_enabled either
 	// way so dashboards can key on the mode.
@@ -108,6 +149,38 @@ type snapshotGauges struct {
 	journal           journal.Stats
 	journalReplayed   int64
 	journalRecoveries int64
+}
+
+// writeTenants renders the per-tenant labeled counters in sorted label
+// order (stable output; the gateway's fleet scrape sums identical
+// series across replicas).
+func (m *metrics) writeTenants(w io.Writer) {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	ids := make([]string, 0, len(m.tenantAdmitted))
+	for id := range m.tenantAdmitted {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "dmwd_tenant_admitted_total{tenant=%q} %d\n", id, m.tenantAdmitted[id])
+	}
+	ids = ids[:0]
+	for id := range m.tenantRejected {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		byReason := m.tenantRejected[id]
+		reasons := make([]string, 0, len(byReason))
+		for r := range byReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Fprintf(w, "dmwd_tenant_rejected_total{tenant=%q,reason=%q} %d\n", id, r, byReason[r])
+		}
+	}
 }
 
 // writeTo renders the plain-text exposition (Prometheus-compatible
@@ -137,6 +210,11 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	}
 	p("dmwd_jobs_live %d\n", g.liveJobs)
 	p("dmwd_uptime_seconds %.3f\n", g.uptime.Seconds())
+	p("dmwd_admission_price %.6f\n", g.admissionPrice)
+	p("dmwd_event_subscribers %d\n", g.eventSubscribers)
+	p("dmwd_events_published_total %d\n", g.eventsPublished)
+	p("dmwd_events_dropped_total %d\n", g.eventsDropped)
+	m.writeTenants(w)
 	if g.journalEnabled {
 		p("dmwd_journal_enabled 1\n")
 		p("dmwd_journal_appends_total %d\n", g.journal.Appends)

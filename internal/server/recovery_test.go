@@ -35,7 +35,7 @@ func (s *Server) crashForTest() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.Close()
 		select {
 		case <-s.stopSweeps:
 		default:

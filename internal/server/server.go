@@ -38,10 +38,12 @@ import (
 	"dmw/internal/mechanism"
 	"dmw/internal/obs"
 	"dmw/internal/sched"
+	"dmw/internal/tenant"
 )
 
-// Admission errors. Both map to HTTP 503 (backpressure): the client
-// should retry later, against this replica or another.
+// Global admission errors. Both map to HTTP 503 (backpressure): the
+// client should retry later, against this replica or another. The
+// per-tenant refusals (429) live in rejection.go.
 var (
 	// ErrQueueFull signals the bounded queue rejected the job.
 	ErrQueueFull = errors.New("server: queue full")
@@ -107,6 +109,20 @@ type Config struct {
 	SnapshotEvery int
 	// SegmentBytes caps a WAL segment before rotation (default 4 MiB).
 	SegmentBytes int64
+
+	// Tenants is the multi-tenant admission policy (the parsed -tenants
+	// file; see internal/tenant and docs/TENANCY.md). The zero value
+	// applies no policy: every request folds into one unlimited default
+	// tenant, dispatch degenerates to FIFO, and the single-tenant
+	// server behaves exactly as before tenancy existed.
+	Tenants tenant.Config
+	// PriceTau overrides the admission-price smoothing constant
+	// (default tenant.DefaultPriceTau; tests shrink it to reprice
+	// instantly).
+	PriceTau time.Duration
+	// DrainTau overrides the drain-rate smoothing constant (default
+	// tenant.DefaultRateTau).
+	DrainTau time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -154,9 +170,18 @@ type Server struct {
 	params *group.Params
 	grp    *group.Group
 
-	queue   chan *Job
+	queue   *tenant.Queue[*Job]
 	store   Store
 	metrics *metrics
+
+	// registry resolves tenant identities to their admission state;
+	// hub fans job-lifecycle events out to SSE streams; price is the
+	// demand-priced admission meter; drainRate estimates completions
+	// per second for derived Retry-After values.
+	registry  *tenant.Registry
+	hub       *tenant.Hub
+	price     *tenant.Meter
+	drainRate *tenant.RateEstimator
 
 	// replicaID identifies this server instance to load balancers: it
 	// is persisted in the data dir when durable (stable across restarts
@@ -212,6 +237,11 @@ func New(cfg Config) (*Server, error) {
 		grp:        grp,
 		metrics:    newMetrics(),
 		stopSweeps: make(chan struct{}),
+		registry:   tenant.NewRegistry(cfg.Tenants),
+		hub:        tenant.NewHub(),
+		price:      tenant.NewMeter(cfg.PriceTau),
+		drainRate:  tenant.NewRateEstimator(cfg.DrainTau),
+		queue:      tenant.NewQueue[*Job](cfg.QueueDepth),
 	}
 	mem := newMemStore()
 	s.store = mem
@@ -219,9 +249,6 @@ func New(cfg Config) (*Server, error) {
 		if err := s.openJournal(mem); err != nil {
 			return nil, err
 		}
-	}
-	if s.queue == nil {
-		s.queue = make(chan *Job, cfg.QueueDepth)
 	}
 	s.replicaID, err = loadOrCreateReplicaID(cfg.DataDir)
 	if err != nil {
@@ -305,14 +332,15 @@ func (s *Server) openJournal(mem *memStore) error {
 	}
 
 	// The queue must hold every re-enqueued job even if it exceeds the
-	// configured depth — accepted work is never shed.
-	depth := cfg.QueueDepth
-	if len(requeue) > depth {
-		depth = len(requeue)
-	}
-	s.queue = make(chan *Job, depth)
+	// configured depth — accepted work is never shed (ForcePush skips
+	// the capacity bound), and each recovered job re-takes its tenant's
+	// quota slot unconditionally (it was already accepted once).
 	for _, job := range requeue {
-		s.queue <- job
+		tn := s.registry.Get(job.Spec.Tenant)
+		tn.ForceReserve()
+		if err := s.queue.ForcePush(tn.ID, tn.Limits.Weight, job); err != nil {
+			return fmt.Errorf("server: re-enqueueing job %s: %w", job.ID, err)
+		}
 	}
 
 	if rec.Recovered {
@@ -348,7 +376,11 @@ func (s *Server) Start() {
 		s.workersWG.Add(1)
 		go func(w int) {
 			defer s.workersWG.Done()
-			for job := range s.queue {
+			for {
+				job, ok := s.queue.Pop()
+				if !ok {
+					return
+				}
 				s.runJob(job)
 			}
 		}(w)
@@ -408,12 +440,94 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	return s.admit(job, now)
 }
 
-// admit persists and indexes the job (unless the ID dedupes to an
-// existing admission), then races it against the bounded queue.
-// Ordering invariant: the admission record reaches the store (and the
-// WAL) BEFORE the job can reach a worker, so a job's lifecycle appends
-// always follow its admission append in the log.
+// observePrice folds the current queue pressure (queued / capacity)
+// into the demand meter and returns the smoothed admission price. It
+// runs on every admission attempt and on every price read, so the
+// decay clock never stalls.
+func (s *Server) observePrice(now time.Time) float64 {
+	return s.price.Observe(float64(s.queue.Len())/float64(s.cfg.QueueDepth), now)
+}
+
+// AdmissionPrice reports the current demand price (see docs/TENANCY.md).
+func (s *Server) AdmissionPrice() float64 {
+	return s.observePrice(time.Now())
+}
+
+// drainRetryAfter derives the back-off a refused client should honor:
+// the expected time for the current backlog to drain at the observed
+// completion rate (clamped to [1s, 60s] by tenant.RetryAfter).
+func (s *Server) drainRetryAfter(now time.Time) time.Duration {
+	return tenant.RetryAfter(s.queue.Len(), s.drainRate.Rate(now), s.cfg.Workers)
+}
+
+// publish stamps ev with the hub sequence, fans it out to subscribers,
+// and (when job is non-nil) appends it to the job's replay history.
+func (s *Server) publish(job *Job, ev tenant.Event) {
+	ev = s.hub.Publish(ev)
+	if job != nil {
+		job.appendEvent(ev)
+	}
+}
+
+// throttle runs the per-tenant admission gates in order — token bucket,
+// price bid, live-job quota — and on success holds one quota
+// reservation (the caller owns releasing it). On refusal it returns the
+// Rejection to serve and the reason-labeled metric is already counted.
+func (s *Server) throttle(tn *tenant.Tenant, maxPrice float64, now time.Time) *Rejection {
+	if ok, wait := tn.TakeToken(now); !ok {
+		return &Rejection{Err: ErrRateLimited, Reason: tenant.ReasonRate, Tenant: tn.ID,
+			RetryAfter: wait, Price: s.observePrice(now)}
+	}
+	price := s.observePrice(now)
+	if maxPrice > 0 && price > maxPrice {
+		return &Rejection{Err: ErrPriceTooLow, Reason: tenant.ReasonPrice, Tenant: tn.ID,
+			RetryAfter: s.drainRetryAfter(now), Price: price}
+	}
+	if !tn.Reserve() {
+		return &Rejection{Err: ErrQuotaExceeded, Reason: tenant.ReasonQuota, Tenant: tn.ID,
+			RetryAfter: s.drainRetryAfter(now), Price: price}
+	}
+	return nil
+}
+
+// rejectTenant finishes a per-tenant refusal: counters, event, error.
+// No job record is created — a 429 is "your budget, not my capacity",
+// so there is nothing for the client to poll and nothing to journal.
+func (s *Server) rejectTenant(jobID string, rej *Rejection, now time.Time) error {
+	s.metrics.rejected.Add(1)
+	s.metrics.noteRejected(rej.Tenant, rej.Reason)
+	s.publish(nil, tenant.Event{Type: tenant.EventRejected, Time: now,
+		Tenant: rej.Tenant, JobID: jobID, Reason: rej.Reason, Price: rej.Price})
+	return rej
+}
+
+// rejectBackpressure finishes a global (503) refusal for a job that
+// already has a store record: terminal rejected state, counters, event.
+func (s *Server) rejectBackpressure(job *Job, sentinel error, reason string, now time.Time) *Rejection {
+	rej := &Rejection{Err: sentinel, Reason: reason, Tenant: job.Spec.Tenant,
+		RetryAfter: s.drainRetryAfter(now), Price: s.observePrice(now)}
+	s.metrics.rejected.Add(1)
+	s.metrics.noteRejected(job.Spec.Tenant, reason)
+	s.publish(job, tenant.Event{Type: tenant.EventRejected, Time: now,
+		Tenant: job.Spec.Tenant, JobID: job.ID, Reason: reason, Price: rej.Price})
+	return rej
+}
+
+// admit runs the admission pipeline: idempotency dedupe, the per-tenant
+// gates (rate, price, quota — refusals are 429s that create no job
+// record), then persists and indexes the job and races it against the
+// bounded dispatch queue. Ordering invariant: the admission record
+// reaches the store (and the WAL) BEFORE the job can reach a worker, so
+// a job's lifecycle appends always follow its admission append in the
+// log. The dedupe fast path runs BEFORE the tenant gates so a gateway
+// retry of an already-accepted ID is never charged a token.
 func (s *Server) admit(job *Job, now time.Time) (*Job, error) {
+	if id := job.Spec.ID; id != "" {
+		if existing, ok := s.store.Get(id, now); ok && existing.matchesResubmit(now) {
+			s.metrics.deduped.Add(1)
+			return existing, nil
+		}
+	}
 	if s.Draining() {
 		// Fast path: journal the rejection as one terminal record —
 		// unless the ID already names a live non-rejected job, which the
@@ -427,40 +541,58 @@ func (s *Server) admit(job *Job, now time.Time) (*Job, error) {
 			s.metrics.deduped.Add(1)
 			return existing, nil
 		}
-		s.metrics.rejected.Add(1)
-		return job, ErrDraining
+		return job, s.rejectBackpressure(job, ErrDraining, tenant.ReasonDraining, now)
 	}
+
+	tn := s.registry.Get(job.Spec.Tenant)
+	if rej := s.throttle(tn, job.Spec.MaxPrice, now); rej != nil {
+		return nil, s.rejectTenant(job.Spec.ID, rej, now)
+	}
+	// The quota reservation is held from here: released on every
+	// failure path below, and otherwise when the job leaves the live
+	// set (runJob).
+
 	existing, err := s.store.PutIfAbsent(job, now)
 	if err != nil {
 		// Cannot make the admission durable: refuse it outright rather
 		// than accept work that would be silently lost by a restart.
+		tn.Release()
 		s.metrics.rejected.Add(1)
 		return nil, err
 	}
 	if existing != nil {
 		// Idempotent re-submission resolved atomically in the store.
+		tn.Release()
 		s.metrics.deduped.Add(1)
 		return existing, nil
 	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		tn.Release()
 		job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
 		s.store.Finished(job)
-		s.metrics.rejected.Add(1)
-		return job, ErrDraining
+		return job, s.rejectBackpressure(job, ErrDraining, tenant.ReasonDraining, now)
 	}
-	select {
-	case s.queue <- job:
-		s.mu.Unlock()
+	pushErr := s.queue.Push(tn.ID, tn.Limits.Weight, job)
+	s.mu.Unlock()
+	switch {
+	case pushErr == nil:
 		s.metrics.accepted.Add(1)
+		s.metrics.noteAdmitted(tn.ID)
+		s.publish(job, tenant.Event{Type: tenant.EventAdmitted, Time: now,
+			Tenant: tn.ID, JobID: job.ID, Price: s.observePrice(now)})
 		return job, nil
-	default:
-		s.mu.Unlock()
+	case errors.Is(pushErr, tenant.ErrQueueClosed):
+		tn.Release()
+		job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
+		s.store.Finished(job)
+		return job, s.rejectBackpressure(job, ErrDraining, tenant.ReasonDraining, now)
+	default: // tenant.ErrQueueFull
+		tn.Release()
 		job.reject(ErrQueueFull.Error(), now, s.cfg.ResultTTL)
 		s.store.Finished(job)
-		s.metrics.rejected.Add(1)
-		return job, ErrQueueFull
+		return job, s.rejectBackpressure(job, ErrQueueFull, tenant.ReasonQueueFull, now)
 	}
 }
 
@@ -483,7 +615,8 @@ type BatchItem struct {
 func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 	items := make([]BatchItem, len(specs))
 	now := time.Now()
-	jobs := make([]*Job, len(specs)) // nil where the spec was invalid
+	jobs := make([]*Job, len(specs))      // nil where the spec was invalid
+	holders := make([]*tenant.Tenant, len(specs)) // quota reservations to release on failure
 	var valid []*Job
 	var validIdx []int // valid[k] came from specs[validIdx[k]]
 	batchIDs := make(map[string]bool, len(specs))
@@ -514,12 +647,23 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 			}
 			batchIDs[id] = true
 		}
+		// Per-tenant gates, mirroring Submit: a refused item is a 429
+		// in spirit — no job record, no journal append — reported as a
+		// per-item error while the rest of the batch proceeds.
+		tn := s.registry.Get(specs[i].Tenant)
+		if rej := s.throttle(tn, specs[i].MaxPrice, now); rej != nil {
+			_ = s.rejectTenant(specs[i].ID, rej, now)
+			items[i] = BatchItem{Error: rej.Error()}
+			continue
+		}
 		job, err := newJob(specs[i], bids, now)
 		if err != nil {
+			tn.Release()
 			items[i].Error = err.Error()
 			continue
 		}
 		jobs[i] = job
+		holders[i] = tn
 		valid = append(valid, job)
 		validIdx = append(validIdx, i)
 	}
@@ -531,6 +675,7 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 	if err != nil {
 		for i, job := range jobs {
 			if job != nil {
+				holders[i].Release()
 				s.metrics.rejected.Add(1)
 				items[i] = BatchItem{Error: "persisting admission: " + err.Error()}
 			}
@@ -543,6 +688,7 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 		}
 		i := validIdx[k]
 		jobs[i] = nil // not ours; a concurrent submission won the ID
+		holders[i].Release()
 		s.metrics.deduped.Add(1)
 		v := old.View()
 		items[i] = BatchItem{Accepted: true, Job: &v}
@@ -552,33 +698,37 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 		if job == nil {
 			continue
 		}
+		tn := holders[i]
 		s.mu.Lock()
 		draining := s.draining
-		var accepted bool
-		if !draining {
-			select {
-			case s.queue <- job:
-				accepted = true
-			default:
-			}
+		var pushErr error
+		if draining {
+			pushErr = tenant.ErrQueueClosed
+		} else {
+			pushErr = s.queue.Push(tn.ID, tn.Limits.Weight, job)
 		}
 		s.mu.Unlock()
 
 		switch {
-		case accepted:
+		case pushErr == nil:
 			s.metrics.accepted.Add(1)
+			s.metrics.noteAdmitted(tn.ID)
+			s.publish(job, tenant.Event{Type: tenant.EventAdmitted, Time: now,
+				Tenant: tn.ID, JobID: job.ID, Price: s.observePrice(now)})
 			v := job.View()
 			items[i] = BatchItem{Accepted: true, Job: &v}
-		case draining:
+		case errors.Is(pushErr, tenant.ErrQueueClosed):
+			tn.Release()
 			job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
 			s.store.Finished(job)
-			s.metrics.rejected.Add(1)
+			_ = s.rejectBackpressure(job, ErrDraining, tenant.ReasonDraining, now)
 			v := job.View()
 			items[i] = BatchItem{Error: ErrDraining.Error(), Job: &v}
-		default:
+		default: // tenant.ErrQueueFull
+			tn.Release()
 			job.reject(ErrQueueFull.Error(), now, s.cfg.ResultTTL)
 			s.store.Finished(job)
-			s.metrics.rejected.Add(1)
+			_ = s.rejectBackpressure(job, ErrQueueFull, tenant.ReasonQueueFull, now)
 			v := job.View()
 			items[i] = BatchItem{Error: ErrQueueFull.Error(), Job: &v}
 		}
@@ -592,7 +742,14 @@ func (s *Server) Get(id string) (*Job, bool) {
 }
 
 // QueueDepth reports the number of queued (not yet running) jobs.
-func (s *Server) QueueDepth() int { return len(s.queue) }
+func (s *Server) QueueDepth() int { return s.queue.Len() }
+
+// Tenants exposes the tenant registry (read-mostly; used by the HTTP
+// layer and tests).
+func (s *Server) Tenants() *tenant.Registry { return s.registry }
+
+// EventHub exposes the job-event fan-out hub.
+func (s *Server) EventHub() *tenant.Hub { return s.hub }
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool {
@@ -614,12 +771,16 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		uptime = time.Since(start)
 	}
 	g := snapshotGauges{
-		queueDepth: len(s.queue),
-		workers:    s.cfg.Workers,
-		draining:   draining,
-		liveJobs:   s.store.Len(),
-		uptime:     uptime,
-		replicaID:  s.replicaID,
+		queueDepth:       s.queue.Len(),
+		workers:          s.cfg.Workers,
+		draining:         draining,
+		liveJobs:         s.store.Len(),
+		uptime:           uptime,
+		replicaID:        s.replicaID,
+		admissionPrice:   s.observePrice(time.Now()),
+		eventSubscribers: s.hub.Subscribers(),
+		eventsPublished:  s.hub.Published(),
+		eventsDropped:    s.hub.Dropped(),
 	}
 	if s.jstore != nil {
 		g.journalEnabled = true
@@ -653,13 +814,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue) // safe: every send is guarded by mu + draining
+		s.queue.Close() // already-queued jobs stay poppable; pushes fail
 		select {
 		case <-s.stopSweeps:
 		default:
 			close(s.stopSweeps)
 		}
-		s.cfg.Logf("shutdown: draining %d queued jobs", len(s.queue))
+		s.cfg.Logf("shutdown: draining %d queued jobs", s.queue.Len())
 	}
 	started := s.started
 	s.mu.Unlock()
@@ -702,6 +863,15 @@ func (s *Server) runJob(job *Job) {
 	job.setRunning(start)
 	s.store.Started(job)
 	s.metrics.observePhase(PhaseQueueWait, start.Sub(job.submitted))
+	// The quota reservation taken at admission is returned when the job
+	// leaves the live set, and every completion feeds the drain-rate
+	// estimator behind derived Retry-After values.
+	defer func() {
+		s.registry.Get(job.Spec.Tenant).Release()
+		s.drainRate.Tick(time.Now())
+	}()
+	s.publish(job, tenant.Event{Type: tenant.EventRunning, Time: start,
+		Tenant: job.Spec.Tenant, JobID: job.ID})
 
 	// Tracing is per-job opt-in: untraced jobs carry a nil recorder all
 	// the way down (nil *obs.Recorder absorbs every call), so the
@@ -738,9 +908,15 @@ func (s *Server) runJob(job *Job) {
 	}
 	res, err := protocol.Run(cfg)
 	now := time.Now()
+	s.publish(job, tenant.Event{Type: tenant.EventPhase, Time: now,
+		Tenant: job.Spec.Tenant, JobID: job.ID, Phase: PhaseQueueWait,
+		DurationMS: float64(start.Sub(job.submitted)) / float64(time.Millisecond)})
 	if res != nil {
 		for _, p := range res.Phases {
 			s.metrics.observePhase(p.Phase, p.Duration)
+			s.publish(job, tenant.Event{Type: tenant.EventPhase, Time: now,
+				Tenant: job.Spec.Tenant, JobID: job.ID, Phase: p.Phase,
+				DurationMS: float64(p.Duration) / float64(time.Millisecond)})
 		}
 	}
 	if err != nil {
@@ -751,9 +927,12 @@ func (s *Server) runJob(job *Job) {
 		s.store.Finished(job)
 		s.metrics.failed.Add(1)
 		s.metrics.observe(now.Sub(job.submitted))
+		s.publish(job, tenant.Event{Type: tenant.EventFailed, Time: now,
+			Tenant: job.Spec.Tenant, JobID: job.ID, Error: err.Error()})
 		s.cfg.Logf("job %s failed: %v", job.ID, err)
 		s.cfg.Logger.Error("job failed",
-			"job_id", job.ID, "request_id", job.Spec.RequestID, "error", err.Error(),
+			"job_id", job.ID, "request_id", job.Spec.RequestID, "tenant", job.Spec.Tenant,
+			"error", err.Error(),
 			"elapsed_ms", float64(now.Sub(job.submitted))/float64(time.Millisecond))
 		return
 	}
@@ -774,8 +953,10 @@ func (s *Server) runJob(job *Job) {
 	s.metrics.groupMultiExps.Add(jr.GroupMultiExps)
 	s.metrics.groupMultiExpTerms.Add(jr.GroupMultiExpTerms)
 	s.metrics.observe(now.Sub(job.submitted))
+	s.publish(job, tenant.Event{Type: tenant.EventDone, Time: now,
+		Tenant: job.Spec.Tenant, JobID: job.ID})
 	s.cfg.Logger.Info("job done",
-		"job_id", job.ID, "request_id", job.Spec.RequestID,
+		"job_id", job.ID, "request_id", job.Spec.RequestID, "tenant", job.Spec.Tenant,
 		"agents", job.Agents(), "tasks", job.Tasks(),
 		"matches_centralized", matches,
 		"queue_wait_ms", float64(start.Sub(job.submitted))/float64(time.Millisecond),

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dmw/internal/tenant"
+)
+
+// SSE streaming endpoints:
+//
+//	GET /v1/jobs/{id}/events  one job's lifecycle, replayed then live,
+//	                          ending at the terminal event
+//	GET /v1/events?tenant=X   firehose of every event (optionally
+//	                          filtered to one tenant), open-ended
+//
+// Wire format is standard Server-Sent Events: each event is an
+// "id:" line (the hub-global sequence number), an "event:" line (the
+// tenant.Event* type), and a "data:" line holding the JSON-encoded
+// tenant.Event. Clients reconnecting can dedupe a replayed prefix
+// against what they already saw by comparing ids. Idle streams receive
+// a comment heartbeat every sseHeartbeat so dead connections surface.
+
+// sseHeartbeat is the idle keep-alive period. A comment line (":hb")
+// costs 5 bytes and lets intermediaries and clients distinguish "no
+// events" from "dead connection".
+const sseHeartbeat = 15 * time.Second
+
+// firehoseBuffer sizes firehose subscriptions: they see every event on
+// the replica, so they get more slack than per-job streams before the
+// hub starts dropping on them.
+const firehoseBuffer = 256
+
+// writeSSEEvent renders one event in SSE framing.
+func writeSSEEvent(w http.ResponseWriter, ev tenant.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}
+
+// startSSE negotiates the stream: the response must be flushable
+// (true for net/http and httptest; false only for exotic middleware),
+// and headers go out before the first event.
+func startSSE(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported by this connection"})
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	// Tell buffering reverse proxies (and dmwgw's relay) to pass events
+	// through as they are written.
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return fl, true
+}
+
+// handleJobEvents streams one job's lifecycle. The handler subscribes
+// FIRST, then replays the job's recorded history, then serves the live
+// stream deduped by sequence number — so an event published between
+// the replay snapshot and the live phase is delivered exactly once.
+// The stream ends at the job's terminal event (done/failed/rejected);
+// a job that is already terminal gets its full history and an
+// immediate end.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
+		return
+	}
+	sub := s.hub.SubscribeJob(job.ID, 0)
+	defer sub.Close()
+	fl, ok := startSSE(w)
+	if !ok {
+		return
+	}
+
+	var last uint64
+	done := false
+	for _, ev := range job.Events() {
+		if err := writeSSEEvent(w, ev); err != nil {
+			return
+		}
+		last = ev.Seq
+		done = done || tenant.TerminalEvent(ev.Type)
+	}
+	if !done && job.State().Terminal() && len(job.Events()) == 0 {
+		// Jobs restored from the journal have results but no recorded
+		// event history; synthesize the terminal event so the stream
+		// still ends deterministically.
+		typ := tenant.EventDone
+		switch job.State() {
+		case StateFailed:
+			typ = tenant.EventFailed
+		case StateRejected:
+			typ = tenant.EventRejected
+		}
+		v := job.View()
+		_ = writeSSEEvent(w, tenant.Event{Type: typ, Time: time.Now(),
+			Tenant: job.Spec.Tenant, JobID: job.ID, Error: v.Error})
+		fl.Flush()
+		return
+	}
+	fl.Flush()
+	if done {
+		return
+	}
+
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case ev := <-sub.Events():
+			if ev.Seq <= last {
+				continue // already served from the replay
+			}
+			if err := writeSSEEvent(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+			if tenant.TerminalEvent(ev.Type) {
+				return
+			}
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ":hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// handleFirehose streams every event on this replica as SSE,
+// optionally filtered to one tenant (?tenant=...). The stream is
+// open-ended: it runs until the client disconnects. Slow consumers
+// lose events (counted in dmwd_events_dropped_total) rather than
+// backpressuring the worker pool.
+func (s *Server) handleFirehose(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("tenant")
+	if filter != "" {
+		filter = tenant.CleanID(filter)
+	}
+	sub := s.hub.SubscribeTenant(filter, firehoseBuffer)
+	defer sub.Close()
+	fl, ok := startSSE(w)
+	if !ok {
+		return
+	}
+
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case ev := <-sub.Events():
+			if err := writeSSEEvent(w, ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ":hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}

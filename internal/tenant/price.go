@@ -1,0 +1,156 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Meter is the demand-priced admission signal: a time-decayed EWMA of
+// queue pressure (queued jobs / queue capacity). The smoothed value is
+// the "price" in [0, ~1+] that every admission response advertises
+// (X-Admission-Price header, admission_price in /healthz, the
+// dmwd_admission_price gauge): 0 means an idle queue, 1 means the
+// queue has been full for a while. A job may carry a max_price bid;
+// when the price exceeds the bid the job is shed at admission (429,
+// reason "price") — the paper's price/threshold mechanism applied to
+// the service's own front door: pressure sets the price, tenants
+// reveal their willingness to wait, and low bidders back off first,
+// exactly when backing off is most valuable.
+//
+// The EWMA is asymmetric-friendly by construction: every observation
+// decays the old value by exp(-dt/tau), so a burst raises the price
+// within a few hundred milliseconds while a drained queue brings it
+// back down over ~tau.
+type Meter struct {
+	mu    sync.Mutex
+	tau   float64 // smoothing time constant, seconds
+	price float64
+	last  time.Time
+}
+
+// DefaultPriceTau is the default smoothing horizon: long enough that a
+// one-request blip does not reprice the edge, short enough that a real
+// overload reprices within a couple of seconds.
+const DefaultPriceTau = 2 * time.Second
+
+// NewMeter builds a price meter with smoothing constant tau
+// (DefaultPriceTau when tau <= 0).
+func NewMeter(tau time.Duration) *Meter {
+	if tau <= 0 {
+		tau = DefaultPriceTau
+	}
+	return &Meter{tau: tau.Seconds()}
+}
+
+// Observe folds the instantaneous pressure (queued/capacity, callers
+// may exceed 1 when the queue is over-full after a recovery) into the
+// EWMA and returns the new price. Called on every admission attempt
+// and on every price read, so the decay clock never stalls.
+func (m *Meter) Observe(pressure float64, now time.Time) float64 {
+	if pressure < 0 {
+		pressure = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.last.IsZero() {
+		m.price = pressure
+		m.last = now
+		return m.price
+	}
+	dt := now.Sub(m.last).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	a := 1 - math.Exp(-dt/m.tau)
+	m.price += a * (pressure - m.price)
+	m.last = now
+	return m.price
+}
+
+// RateEstimator tracks an exponentially-weighted events-per-second
+// rate from event arrival times. The server feeds it job completions;
+// the quotient queueDepth/rate is the expected drain time, which is
+// what a derived Retry-After should tell a backpressured client.
+type RateEstimator struct {
+	mu   sync.Mutex
+	tau  float64
+	rate float64
+	last time.Time
+}
+
+// DefaultRateTau smooths the drain-rate estimate over recent history.
+const DefaultRateTau = 10 * time.Second
+
+// NewRateEstimator builds an estimator (DefaultRateTau when tau <= 0).
+func NewRateEstimator(tau time.Duration) *RateEstimator {
+	if tau <= 0 {
+		tau = DefaultRateTau
+	}
+	return &RateEstimator{tau: tau.Seconds()}
+}
+
+// Tick records one event (a job completion).
+func (r *RateEstimator) Tick(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.last.IsZero() {
+		r.last = now
+		return
+	}
+	dt := now.Sub(r.last).Seconds()
+	r.last = now
+	if dt <= 0 {
+		// Two completions on the same clock tick: treat as a very fast
+		// pair at the finest resolution we trust.
+		dt = 1e-6
+	}
+	inst := 1 / dt
+	a := 1 - math.Exp(-dt/r.tau)
+	r.rate += a * (inst - r.rate)
+}
+
+// Rate returns the current estimate in events/second, decayed for the
+// silence since the last event (a stalled server's estimate falls
+// toward zero instead of reporting its last good throughput forever).
+func (r *RateEstimator) Rate(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.last.IsZero() {
+		return 0
+	}
+	dt := now.Sub(r.last).Seconds()
+	if dt <= 0 {
+		return r.rate
+	}
+	return r.rate * math.Exp(-dt/r.tau)
+}
+
+// RetryAfter converts a backlog and a drain-rate estimate into the
+// integral seconds a client should wait before retrying: the expected
+// time for the backlog to drain, clamped to [1s, 60s] so a cold
+// estimator never tells a client "0" (hammer me) or "an hour" (go
+// away). With no estimate at all it falls back to a depth-scaled
+// guess of one second per queued-jobs-per-worker.
+func RetryAfter(backlog int, rate float64, workers int) time.Duration {
+	if backlog < 1 {
+		backlog = 1
+	}
+	var secs float64
+	if rate > 1e-9 {
+		secs = float64(backlog) / rate
+	} else {
+		if workers < 1 {
+			workers = 1
+		}
+		secs = float64(backlog) / float64(workers)
+	}
+	secs = math.Ceil(secs)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}

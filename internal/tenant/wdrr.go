@@ -1,0 +1,197 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors.
+var (
+	// ErrQueueFull signals the global capacity bound rejected a push.
+	ErrQueueFull = errors.New("tenant: queue full")
+	// ErrQueueClosed signals a push after Close.
+	ErrQueueClosed = errors.New("tenant: queue closed")
+)
+
+// Queue is a weighted-deficit-round-robin multi-queue: one FIFO per
+// tenant, served in a round-robin of the tenants that currently have
+// work, each receiving a quantum of its weight per round. With unit
+// job cost this means a weight-3 tenant is dispatched 3 jobs for every
+// 1 of a weight-1 tenant while both have backlog — and exactly FIFO
+// when only one tenant is active, so a single-tenant server behaves
+// like the plain channel it replaces.
+//
+// The global capacity bound preserves the server's backpressure
+// contract (it is the old channel depth); per-tenant backlog shares
+// are enforced one layer up by the quota reservation (a tenant's
+// queued jobs hold quota slots), not here.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	capacity int // <= 0: unbounded
+	size     int
+	closed   bool
+
+	qs   map[string]*tenantFIFO[T]
+	ring []*tenantFIFO[T] // tenants with backlog, round-robin order
+	cur  int              // ring index currently holding the deficit
+}
+
+// tenantFIFO is one tenant's backlog plus its DRR deficit counter.
+type tenantFIFO[T any] struct {
+	id      string
+	weight  int
+	items   []T
+	head    int
+	deficit int
+	active  bool // member of Queue.ring
+}
+
+func (f *tenantFIFO[T]) len() int { return len(f.items) - f.head }
+
+func (f *tenantFIFO[T]) push(v T) {
+	// Compact the consumed prefix once it dominates the slice, keeping
+	// the deque amortized O(1) without unbounded growth.
+	if f.head > 32 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		for i := n; i < len(f.items); i++ {
+			var zero T
+			f.items[i] = zero
+		}
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	f.items = append(f.items, v)
+}
+
+func (f *tenantFIFO[T]) pop() T {
+	v := f.items[f.head]
+	var zero T
+	f.items[f.head] = zero
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	return v
+}
+
+// NewQueue builds a WDRR queue bounded at capacity items across all
+// tenants (<= 0 = unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	q := &Queue[T]{capacity: capacity, qs: make(map[string]*tenantFIFO[T])}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends v to tenantID's FIFO. weight is the tenant's WDRR
+// weight, captured per push so the queue needs no registry reference
+// (re-pushes of an existing backlog update it). Returns ErrQueueFull
+// at capacity and ErrQueueClosed after Close.
+func (q *Queue[T]) Push(tenantID string, weight int, v T) error {
+	return q.push(tenantID, weight, v, true)
+}
+
+// ForcePush is Push without the capacity check: recovery re-enqueues
+// journaled work that was already accepted, and accepted work is never
+// shed even when it exceeds the configured depth.
+func (q *Queue[T]) ForcePush(tenantID string, weight int, v T) error {
+	return q.push(tenantID, weight, v, false)
+}
+
+func (q *Queue[T]) push(tenantID string, weight int, v T, bounded bool) error {
+	if weight < 1 {
+		weight = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if bounded && q.capacity > 0 && q.size >= q.capacity {
+		return ErrQueueFull
+	}
+	f := q.qs[tenantID]
+	if f == nil {
+		f = &tenantFIFO[T]{id: tenantID, weight: weight}
+		q.qs[tenantID] = f
+	}
+	f.weight = weight
+	f.push(v)
+	if !f.active {
+		f.active = true
+		q.ring = append(q.ring, f)
+	}
+	q.size++
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available and returns the next item under
+// the WDRR discipline. It returns (zero, false) once the queue is
+// closed AND drained — the worker-pool exit condition, mirroring a
+// closed channel.
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.nonEmpty.Wait()
+	}
+	f := q.ring[q.cur]
+	if f.deficit <= 0 {
+		f.deficit = f.weight
+	}
+	v := f.pop()
+	f.deficit--
+	q.size--
+	switch {
+	case f.len() == 0:
+		// Exhausted: drop out of the round; any residual deficit is
+		// forfeited (a returning tenant starts a fresh quantum), which
+		// is what keeps an idle-then-bursty tenant from hoarding
+		// credit.
+		f.deficit = 0
+		f.active = false
+		q.ring = append(q.ring[:q.cur], q.ring[q.cur+1:]...)
+		if len(q.ring) == 0 {
+			q.cur = 0
+		} else {
+			q.cur %= len(q.ring)
+		}
+	case f.deficit == 0:
+		// Quantum spent: advance the round.
+		q.cur = (q.cur + 1) % len(q.ring)
+	}
+	return v, true
+}
+
+// Close stops admissions and wakes every blocked Pop. Items already
+// queued remain poppable; Pop returns false only when closed and
+// empty. Idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+// Len reports the total queued items across all tenants.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// TenantLen reports one tenant's backlog.
+func (q *Queue[T]) TenantLen(tenantID string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if f := q.qs[tenantID]; f != nil {
+		return f.len()
+	}
+	return 0
+}

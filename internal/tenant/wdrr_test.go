@@ -1,0 +1,211 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain pops n items, recording the tenant of each (items here are the
+// tenant IDs themselves).
+func drain(t *testing.T, q *Queue[string], n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue closed after %d pops, want %d", i, n)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestWDRRWeightedInterleave pins the exact dispatch pattern: with
+// backlogs for A (weight 3) and B (weight 1), each round serves AAAB.
+func TestWDRRWeightedInterleave(t *testing.T) {
+	q := NewQueue[string](0)
+	for i := 0; i < 9; i++ {
+		if err := q.Push("A", 3, "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Push("B", 1, "B"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(t, q, 12)
+	want := []string{"A", "A", "A", "B", "A", "A", "A", "B", "A", "A", "A", "B"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWDRRRatioUnderSustainedBacklog: keep both tenants permanently
+// backlogged and measure the served ratio over many rounds.
+func TestWDRRRatioUnderSustainedBacklog(t *testing.T) {
+	q := NewQueue[string](0)
+	for i := 0; i < 300; i++ {
+		_ = q.Push("A", 3, "A")
+		if i < 100 {
+			_ = q.Push("B", 1, "B")
+		}
+	}
+	counts := map[string]int{}
+	for _, id := range drain(t, q, 200) {
+		counts[id]++
+	}
+	ratio := float64(counts["A"]) / float64(counts["B"])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("served A:B = %d:%d (ratio %.2f), want ~3:1", counts["A"], counts["B"], ratio)
+	}
+}
+
+// TestWDRRSingleTenantIsFIFO: one active tenant degrades to plain FIFO
+// — the single-tenant server must behave like the channel it replaced.
+func TestWDRRSingleTenantIsFIFO(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 50; i++ {
+		if err := q.Push(DefaultTenant, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v), want FIFO order", i, v, ok)
+		}
+	}
+}
+
+// TestWDRRIdleTenantForfeitsDeficit: a tenant that drains its backlog
+// starts a fresh quantum when it returns — no hoarded credit.
+func TestWDRRIdleTenantForfeitsDeficit(t *testing.T) {
+	q := NewQueue[string](0)
+	_ = q.Push("A", 3, "A") // only one queued: quantum 3 mostly unused
+	_ = q.Push("B", 1, "B")
+	_ = drain(t, q, 2)
+	// A returns with a big backlog alongside B: pattern restarts AAAB.
+	for i := 0; i < 6; i++ {
+		_ = q.Push("A", 3, "A")
+	}
+	for i := 0; i < 2; i++ {
+		_ = q.Push("B", 1, "B")
+	}
+	got := drain(t, q, 8)
+	want := []string{"A", "A", "A", "B", "A", "A", "A", "B"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-idle order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueCapacityAndForcePush(t *testing.T) {
+	q := NewQueue[int](2)
+	if err := q.Push("a", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("b", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("a", 1, 3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push over capacity: err = %v, want ErrQueueFull", err)
+	}
+	// Recovery path: accepted work is never shed, even over capacity.
+	if err := q.ForcePush("a", 1, 3); err != nil {
+		t.Fatalf("ForcePush over capacity: %v", err)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+}
+
+func TestQueueCloseDrainsThenEnds(t *testing.T) {
+	q := NewQueue[int](0)
+	_ = q.Push("a", 1, 1)
+	_ = q.Push("a", 1, 2)
+	q.Close()
+	if err := q.Push("a", 1, 3); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close: err = %v, want ErrQueueClosed", err)
+	}
+	for want := 1; want <= 2; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = (%d, %v), want (%d, true): queued items survive Close", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on a closed drained queue returned an item")
+	}
+}
+
+// TestQueueCloseWakesBlockedPoppers: workers blocked in Pop on an empty
+// queue must exit when the queue closes (the shutdown handshake).
+func TestQueueCloseWakesBlockedPoppers(t *testing.T) {
+	q := NewQueue[int](0)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := q.Pop(); !ok {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Pop goroutines never woke after Close")
+	}
+}
+
+// TestQueueConcurrentPushPop exercises the lock discipline under -race.
+func TestQueueConcurrentPushPop(t *testing.T) {
+	q := NewQueue[int](0)
+	const per = 500
+	tenants := []string{"a", "b", "c"}
+	var pushers sync.WaitGroup
+	for ti, id := range tenants {
+		pushers.Add(1)
+		go func(ti int, id string) {
+			defer pushers.Done()
+			for i := 0; i < per; i++ {
+				_ = q.Push(id, ti+1, i)
+			}
+		}(ti, id)
+	}
+	var got sync.WaitGroup
+	total := per * len(tenants)
+	seen := make(chan int, total)
+	for w := 0; w < 4; w++ {
+		got.Add(1)
+		go func() {
+			defer got.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				seen <- v
+			}
+		}()
+	}
+	pushers.Wait()
+	q.Close()
+	got.Wait()
+	if len(seen) != total {
+		t.Fatalf("popped %d items, want %d", len(seen), total)
+	}
+}
