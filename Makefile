@@ -9,7 +9,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X dmw/internal/obs.Version=$(VERSION)"
 # BENCH_OUT is the archived benchmark document `make bench` emits; bump
 # the suffix when re-baselining after a performance PR.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 # BENCHTIME trades precision for runtime; 0.2s is enough for the
 # crypto-level series to stabilize on an idle machine.
 BENCHTIME ?= 0.2s
@@ -17,11 +17,15 @@ BENCHTIME ?= 0.2s
 # flight (b.N >> total workers) to reach windowed steady state, or the
 # jobs/sec figure measures ramp-up instead of throughput.
 GATEWAY_BENCHTIME ?= 2s
+# SERVER_BENCHTIME covers the dmwd throughput series for the same
+# reason: the crypto-bound shapes run close to a second per job, so the
+# default BENCHTIME would archive a single-iteration (ramp-up) figure.
+SERVER_BENCHTIME ?= 3s
 # FUZZTIME bounds each fuzzer in fuzz-smoke; long campaigns are run
 # manually with `go test -fuzz <Target> <pkg>`.
 FUZZTIME ?= 3s
 
-.PHONY: all build bin vet test test-race test-server e2e-shard e2e-tenant obs-smoke bench bench-smoke bench-server bench-gateway fuzz-smoke ci
+.PHONY: all build bin vet test test-race test-server e2e-shard e2e-tenant obs-smoke bench bench-crypto bench-smoke bench-server bench-gateway allocs-gate fuzz-smoke ci
 
 all: build vet test
 
@@ -90,9 +94,26 @@ bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	( $(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
 		./internal/group ./internal/commit ./internal/journal ./internal/tenant && \
-	  $(GO) test -run xxx -bench 'Table1|ServerThroughput|MinWork' -benchmem -benchtime $(BENCHTIME) . && \
+	  $(GO) test -run xxx -bench 'Table1|MinWork' -benchmem -benchtime $(BENCHTIME) . && \
+	  $(GO) test -run xxx -bench ServerThroughput -benchmem -benchtime $(SERVER_BENCHTIME) . && \
 	  $(GO) test -run xxx -bench GatewayThroughput -benchtime $(GATEWAY_BENCHTIME) . \
 	) | ./bin/benchjson -out $(BENCH_OUT)
+
+# bench-crypto runs only the cryptographic inner loops (group + commit)
+# with allocation reporting — the fast iteration loop when working on
+# the Montgomery engine, the multi-exp planner, or the batched
+# verifier. benchjson archives allocs/op alongside ns/op, so a saved
+# run doubles as an allocation baseline.
+bench-crypto:
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./internal/group ./internal/commit
+
+# allocs-gate enforces the allocation budgets on the hot paths (batched
+# share verification, wire codec). Runs WITHOUT -race: the race
+# detector's instrumentation allocates, so the budget tests skip
+# themselves under it (see race_on_test.go in each package). CI runs
+# this on every push, next to the e2e and smoke gates.
+allocs-gate:
+	$(GO) test -run 'TestAllocBudget' -count=1 -v ./internal/commit ./internal/wire
 
 # bench-smoke compiles and runs every benchmark exactly once so the
 # benchmark code cannot bit-rot; CI runs this on every push. The root
@@ -117,4 +138,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
 	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
 
-ci: build vet test-race e2e-shard e2e-tenant obs-smoke bench-smoke fuzz-smoke
+ci: build vet test-race e2e-shard e2e-tenant obs-smoke allocs-gate bench-smoke fuzz-smoke

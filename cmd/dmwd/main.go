@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dmwd [-addr :7700] [-preset Demo128 | -params file.json]
+//	     [-params-cache tables.tbl]
 //	     [-queue 64] [-workers n] [-auction-parallel k]
 //	     [-ttl 15m] [-max-n 64] [-max-m 64] [-q]
 //	     [-data-dir dir] [-fsync always|interval|never]
@@ -92,6 +93,8 @@ func run() error {
 		snapEvery = flag.Int("snapshot-every", 1024, "WAL appends between snapshot compactions (-1 disables)")
 
 		tenantsFile = flag.String("tenants", "", "per-tenant limits JSON (rate/burst/quota/weight); empty = single unlimited default tenant; see docs/TENANCY.md")
+
+		paramsCache = flag.String("params-cache", "", "warm precompute tables artifact (dmwparams -tables, or GET /v1/params-cache from a peer); loaded at boot, rebuilt and rewritten if missing or invalid; see docs/PERFORMANCE.md")
 	)
 	flag.Parse()
 
@@ -120,6 +123,7 @@ func run() error {
 		Fsync:              *fsync,
 		FsyncInterval:      *fsyncInt,
 		SnapshotEvery:      *snapEvery,
+		ParamsCache:        *paramsCache,
 	}
 	if *pfile != "" {
 		params, err := group.ResolveParams(*pfile, "", func(path string) (io.ReadCloser, error) {

@@ -3,16 +3,26 @@
 // share (the paper's Phase I publication). For reproducible experiments
 // use the built-in presets instead.
 //
+// With -tables it additionally emits the warm precompute artifact (the
+// serialized fixed-base and joint tables, see docs/PERFORMANCE.md):
+// dmwd boots with -params-cache pointed at that file and skips the
+// cold-start table build entirely.
+//
 // Usage:
 //
-//	dmwparams -bits 512 -out params.json
+//	dmwparams -bits 512 -out params.json -tables params.tbl
+//	dmwparams -preset Demo128 -tables demo.tbl
+//	dmwparams -in params.json -tables params.tbl
 //	dmwnode -params params.json ...
+//	dmwd -params params.json -params-cache params.tbl ...
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"dmw/internal/group"
 )
@@ -26,29 +36,69 @@ func main() {
 
 func run() error {
 	var (
-		pBits = flag.Int("bits", 512, "modulus size in bits")
-		qBits = flag.Int("qbits", 0, "subgroup order size in bits (default bits-8)")
-		out   = flag.String("out", "", "output file (default stdout)")
+		pBits  = flag.Int("bits", 512, "modulus size in bits")
+		qBits  = flag.Int("qbits", 0, "subgroup order size in bits (default bits-8)")
+		out    = flag.String("out", "", "output file (default stdout)")
+		in     = flag.String("in", "", "read parameters from this JSON file instead of generating")
+		preset = flag.String("preset", "", "use a built-in preset instead of generating")
+		tables = flag.String("tables", "", "also write the warm precompute tables artifact here (dmwd -params-cache)")
 	)
 	flag.Parse()
 
-	pr, err := group.Generate(*pBits, *qBits, nil)
+	var pr *group.Params
+	var err error
+	generated := false
+	if *in != "" || *preset != "" {
+		pr, err = group.ResolveParams(*in, *preset, func(path string) (io.ReadCloser, error) {
+			return os.Open(path)
+		})
+	} else {
+		pr, err = group.Generate(*pBits, *qBits, nil)
+		generated = true
+	}
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	// Emit the JSON parameters only when they are new (generated) or an
+	// explicit -out asks for them: -preset/-in plus -tables is the
+	// "just build me the artifact" mode and should not spray JSON at
+	// stdout.
+	if generated || *out != "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := group.SaveParams(w, pr); err != nil {
+			return err
+		}
+	}
+	if generated {
+		fmt.Fprintf(os.Stderr, "dmwparams: generated %d-bit parameters (q: %d bits)\n",
+			pr.P.BitLen(), pr.Q.BitLen())
+	}
+	if *tables != "" {
+		g, err := group.New(pr)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		f, err := os.Create(*tables)
+		if err != nil {
+			return err
+		}
+		if err := group.SaveTables(f, g); err != nil {
+			f.Close()
+			return fmt.Errorf("writing tables artifact: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dmwparams: wrote warm tables artifact to %s (built in %s)\n",
+			*tables, g.TableBuildTime().Round(time.Millisecond))
 	}
-	if err := group.SaveParams(w, pr); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "dmwparams: generated %d-bit parameters (q: %d bits)\n",
-		pr.P.BitLen(), pr.Q.BitLen())
 	return nil
 }

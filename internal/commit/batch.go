@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -68,6 +69,40 @@ func (e *VerifyError) Error() string {
 
 func (e *VerifyError) Unwrap() error { return e.Err }
 
+// Request is one receiver's share-verification batch: the unit the
+// cross-job Coalescer aggregates. AlphaPowers must be PowersOf for the
+// receiver's own pseudonym (reduced mod q); Rng supplies the batching
+// coefficients (the caller's per-agent deterministic stream in
+// simulations; nil means crypto/rand).
+type Request struct {
+	AlphaPowers []*big.Int
+	Items       []BatchItem
+	Rng         io.Reader
+}
+
+// terms is the number of multi-exp terms the request contributes to a
+// combined right-hand side.
+func (r Request) terms() int { return 3 * len(r.AlphaPowers) * len(r.Items) }
+
+// validate runs the structural pass: batching only makes sense over
+// well-formed inputs, and structural failures must be attributed
+// immediately (before any coefficient is drawn).
+func (r Request) validate() *VerifyError {
+	sigma := len(r.AlphaPowers)
+	for _, it := range r.Items {
+		if err := it.C.Validate(); err != nil {
+			return &VerifyError{Sender: it.Sender, Err: err}
+		}
+		if it.C.Sigma() != sigma {
+			return &VerifyError{Sender: it.Sender, Err: fmt.Errorf("commit: sigma %d != %d powers", it.C.Sigma(), sigma)}
+		}
+		if it.S.E == nil || it.S.F == nil || it.S.G == nil || it.S.H == nil {
+			return &VerifyError{Sender: it.Sender, Err: errors.New("commit: incomplete share")}
+		}
+	}
+	return nil
+}
+
 // BatchVerifyShares checks equations (7)-(9) for every item with a single
 // random-linear-combination identity. alphaPowers must be PowersOf for
 // the receiver's own pseudonym; rng supplies the batching coefficients
@@ -81,69 +116,15 @@ func BatchVerifyShares(g *group.Group, alphaPowers []*big.Int, items []BatchItem
 	if len(items) == 0 {
 		return nil
 	}
-	if rng == nil {
-		rng = cryptorand.Reader
+	req := Request{AlphaPowers: alphaPowers, Items: items, Rng: rng}
+	if verr := req.validate(); verr != nil {
+		return verr
 	}
-	sigma := len(alphaPowers)
-	// Structural pass first: batching only makes sense over well-formed
-	// inputs, and structural failures must be attributed immediately.
-	for _, it := range items {
-		if err := it.C.Validate(); err != nil {
-			return &VerifyError{Sender: it.Sender, Err: err}
-		}
-		if it.C.Sigma() != sigma {
-			return &VerifyError{Sender: it.Sender, Err: fmt.Errorf("commit: sigma %d != %d powers", it.C.Sigma(), sigma)}
-		}
-		if it.S.E == nil || it.S.F == nil || it.S.G == nil || it.S.H == nil {
-			return &VerifyError{Sender: it.Sender, Err: errors.New("commit: incomplete share")}
-		}
-	}
-
-	f := g.Scalars()
-	nTerms := 3 * sigma * len(items)
-	bases := make([]*big.Int, 0, nTerms)
-	exps := make([]*big.Int, 0, nTerms)
-	a := new(big.Int) // z1 exponent aggregate, mod q
-	b := new(big.Int) // z2 exponent aggregate, mod q
-	for _, it := range items {
-		r7, err := randCoeff(rng)
-		if err != nil {
-			return fmt.Errorf("commit: drawing batch coefficient: %w", err)
-		}
-		r8, err := randCoeff(rng)
-		if err != nil {
-			return fmt.Errorf("commit: drawing batch coefficient: %w", err)
-		}
-		r9, err := randCoeff(rng)
-		if err != nil {
-			return fmt.Errorf("commit: drawing batch coefficient: %w", err)
-		}
-
-		// Left-hand side aggregates, reduced mod q (z1, z2 have order q).
-		// A += r7*e*f + r8*e + r9*f ; B += r7*g + (r8+r9)*h.
-		a = f.Add(a, f.Mul(r7, f.Mul(it.S.E, it.S.F)))
-		a = f.Add(a, f.Mul(r8, it.S.E))
-		a = f.Add(a, f.Mul(r9, it.S.F))
-		b = f.Add(b, f.Mul(r7, it.S.G))
-		b = f.Add(b, f.Mul(f.Add(r8, r9), it.S.H))
-
-		// Right-hand side terms with unreduced integer exponents r*alpha^l.
-		for l := 0; l < sigma; l++ {
-			ap := alphaPowers[l]
-			bases = append(bases, it.C.O[l], it.C.Q[l], it.C.R[l])
-			exps = append(exps,
-				new(big.Int).Mul(r7, ap),
-				new(big.Int).Mul(r8, ap),
-				new(big.Int).Mul(r9, ap))
-		}
-	}
-
-	lhs := g.Commit(a, b)
-	rhs, err := g.MultiExpNoReduce(bases, exps)
+	ok, err := combinedCheck(g, []Request{req})
 	if err != nil {
-		return fmt.Errorf("commit: %w", err)
+		return err
 	}
-	if g.Equal(lhs, rhs) {
+	if ok {
 		return nil
 	}
 
@@ -159,6 +140,138 @@ func BatchVerifyShares(g *group.Group, alphaPowers []*big.Int, items []BatchItem
 	// error fired in reverse, which it cannot (deviations of 1 combine to
 	// an exact identity); kept as a defensive belt.
 	return errors.New("commit: batch verification failed but no individual share failed")
+}
+
+// combinedCheck evaluates the random-linear-combination identity over
+// every item of every request in ONE Commit + one MultiExpNoReduce pass
+// and reports whether it held. Requests must be pre-validated. Combining
+// requests is sound because every item draws fresh independent
+// coefficients: the combined identity is exactly the identity of the
+// concatenated item list, and different receivers' alphaPowers simply
+// parameterize their own items' exponents.
+func combinedCheck(g *group.Group, reqs []Request) (bool, error) {
+	total := 0
+	for _, r := range reqs {
+		total += r.terms()
+	}
+	acc := rlcAcc{
+		bases: make([]*big.Int, 0, total),
+		exps:  make([]*big.Int, 0, total),
+	}
+	for _, r := range reqs {
+		if err := acc.appendRequest(r); err != nil {
+			return false, err
+		}
+	}
+	lhs := g.Commit(&acc.a, &acc.b)
+	rhs, err := g.MultiExpNoReduce(acc.bases, acc.exps)
+	if err != nil {
+		return false, fmt.Errorf("commit: %w", err)
+	}
+	return g.Equal(lhs, rhs), nil
+}
+
+// coeffWords is the word footprint of a batching coefficient.
+const coeffWords = (batchCoeffBits + bits.UintSize - 1) / bits.UintSize
+
+// rlcAcc accumulates the two sides of the combined identity. The LHS
+// exponent aggregates a, b grow unreduced (Commit reduces mod q at the
+// end, which preserves the identity because z1, z2 have order q); the
+// RHS exponents r*alpha^l are plain integers (see the soundness note at
+// the top of the file). To keep the hot path allocation-free, the RHS
+// exponent big.Ints are carved out of two per-request slabs: a header
+// slab and a word slab sliced with enough capacity that Mul never
+// reallocates.
+type rlcAcc struct {
+	a, b       big.Int // unreduced LHS exponent aggregates
+	bases      []*big.Int
+	exps       []*big.Int
+	r7, r8, r9 big.Int // current item's coefficients (backing reused)
+	t1, t2     big.Int // product staging
+	buf        [batchCoeffBits / 8]byte
+}
+
+// appendRequest draws coefficients for every item of req and appends its
+// terms to the accumulator. The coefficient draw order (r7, r8, r9 per
+// item, 8 bytes each) is part of the simulation's determinism contract.
+func (acc *rlcAcc) appendRequest(req Request) error {
+	rng := req.Rng
+	if rng == nil {
+		rng = cryptorand.Reader
+	}
+	sigma := len(req.AlphaPowers)
+	stride := coeffWords
+	for _, ap := range req.AlphaPowers {
+		if w := len(ap.Bits()) + coeffWords; w > stride {
+			stride = w
+		}
+	}
+	nTerms := req.terms()
+	hdrs := make([]big.Int, nTerms)
+	words := make([]big.Word, nTerms*stride)
+	idx := 0
+	for _, it := range req.Items {
+		if err := acc.drawCoeff(rng, &acc.r7); err != nil {
+			return err
+		}
+		if err := acc.drawCoeff(rng, &acc.r8); err != nil {
+			return err
+		}
+		if err := acc.drawCoeff(rng, &acc.r9); err != nil {
+			return err
+		}
+
+		// A += r7*e*f + r8*e + r9*f ; B += r7*g + (r8+r9)*h.
+		t1 := &acc.t1
+		t1.Mul(it.S.E, it.S.F)
+		t1.Mul(t1, &acc.r7)
+		acc.a.Add(&acc.a, t1)
+		t1.Mul(&acc.r8, it.S.E)
+		acc.a.Add(&acc.a, t1)
+		t1.Mul(&acc.r9, it.S.F)
+		acc.a.Add(&acc.a, t1)
+		t1.Mul(&acc.r7, it.S.G)
+		acc.b.Add(&acc.b, t1)
+		acc.t2.Add(&acc.r8, &acc.r9)
+		t1.Mul(&acc.t2, it.S.H)
+		acc.b.Add(&acc.b, t1)
+
+		// Right-hand side terms with unreduced integer exponents r*alpha^l.
+		for l := 0; l < sigma; l++ {
+			ap := req.AlphaPowers[l]
+			for _, term := range [3]struct {
+				r    *big.Int
+				base *big.Int
+			}{
+				{&acc.r7, it.C.O[l]},
+				{&acc.r8, it.C.Q[l]},
+				{&acc.r9, it.C.R[l]},
+			} {
+				e := &hdrs[idx]
+				bw := words[idx*stride : idx*stride+1 : (idx+1)*stride]
+				bw[0] = 1 // non-zero so SetBits keeps the capacity
+				e.SetBits(bw)
+				e.Mul(term.r, ap)
+				acc.bases = append(acc.bases, term.base)
+				acc.exps = append(acc.exps, e)
+				idx++
+			}
+		}
+	}
+	return nil
+}
+
+// drawCoeff draws a uniform batchCoeffBits-bit nonzero coefficient into
+// r, reusing r's backing words.
+func (acc *rlcAcc) drawCoeff(rng io.Reader, r *big.Int) error {
+	if _, err := io.ReadFull(rng, acc.buf[:]); err != nil {
+		return fmt.Errorf("commit: drawing batch coefficient: %w", err)
+	}
+	r.SetBytes(acc.buf[:])
+	if r.Sign() == 0 {
+		r.SetInt64(1) // zero would null a sender's contribution
+	}
+	return nil
 }
 
 // verifyEach runs VerifyShare for every item with at most GOMAXPROCS
@@ -197,15 +310,3 @@ func verifyEach(g *group.Group, alphaPowers []*big.Int, items []BatchItem) *Veri
 	return nil
 }
 
-// randCoeff draws a uniform batchCoeffBits-bit nonzero coefficient.
-func randCoeff(rng io.Reader) (*big.Int, error) {
-	buf := make([]byte, batchCoeffBits/8)
-	if _, err := io.ReadFull(rng, buf); err != nil {
-		return nil, err
-	}
-	r := new(big.Int).SetBytes(buf)
-	if r.Sign() == 0 {
-		r.SetInt64(1) // zero would null a sender's contribution
-	}
-	return r, nil
-}

@@ -1,0 +1,167 @@
+package commit
+
+import (
+	"io"
+	"math/big"
+	"sync"
+	"time"
+
+	"dmw/internal/group"
+)
+
+// This file implements the fleet-wide verifier tier: coalescing share
+// verifications from CONCURRENT receivers — across auctions and across
+// jobs on the same group — into one combined random-linear-combination
+// pass. Within a job, the n receivers of a round verify nearly
+// simultaneously (rounds are barrier-synchronized), and a loaded worker
+// pool runs many such jobs at once; each combined pass replaces up to
+// maxTerms worth of independent Commit + MultiExp evaluations with one.
+//
+// Soundness is inherited from BatchVerifyShares: every item draws fresh
+// independent coefficients from its own request's rng, so the combined
+// identity is exactly the single-batch identity over the concatenated
+// item list (different receivers' alphaPowers merely parameterize their
+// own items' exponents), and a cheating sender escapes with probability
+// ~2^-64 regardless of how many requests share the pass.
+//
+// Attribution is NOT weakened by coalescing: when a combined pass
+// fails, every member request is re-verified independently via
+// BatchVerifyShares, which falls back to per-sender checks — so the
+// guilty agent is named by its own receiver and honest jobs in the same
+// pass see nil, exactly as if they had never shared a batch. The
+// wrong-job-blamed failure mode is pinned by TestCoalescerGuiltyJobIsolation.
+
+// Default coalescing bounds: the window is the longest a first arriver
+// waits for company (well under a round-trip even on loopback, so
+// single-job latency doesn't regress measurably), and maxTerms caps one
+// combined MultiExp so a pathological pileup cannot build an unbounded
+// exponent table.
+const (
+	DefaultCoalesceWindow = 200 * time.Microsecond
+	DefaultMaxBatchTerms  = 4096
+)
+
+// Coalescer aggregates share-verification requests from concurrent
+// goroutines into combined passes. It is leader-based and owns no
+// resident goroutine: the first arriver of an idle period becomes the
+// leader, sleeps the coalesce window, then drains and verifies whatever
+// accumulated (including later arrivals' requests) while the members
+// block on their reply channels. A Coalescer is safe for concurrent use
+// and needs no shutdown.
+type Coalescer struct {
+	g        *group.Group
+	window   time.Duration
+	maxTerms int
+	observe  func(items int) // per combined pass: coalesced item count
+
+	mu      sync.Mutex
+	pending []*pendingReq
+	leader  bool
+}
+
+type pendingReq struct {
+	req  Request
+	done chan error
+}
+
+// NewCoalescer builds a coalescer over g. window <= 0 and maxTerms <= 0
+// select the defaults; observe (optional) is called once per combined
+// pass with the number of share items it covered, for the
+// dmwd_verify_batch_size histogram.
+func NewCoalescer(g *group.Group, window time.Duration, maxTerms int, observe func(items int)) *Coalescer {
+	if window <= 0 {
+		window = DefaultCoalesceWindow
+	}
+	if maxTerms <= 0 {
+		maxTerms = DefaultMaxBatchTerms
+	}
+	return &Coalescer{g: g, window: window, maxTerms: maxTerms, observe: observe}
+}
+
+// Group returns the group every request must have been built over.
+func (c *Coalescer) Group() *group.Group { return c.g }
+
+// VerifyShares is the coalescing equivalent of BatchVerifyShares: same
+// arguments, same results (nil acceptance, *VerifyError attribution,
+// first-failure semantics), but the combined pass may span other
+// goroutines' concurrent requests. The call blocks for at most the
+// coalesce window plus the combined verification itself. rng, when
+// non-nil, must not be used by the caller until the call returns (the
+// pass leader draws this request's coefficients from it).
+func (c *Coalescer) VerifyShares(alphaPowers []*big.Int, items []BatchItem, rng io.Reader) error {
+	if len(items) == 0 {
+		return nil
+	}
+	req := Request{AlphaPowers: alphaPowers, Items: items, Rng: rng}
+	// Structural failures are attributed immediately and never join a
+	// combined pass.
+	if verr := req.validate(); verr != nil {
+		return verr
+	}
+	p := &pendingReq{req: req, done: make(chan error, 1)}
+	c.mu.Lock()
+	c.pending = append(c.pending, p)
+	if c.leader {
+		c.mu.Unlock()
+		return <-p.done
+	}
+	c.leader = true
+	c.mu.Unlock()
+
+	time.Sleep(c.window)
+	c.mu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.leader = false
+	c.mu.Unlock()
+	c.flush(batch)
+	return <-p.done
+}
+
+// flush verifies a drained batch in maxTerms-bounded chunks. A single
+// oversized request still runs (as its own chunk); the bound only stops
+// chunks from growing past it.
+func (c *Coalescer) flush(batch []*pendingReq) {
+	for len(batch) > 0 {
+		n := 1
+		terms := batch[0].req.terms()
+		for n < len(batch) && terms+batch[n].req.terms() <= c.maxTerms {
+			terms += batch[n].req.terms()
+			n++
+		}
+		c.verifyChunk(batch[:n])
+		batch = batch[n:]
+	}
+}
+
+func (c *Coalescer) verifyChunk(chunk []*pendingReq) {
+	if c.observe != nil {
+		items := 0
+		for _, p := range chunk {
+			items += len(p.req.Items)
+		}
+		c.observe(items)
+	}
+	if len(chunk) == 1 {
+		p := chunk[0]
+		p.done <- BatchVerifyShares(c.g, p.req.AlphaPowers, p.req.Items, p.req.Rng)
+		return
+	}
+	reqs := make([]Request, len(chunk))
+	for i, p := range chunk {
+		reqs[i] = p.req
+	}
+	if ok, err := combinedCheck(c.g, reqs); ok && err == nil {
+		for _, p := range chunk {
+			p.done <- nil
+		}
+		return
+	}
+	// The combined pass rejected (some request holds a bad share) or a
+	// request's rng failed mid-draw. Either way, re-verify every member
+	// independently: honest jobs get nil, the guilty job gets its own
+	// *VerifyError (or its rng error) — no cross-job blame.
+	for _, p := range chunk {
+		p.done <- BatchVerifyShares(c.g, p.req.AlphaPowers, p.req.Items, p.req.Rng)
+	}
+}

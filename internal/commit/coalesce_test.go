@@ -1,0 +1,267 @@
+package commit
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pendingCount peeks at the coalescer's queue so tests can arrange a
+// DETERMINISTIC coalesced pass: start the leader, wait until it has
+// registered, add the other jobs, then let the window expire with all
+// of them queued.
+func (c *Coalescer) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+func waitPending(t *testing.T, c *Coalescer, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.pendingCount() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d pending requests (have %d)", want, c.pendingCount())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// coalesceFixture runs every receiver's verification through one
+// coalescer in a single combined pass (window long enough that all
+// jobs join before the leader drains) and returns the per-receiver
+// errors plus the observed per-pass item counts.
+func coalesceFixture(t *testing.T, c *Coalescer, jobs [][]BatchItem, powers [][]*big.Int) []error {
+	t.Helper()
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		// The first goroutine becomes the pass leader; give it time to
+		// register before launching the rest so the combined pass
+		// deterministically covers every job.
+		if i == 1 {
+			waitPending(t, c, 1)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.VerifyShares(powers[i], jobs[i], rand.New(rand.NewSource(int64(1000+i))))
+		}(i)
+	}
+	waitPending(t, c, len(jobs))
+	wg.Wait()
+	return errs
+}
+
+// TestCoalescerGuiltyJobIsolation is the cross-job attribution pin: a
+// combined pass mixing ONE corrupt job among honest ones must fail only
+// the corrupt job, name that job's guilty sender, and hand every honest
+// job a clean nil — coalescing never spreads blame across jobs.
+func TestCoalescerGuiltyJobIsolation(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	encs, comms := buildAll(t, g, cfg, []int{2, 1, 3, 4, 2, 3, 1, 4})
+	sigma := cfg.Sigma()
+	const corrupt, guilty = 3, 6
+
+	jobs := make([][]BatchItem, len(alphas))
+	powers := make([][]*big.Int, len(alphas))
+	for i, alpha := range alphas {
+		powers[i] = PowersOf(g.Scalars(), alpha, sigma)
+		jobs[i] = batchItems(t, encs, comms, alpha, i)
+	}
+	for idx, it := range jobs[corrupt] {
+		if it.Sender != guilty {
+			continue
+		}
+		s := it.S.Clone()
+		s.E.Add(s.E, big.NewInt(1))
+		jobs[corrupt][idx].S = s
+	}
+
+	var passes, items int
+	c := NewCoalescer(g, 300*time.Millisecond, 0, func(n int) { passes++; items += n })
+	errs := coalesceFixture(t, c, jobs, powers)
+
+	for i, err := range errs {
+		if i == corrupt {
+			var verr *VerifyError
+			if !errors.As(err, &verr) {
+				t.Fatalf("corrupt job %d: error = %v, want *VerifyError", i, err)
+			}
+			if verr.Sender != guilty {
+				t.Errorf("corrupt job blames sender %d, want %d", verr.Sender, guilty)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("honest job %d failed: %v (cross-job blame)", i, err)
+		}
+	}
+	// The scenario only means something if the jobs actually shared a
+	// pass: one combined pass over every job's items.
+	if passes != 1 {
+		t.Fatalf("jobs ran in %d passes, want 1 combined pass", passes)
+	}
+	wantItems := 0
+	for _, j := range jobs {
+		wantItems += len(j)
+	}
+	if items != wantItems {
+		t.Errorf("observed %d items, want %d", items, wantItems)
+	}
+}
+
+// TestCoalescerHonestCombinedPass: all-honest jobs coalesce into one
+// pass and all accept.
+func TestCoalescerHonestCombinedPass(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	encs, comms := buildAll(t, g, cfg, []int{2, 1, 3, 4, 2, 3, 1, 4})
+	sigma := cfg.Sigma()
+
+	jobs := make([][]BatchItem, len(alphas))
+	powers := make([][]*big.Int, len(alphas))
+	for i, alpha := range alphas {
+		powers[i] = PowersOf(g.Scalars(), alpha, sigma)
+		jobs[i] = batchItems(t, encs, comms, alpha, i)
+	}
+	var passes int
+	c := NewCoalescer(g, 300*time.Millisecond, 0, func(int) { passes++ })
+	for i, err := range coalesceFixture(t, c, jobs, powers) {
+		if err != nil {
+			t.Errorf("honest job %d rejected: %v", i, err)
+		}
+	}
+	if passes != 1 {
+		t.Errorf("honest jobs ran in %d passes, want 1", passes)
+	}
+}
+
+// TestCoalescerChunkingRespectsMaxTerms: with maxTerms forcing one
+// request per chunk, a drained batch still verifies every job
+// correctly — the bound changes grouping, never verdicts.
+func TestCoalescerChunkingRespectsMaxTerms(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	encs, comms := buildAll(t, g, cfg, []int{2, 1, 3, 4, 2, 3, 1, 4})
+	sigma := cfg.Sigma()
+
+	jobs := make([][]BatchItem, len(alphas))
+	powers := make([][]*big.Int, len(alphas))
+	for i, alpha := range alphas {
+		powers[i] = PowersOf(g.Scalars(), alpha, sigma)
+		jobs[i] = batchItems(t, encs, comms, alpha, i)
+	}
+	perJobTerms := 3 * sigma * len(jobs[0])
+	var passes int
+	c := NewCoalescer(g, 300*time.Millisecond, perJobTerms, func(int) { passes++ })
+	for i, err := range coalesceFixture(t, c, jobs, powers) {
+		if err != nil {
+			t.Errorf("job %d rejected: %v", i, err)
+		}
+	}
+	if passes != len(jobs) {
+		t.Errorf("ran %d passes, want %d (maxTerms forces one request per chunk)", passes, len(jobs))
+	}
+}
+
+// TestCoalescerStructuralErrorImmediate: malformed input is attributed
+// before joining any pass — no window wait, no combined check.
+func TestCoalescerStructuralErrorImmediate(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	encs, comms := buildAll(t, g, cfg, []int{2, 1, 3, 4, 2, 3, 1, 4})
+	sigma := cfg.Sigma()
+	pw := PowersOf(g.Scalars(), alphas[0], sigma)
+	items := batchItems(t, encs, comms, alphas[0], 0)
+	s := items[2].S.Clone()
+	s.G = nil
+	items[2].S = s
+
+	c := NewCoalescer(g, time.Hour, 0, nil) // a window this long would hang the test if waited on
+	start := time.Now()
+	err := c.VerifyShares(pw, items, rand.New(rand.NewSource(1)))
+	var verr *VerifyError
+	if !errors.As(err, &verr) || verr.Sender != items[2].Sender {
+		t.Fatalf("error = %v, want *VerifyError for sender %d", err, items[2].Sender)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Error("structural error waited for the coalesce window")
+	}
+	if c.pendingCount() != 0 {
+		t.Error("structural error joined the pending queue")
+	}
+}
+
+// TestCoalescerEmptyItems: nothing to verify accepts immediately.
+func TestCoalescerEmptyItems(t *testing.T) {
+	g, _, _ := testSetup(t)
+	c := NewCoalescer(g, time.Hour, 0, nil)
+	if err := c.VerifyShares(nil, nil, rand.New(rand.NewSource(1))); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoalescerMatchesBatchVerdicts: a solo pass (no concurrent
+// company) must agree exactly with BatchVerifyShares, including the
+// attributed sender and equation error on tampered input.
+func TestCoalescerMatchesBatchVerdicts(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	encs, comms := buildAll(t, g, cfg, []int{2, 1, 3, 4, 2, 3, 1, 4})
+	sigma := cfg.Sigma()
+	pw := PowersOf(g.Scalars(), alphas[0], sigma)
+	items := batchItems(t, encs, comms, alphas[0], 0)
+	const guilty = 5
+	for idx := range items {
+		if items[idx].Sender != guilty {
+			continue
+		}
+		ctam := items[idx].C.Clone()
+		ctam.O[1] = g.Mul(ctam.O[1], g.Params().Z1)
+		items[idx].C = ctam
+	}
+
+	want := BatchVerifyShares(g, pw, items, rand.New(rand.NewSource(3)))
+	c := NewCoalescer(g, time.Millisecond, 0, nil)
+	got := c.VerifyShares(pw, items, rand.New(rand.NewSource(3)))
+
+	var wantV, gotV *VerifyError
+	if !errors.As(want, &wantV) || !errors.As(got, &gotV) {
+		t.Fatalf("want %v, got %v — both should be *VerifyError", want, got)
+	}
+	if gotV.Sender != wantV.Sender || !errors.Is(got, wantV.Err) {
+		t.Errorf("coalesced verdict (%d, %v) differs from batch verdict (%d, %v)",
+			gotV.Sender, gotV.Err, wantV.Sender, wantV.Err)
+	}
+}
+
+// TestCoalescerConcurrentStress drives many rounds of concurrent
+// requests through default-sized windows; run under -race this pins
+// the leader/member handoff. Verdict correctness is covered above —
+// here every job is honest and must accept.
+func TestCoalescerConcurrentStress(t *testing.T) {
+	g, cfg, alphas := testSetup(t)
+	encs, comms := buildAll(t, g, cfg, []int{2, 1, 3, 4, 2, 3, 1, 4})
+	sigma := cfg.Sigma()
+	c := NewCoalescer(g, 0, 0, func(int) {}) // default window/bounds
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(alphas)*3)
+	for round := 0; round < 3; round++ {
+		for i, alpha := range alphas {
+			pw := PowersOf(g.Scalars(), alpha, sigma)
+			items := batchItems(t, encs, comms, alpha, i)
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				errs[slot] = c.VerifyShares(pw, items, rand.New(rand.NewSource(int64(slot))))
+			}(round*len(alphas) + i)
+		}
+	}
+	wg.Wait()
+	for slot, err := range errs {
+		if err != nil {
+			t.Errorf("slot %d: %v", slot, err)
+		}
+	}
+}

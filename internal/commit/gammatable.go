@@ -4,9 +4,60 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"dmw/internal/group"
 )
+
+// gammaKey identifies one Gamma value by pseudonym index and the exact
+// commitments OBJECT it was computed from. Keying on object identity —
+// not agent index — is what keeps cross-agent sharing sound: receivers
+// that hold the same broadcast *Commitments share the cached value,
+// while an equivocating sender that handed receivers different objects
+// gets a separate (honestly computed) entry per object, preserving
+// per-receiver verification semantics exactly.
+type gammaKey struct {
+	k int
+	c *Commitments
+}
+
+// SharedGammaCache amortizes Gamma_{k,l} evaluations across the agents
+// of one auction: every honest receiver evaluates the same public
+// commitments at the same public pseudonyms, so without sharing the
+// n agents compute an identical n×n table n times over — the dominant
+// O(n²σ) verification cost repeated per agent. The cache is safe for
+// concurrent use; cached values are immutable by the package-wide
+// read-only contract on group elements.
+//
+// Sharing changes no verdict and no value, only who computes it, so
+// runs that meter per-agent work (RunConfig.CountOps) must simply not
+// attach a cache — mirroring how the coalescing Verifier is dropped.
+type SharedGammaCache struct {
+	mu   sync.Mutex
+	vals map[gammaKey]*big.Int
+}
+
+// NewSharedGammaCache returns an empty cache, typically one per
+// auction task.
+func NewSharedGammaCache() *SharedGammaCache {
+	return &SharedGammaCache{vals: make(map[gammaKey]*big.Int)}
+}
+
+func (s *SharedGammaCache) lookup(k int, c *Commitments) (*big.Int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vals[gammaKey{k, c}]
+	return v, ok
+}
+
+// store publishes a computed value. Two agents racing to compute the
+// same entry both computed the same immutable value, so last-write-wins
+// is harmless.
+func (s *SharedGammaCache) store(k int, c *Commitments, v *big.Int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[gammaKey{k, c}] = v
+}
 
 // GammaTable lazily caches the Gamma_{k,l} evaluations (equation (8)'s
 // right-hand side: agent l's Q-commitments evaluated at pseudonym k).
@@ -22,7 +73,16 @@ type GammaTable struct {
 	powers [][]*big.Int // powers[k] = PowersOf(alpha_k, sigma)
 	comms  []*Commitments
 	vals   [][]*big.Int // vals[k][l], nil until computed
+	// shared, when set via UseShared, consults and feeds a cross-agent
+	// cache before computing locally.
+	shared *SharedGammaCache
 }
+
+// UseShared attaches a cross-agent cache: At still fills this table's
+// own (lock-free) local entries, but misses consult the cache first and
+// computed values are published to it. All tables sharing one cache
+// must be built over the same pseudonym powers.
+func (t *GammaTable) UseShared(s *SharedGammaCache) { t.shared = s }
 
 // NewGammaTable builds an empty cache over the published commitments and
 // precomputed pseudonym powers.
@@ -49,9 +109,18 @@ func (t *GammaTable) At(k, l int) (*big.Int, error) {
 	if c == nil {
 		return nil, errors.New("commit: missing commitments")
 	}
+	if t.shared != nil {
+		if v, ok := t.shared.lookup(k, c); ok {
+			t.vals[k][l] = v
+			return v, nil
+		}
+	}
 	v, err := c.Gamma(t.g, t.powers[k])
 	if err != nil {
 		return nil, err
+	}
+	if t.shared != nil {
+		t.shared.store(k, c, v)
 	}
 	t.vals[k][l] = v
 	return v, nil

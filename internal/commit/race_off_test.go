@@ -1,0 +1,7 @@
+//go:build !race
+
+package commit
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget gate skips under -race (instrumentation allocates).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package commit
+
+const raceEnabled = true

@@ -56,6 +56,15 @@ type auctionEnv struct {
 	rhos [][]*big.Int
 	// echo enables the digest-exchange hardening of echo.go.
 	echo bool
+	// verifier, when non-nil, routes round-2 share verification through
+	// the fleet-wide coalescer so concurrent auctions (and jobs) share
+	// one combined pass. See RunConfig.Verifier.
+	verifier *commit.Coalescer
+	// gammaCache, when non-nil, shares Gamma_{k,l} evaluations across
+	// this task's agents: the values are public (pseudonyms ×
+	// broadcast commitments), so only the first agent to need an entry
+	// computes it. Nil when per-agent ops are being metered.
+	gammaCache *commit.SharedGammaCache
 	// clock, when non-nil, receives the round-1 barrier crossing of
 	// every agent so the run-level bidding phase ends with its slowest
 	// auction (see phaseClock).
@@ -428,7 +437,13 @@ func (a *agentRun) verifySharesAndCommitments() {
 	if len(items) == 0 {
 		return
 	}
-	if err := commit.BatchVerifyShares(a.g, env.powers[a.me], items, a.rng); err != nil {
+	verify := func() error {
+		if env.verifier != nil {
+			return env.verifier.VerifyShares(env.powers[a.me], items, a.rng)
+		}
+		return commit.BatchVerifyShares(a.g, env.powers[a.me], items, a.rng)
+	}
+	if err := verify(); err != nil {
 		var verr *commit.VerifyError
 		if errors.As(err, &verr) {
 			a.abortReason = fmt.Sprintf("share from agent %d inconsistent: %v", verr.Sender, verr.Err)
@@ -472,6 +487,9 @@ func (a *agentRun) verifyLambdaPsi() string {
 	gt, err := commit.NewGammaTable(a.g, a.comms, env.powers)
 	if err != nil {
 		return fmt.Sprintf("building gamma table: %v", err)
+	}
+	if env.gammaCache != nil {
+		gt.UseShared(env.gammaCache)
 	}
 	a.gammas = gt
 	for k := 0; k < env.n; k++ {

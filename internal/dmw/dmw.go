@@ -90,6 +90,15 @@ type RunConfig struct {
 	// measures) the end-to-end time real agents separated by those
 	// links would take. Requires Delays.
 	RealTimeDelays bool
+	// Verifier, when non-nil, routes every agent's round-2 share
+	// verification through a fleet-wide coalescer (commit.NewCoalescer)
+	// so concurrent auctions — including ones from OTHER jobs sharing
+	// the same group — are checked in one combined
+	// random-linear-combination pass. It must have been built over a
+	// group with parameters equal to Params. Ignored when CountOps is
+	// set: coalesced passes run outside the per-agent counters and
+	// would silently under-report Theorem 12 accounting.
+	Verifier *commit.Coalescer
 	// Trace, when non-nil, records protocol spans (per-auction spans
 	// with per-phase children, plus init and settlement segments) into
 	// the recorder. Nil — the default, and what every benchmark uses —
@@ -151,6 +160,9 @@ func (c *RunConfig) Validate() error {
 	}
 	if c.RealTimeDelays && c.Delays == nil {
 		return errors.New("dmw: RealTimeDelays requires a Delays matrix")
+	}
+	if c.Verifier != nil && !c.Verifier.Group().Params().Equal(c.Params) {
+		return errors.New("dmw: Verifier was built over different parameters than Params")
 	}
 	return nil
 }
@@ -229,6 +241,9 @@ func Run(cfg RunConfig) (*Result, error) {
 		for i := range counters {
 			counters[i] = &group.Counter{}
 		}
+		// Coalesced verification runs on the coalescer's group, outside
+		// the per-agent counter views; keep the accounting exact instead.
+		cfg.Verifier = nil
 	}
 
 	stats := &transport.Stats{}
@@ -291,14 +306,22 @@ func Run(cfg RunConfig) (*Result, error) {
 				nw.SetRealTime(cfg.RealTimeDelays)
 			}
 			env := &auctionEnv{
-				task:   task,
-				n:      n,
-				cfg:    cfg.Bid,
-				alphas: alphas,
-				powers: sharedPowers,
-				rhos:   sharedRhos,
-				echo:   cfg.EchoVerification,
-				clock:  clock,
+				task:     task,
+				n:        n,
+				cfg:      cfg.Bid,
+				alphas:   alphas,
+				powers:   sharedPowers,
+				rhos:     sharedRhos,
+				echo:     cfg.EchoVerification,
+				clock:    clock,
+				verifier: cfg.Verifier,
+			}
+			if counters == nil {
+				// Cross-agent amortization of the public Gamma table;
+				// per-agent op metering must see each agent do its own
+				// work, so CountOps runs leave this nil (as with the
+				// coalescing verifier above).
+				env.gammaCache = commit.NewSharedGammaCache()
 			}
 			var agentWG sync.WaitGroup
 			logs := make([][]string, n)

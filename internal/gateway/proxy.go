@@ -40,6 +40,7 @@ const maxRelayBytes = 8 << 20
 //	GET  /v1/jobs/{id}/trace      same routing; relays the replica's span JSONL
 //	GET  /v1/jobs/{id}/events     same routing; relays the replica's SSE stream
 //	GET  /v1/events               fleet firehose: every replica's SSE events merged
+//	GET  /v1/params-cache         warm-boot tables artifact from any healthy replica
 //	GET  /healthz                 gateway + per-backend fleet view
 //	GET  /metrics                 gateway counters + summed fleet counters
 //
@@ -56,6 +57,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", g.handleGetJob)      // same routing; path preserved below
 	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleJobEvents)
 	mux.HandleFunc("GET /v1/events", g.handleFirehose)
+	mux.HandleFunc("GET /v1/params-cache", g.handleParamsCache)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return g.withRequestID(mux)
@@ -309,6 +311,27 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		g.metrics.unrouted.Add(1)
 		writeJSON(w, http.StatusBadGateway, apiError{Error: "no replica accepted the job: " + err.Error()})
+		return
+	}
+	relay(w, res)
+}
+
+// handleParamsCache relays the warm-boot tables artifact (see
+// group.SaveTables) from a replica to a joining one. Every backend
+// serves byte-identical tables for the fleet's published parameters,
+// so the routing key is a fixed label: it only pins a stable candidate
+// order so the walk gets ordinary failover, not placement. The
+// artifact is self-checking (CRC + parameter spot-checks), so a relay
+// truncated by a dying backend fails loudly at the loader, never
+// silently.
+func (g *Gateway) handleParamsCache(w http.ResponseWriter, r *http.Request) {
+	g.metrics.requests.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	res, err := g.forward(ctx, "params-cache", http.MethodGet, "/v1/params-cache", "", nil, false)
+	if err != nil {
+		g.metrics.unrouted.Add(1)
+		writeJSON(w, http.StatusBadGateway, apiError{Error: "no replica reachable: " + err.Error()})
 		return
 	}
 	relay(w, res)

@@ -15,11 +15,32 @@ import "sync"
 // that callers must treat as read-only; every Group and Params method
 // already never mutates its receiver's parameters, so the shared
 // instances are safe for unbounded concurrent use.
+//
+// Construction runs OUTSIDE the map lock, under a per-entry once: the
+// global mutex only guards map lookup/insert, so concurrent SharedFor
+// calls for different presets build in parallel, concurrent calls for
+// the same preset share one build, and a resetCache racing an in-flight
+// build simply abandons that build's entry (the builder finishes into
+// its own entry and returns a perfectly usable Group; the next caller
+// after the reset builds a fresh one). TestSharedForConcurrentReset
+// pins this under -race.
+
+type paramsEntry struct {
+	once sync.Once
+	pr   *Params
+	err  error
+}
+
+type groupEntry struct {
+	once sync.Once
+	g    *Group
+	err  error
+}
 
 var (
 	cacheMu     sync.Mutex
-	paramsCache map[string]*Params
-	groupCache  map[string]*Group
+	paramsCache map[string]*paramsEntry
+	groupCache  map[string]*groupEntry
 )
 
 // ParamsFor returns the named preset's parameters from a package-level
@@ -27,19 +48,17 @@ var (
 // callers must not mutate it. Use Preset for a private mutable copy.
 func ParamsFor(preset string) (*Params, error) {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if pr, ok := paramsCache[preset]; ok {
-		return pr, nil
+	e, ok := paramsCache[preset]
+	if !ok {
+		if paramsCache == nil {
+			paramsCache = make(map[string]*paramsEntry)
+		}
+		e = &paramsEntry{}
+		paramsCache[preset] = e
 	}
-	pr, err := Preset(preset)
-	if err != nil {
-		return nil, err
-	}
-	if paramsCache == nil {
-		paramsCache = make(map[string]*Params)
-	}
-	paramsCache[preset] = pr
-	return pr, nil
+	cacheMu.Unlock()
+	e.once.Do(func() { e.pr, e.err = Preset(preset) })
+	return e.pr, e.err
 }
 
 // SharedFor returns a memoized Group for the named preset, with the
@@ -48,33 +67,27 @@ func ParamsFor(preset string) (*Params, error) {
 // same tables); callers must not mutate its parameters.
 func SharedFor(preset string) (*Group, error) {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if g, ok := groupCache[preset]; ok {
-		return g, nil
-	}
-	pr, ok := paramsCache[preset]
+	e, ok := groupCache[preset]
 	if !ok {
-		var err error
-		pr, err = Preset(preset)
+		if groupCache == nil {
+			groupCache = make(map[string]*groupEntry)
+		}
+		e = &groupEntry{}
+		groupCache[preset] = e
+	}
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		pr, err := ParamsFor(preset)
 		if err != nil {
-			return nil, err
+			e.err = err
+			return
 		}
-		if paramsCache == nil {
-			paramsCache = make(map[string]*Params)
-		}
-		paramsCache[preset] = pr
-	}
-	// New revalidates; the parameters came straight from Preset (already
-	// validated), so build the group directly around the field/tables.
-	g, err := New(pr)
-	if err != nil {
-		return nil, err
-	}
-	if groupCache == nil {
-		groupCache = make(map[string]*Group)
-	}
-	groupCache[preset] = g
-	return g, nil
+		// New revalidates; the parameters came straight from Preset
+		// (already validated), so the extra primality check runs once
+		// per process per preset.
+		e.g, e.err = New(pr)
+	})
+	return e.g, e.err
 }
 
 // MustSharedFor is like SharedFor but panics on error; preset constants
@@ -87,7 +100,9 @@ func MustSharedFor(preset string) *Group {
 	return g
 }
 
-// resetCache clears the memo; only tests use it.
+// resetCache clears the memo; only tests use it. Builds in flight at
+// the moment of the reset complete into their abandoned entries and
+// stay correct — they are just no longer shared with later callers.
 func resetCache() {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()

@@ -67,6 +67,43 @@ func TestSharedForMemoizesAndAliasesParams(t *testing.T) {
 	}
 }
 
+// TestSharedForConcurrentReset hammers SharedFor from many goroutines
+// while resetCache fires repeatedly in between: every call must still
+// return a usable group (never an error, never a torn build), whether
+// it won a fresh entry, shared one, or finished into an abandoned one.
+// Run under -race this pins the per-entry-once design: builds happen
+// outside the map lock, so a reset mid-build is harmless.
+func TestSharedForConcurrentReset(t *testing.T) {
+	resetCache()
+	defer resetCache()
+
+	const goroutines = 16
+	const iters = 20
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				g, err := SharedFor(PresetTest64)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", i, n, err)
+					return
+				}
+				e := g.Scalars().FromInt64(int64(i*1000 + n))
+				if g.Commit(e, e).Sign() == 0 {
+					t.Error("zero commitment from shared group")
+					return
+				}
+			}
+		}(i)
+	}
+	for n := 0; n < iters; n++ {
+		resetCache()
+	}
+	wg.Wait()
+}
+
 func TestSharedForConcurrent(t *testing.T) {
 	resetCache()
 	defer resetCache()

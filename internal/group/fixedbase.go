@@ -56,8 +56,9 @@ func newFixedBase(m *mont, base, q *big.Int) *fixedBase {
 // exp computes base^e mod p for a reduced exponent e in [0, q).
 func (fb *fixedBase) exp(e *big.Int) *big.Int {
 	m := fb.m
-	t := m.scratch()
-	acc := m.set(m.one)
+	ws := m.acquire()
+	acc := ws.acc
+	copy(acc, m.one)
 	words := e.Bits()
 	numWindows := (e.BitLen() + fixedBaseWindow - 1) / fixedBaseWindow
 	for i := 0; i < numWindows; i++ {
@@ -68,9 +69,11 @@ func (fb *fixedBase) exp(e *big.Int) *big.Int {
 		if i >= len(fb.table) {
 			break // cannot happen for e < q
 		}
-		m.mul(acc, acc, fb.table[i][d], t)
+		m.mul(acc, acc, fb.table[i][d], ws.t)
 	}
-	return m.fromMont(acc, t)
+	out := m.fromMontDestr(acc, ws.t)
+	m.release(ws)
+	return out
 }
 
 // digit extracts fixedBaseWindow bits starting at bit offset, reading
@@ -155,8 +158,9 @@ func newJointBase(fb1, fb2 *fixedBase) *jointBase {
 // joint table; x and r must be reduced exponents in [0, q).
 func (jb *jointBase) commit(x, r *big.Int) *big.Int {
 	m := jb.m
-	t := m.scratch()
-	acc := m.set(m.one)
+	ws := m.acquire()
+	acc := ws.acc
+	copy(acc, m.one)
 	wx, wr := x.Bits(), r.Bits()
 	maxBits := x.BitLen()
 	if l := r.BitLen(); l > maxBits {
@@ -172,7 +176,9 @@ func (jb *jointBase) commit(x, r *big.Int) *big.Int {
 		if i >= len(jb.table) {
 			break // cannot happen for reduced exponents
 		}
-		m.mul(acc, acc, jb.table[i][d], t)
+		m.mul(acc, acc, jb.table[i][d], ws.t)
 	}
-	return m.fromMont(acc, t)
+	out := m.fromMontDestr(acc, ws.t)
+	m.release(ws)
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/big"
 	"math/bits"
+	"sync"
 )
 
 // This file implements Montgomery modular multiplication over a fixed odd
@@ -30,12 +31,14 @@ import (
 
 // mont is the precomputed context for a fixed odd modulus.
 type mont struct {
-	p     *big.Int // the modulus (shared; never mutated)
-	n     []uint64 // modulus words, little-endian
-	k     int      // word count
-	n0inv uint64   // -p^{-1} mod 2^64
-	r2    []uint64 // R^2 mod p (converts into the domain)
-	one   []uint64 // R mod p (the domain's 1)
+	p        *big.Int // the modulus (shared; never mutated)
+	n        []uint64 // modulus words, little-endian
+	k        int      // word count
+	n0inv    uint64   // -p^{-1} mod 2^64
+	r2       []uint64 // R^2 mod p (converts into the domain)
+	one      []uint64 // R mod p (the domain's 1)
+	plainOne []uint64 // the integer 1, NOT in the domain (REDC multiplier)
+	ws       sync.Pool
 }
 
 // newMont builds the context. The modulus must be odd (all protocol
@@ -61,7 +64,51 @@ func newMont(p *big.Int) *mont {
 	r := new(big.Int).Lsh(big.NewInt(1), uint(64*k))
 	r.Mod(r, p)
 	m.one = padWords(bigToWords(r), k)
+	m.plainOne = make([]uint64, k)
+	m.plainOne[0] = 1
+	m.ws.New = func() any {
+		return &montWS{
+			t:   make([]uint64, k+2),
+			acc: make([]uint64, k),
+			kw:  make([]uint64, k),
+		}
+	}
 	return m
+}
+
+// montWS is a reusable workspace for one sequential computation: the
+// CIOS temporary, an accumulator element, a conversion staging buffer,
+// and a growable word arena for table-based algorithms. Acquire one per
+// computation, release it when done; never share across goroutines.
+type montWS struct {
+	t    []uint64 // k+2 CIOS scratch
+	acc  []uint64 // k-word accumulator
+	kw   []uint64 // k-word staging buffer for big.Int conversion
+	slab []uint64 // arena backing store, grown on demand
+	off  int      // arena watermark
+}
+
+func (m *mont) acquire() *montWS {
+	ws := m.ws.Get().(*montWS)
+	ws.off = 0
+	return ws
+}
+
+func (m *mont) release(ws *montWS) { m.ws.Put(ws) }
+
+// take returns n words of arena-backed scratch. The words are NOT
+// zeroed; callers must fully write each element before reading it.
+// Grows the slab (invalidating nothing: previous takes from this
+// acquire cycle are preserved by copying).
+func (ws *montWS) take(n int) []uint64 {
+	if ws.off+n > len(ws.slab) {
+		grown := make([]uint64, (ws.off+n)*2)
+		copy(grown, ws.slab[:ws.off])
+		ws.slab = grown
+	}
+	out := ws.slab[ws.off : ws.off+n]
+	ws.off += n
+	return out
 }
 
 // scratch returns a fresh temporary for mul; callers allocate one per
@@ -87,14 +134,26 @@ func (m *mont) toMont(x *big.Int, t []uint64) []uint64 {
 	return out
 }
 
+// toMontInto converts x in [0, p) into the Montgomery domain, writing
+// the result into dst using ws for staging — no allocation.
+func (m *mont) toMontInto(dst []uint64, x *big.Int, ws *montWS) {
+	wordsInto(ws.kw, x)
+	m.mul(dst, ws.kw, m.r2, ws.t)
+}
+
 // fromMont converts a Montgomery-domain element back to a big.Int in
 // [0, p): multiplying by the plain 1 performs one REDC pass.
 func (m *mont) fromMont(a, t []uint64) *big.Int {
-	oneW := m.newElem()
-	oneW[0] = 1
 	out := m.newElem()
-	m.mul(out, a, oneW, t)
+	m.mul(out, a, m.plainOne, t)
 	return wordsToBig(out)
+}
+
+// fromMontDestr is fromMont for elements the caller owns: a is
+// overwritten with the plain-domain words, saving the output element.
+func (m *mont) fromMontDestr(a, t []uint64) *big.Int {
+	m.mul(a, a, m.plainOne, t)
+	return wordsToBig(a)
 }
 
 // mul sets dst = a*b*R^{-1} mod p (CIOS: coarsely integrated operand
@@ -196,4 +255,24 @@ func padWords(w []uint64, k int) []uint64 {
 	out := make([]uint64, k)
 	copy(out, w)
 	return out
+}
+
+// wordsInto fills dst (fully, zero-extended) with the little-endian
+// uint64 words of non-negative x, without allocating. x must fit in
+// len(dst) words. Reads x.Bits() directly so it works for both 32- and
+// 64-bit big.Word.
+func wordsInto(dst []uint64, x *big.Int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	bw := x.Bits()
+	if bits.UintSize == 64 {
+		for i, w := range bw {
+			dst[i] = uint64(w)
+		}
+		return
+	}
+	for i, w := range bw {
+		dst[i/2] |= uint64(w) << (32 * uint(i%2))
+	}
 }

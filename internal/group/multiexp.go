@@ -54,7 +54,11 @@ func (g *Group) MultiExp(bases, exps []*big.Int) (*big.Int, error) {
 		if e == nil || bases[i] == nil {
 			return nil, fmt.Errorf("%w: nil term at index %d", ErrMultiExpInput, i)
 		}
-		red[i] = g.scalars.Reduce(e)
+		if e.Sign() >= 0 && e.Cmp(g.params.Q) < 0 {
+			red[i] = e // already reduced; the engine never mutates exponents
+		} else {
+			red[i] = g.scalars.Reduce(e)
+		}
 	}
 	g.countMultiExp(len(bases))
 	return multiExpCore(g.mont, bases, red), nil
@@ -187,24 +191,28 @@ func pippengerMultiExp(p *big.Int, bases, exps []*big.Int, w uint, maxBits int) 
 // multiplication per term with a nonzero digit. All arithmetic runs in
 // the Montgomery domain (see montgomery.go); bases must be in [0, p).
 func strausMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
-	t := m.scratch()
-	// tables[i][d-1] = bases[i]^d (Montgomery form) for d = 1..2^w-1.
-	tables := make([][][]uint64, len(bases))
-	for i, b := range bases {
-		row := make([][]uint64, (1<<w)-1)
-		row[0] = m.toMont(b, t)
-		for d := 1; d < len(row); d++ {
-			row[d] = m.newElem()
-			m.mul(row[d], row[d-1], row[0], t)
-		}
-		tables[i] = row
+	ws := m.acquire()
+	defer m.release(ws)
+	t := ws.t
+	k := m.k
+	// Per-term power tables live in one arena slab: entry (i, d) at
+	// word offset (i*rowLen + d-1)*k holds bases[i]^d in Montgomery
+	// form, for d = 1..2^w-1.
+	rowLen := (1 << w) - 1
+	tab := ws.take(len(bases) * rowLen * k)
+	entry := func(i, d int) []uint64 {
+		off := (i*rowLen + d - 1) * k
+		return tab[off : off+k]
 	}
-	words := make([][]big.Word, len(exps))
-	for i, e := range exps {
-		words[i] = e.Bits()
+	for i, b := range bases {
+		m.toMontInto(entry(i, 1), b, ws)
+		for d := 2; d <= rowLen; d++ {
+			m.mul(entry(i, d), entry(i, d-1), entry(i, 1), t)
+		}
 	}
 
-	acc := m.set(m.one)
+	acc := ws.acc
+	copy(acc, m.one)
 	started := false
 	numWindows := (maxBits + int(w) - 1) / int(w)
 	for win := numWindows - 1; win >= 0; win-- {
@@ -215,15 +223,15 @@ func strausMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
 		}
 		offset := uint(win) * w
 		for i := range bases {
-			d := windowDigit(words[i], offset, w)
+			d := windowDigit(exps[i].Bits(), offset, w)
 			if d == 0 {
 				continue
 			}
-			m.mul(acc, acc, tables[i][d-1], t)
+			m.mul(acc, acc, entry(i, int(d)), t)
 			started = true
 		}
 	}
-	return m.fromMont(acc, t)
+	return m.fromMontDestr(acc, t)
 }
 
 // pippengerMont is the bucket method: per window, each term is
@@ -231,23 +239,28 @@ func strausMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
 // with the running-product trick (prod_d bucket[d]^d computed in
 // 2*(2^w - 1) multiplications), over the same shared squaring chain.
 func pippengerMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.Int {
-	t := m.scratch()
-	montBases := make([][]uint64, len(bases))
-	for i, b := range bases {
-		montBases[i] = m.toMont(b, t)
-	}
-	words := make([][]big.Word, len(exps))
-	for i, e := range exps {
-		words[i] = e.Bits()
-	}
-	// Buckets live in one flat backing array, reset per window.
+	ws := m.acquire()
+	defer m.release(ws)
+	t := ws.t
 	k := m.k
-	store := make([]uint64, (1<<w)*k)
-	inUse := make([]bool, 1<<w)
+	mb := ws.take(len(bases) * k)
+	for i, b := range bases {
+		m.toMontInto(mb[i*k:(i+1)*k], b, ws)
+	}
+	// Buckets live in one flat arena slab. Occupancy is tracked by a
+	// per-window generation stamp instead of a reset pass: bucket d is
+	// live in window win iff stamp[d] == win+1 (the initial zeros match
+	// no window).
+	store := ws.take((1 << w) * k)
+	stamp := ws.take(1 << w)
+	running := ws.take(k)
+	for d := range stamp {
+		stamp[d] = 0
+	}
 	bucket := func(d uint) []uint64 { return store[int(d)*k : (int(d)+1)*k] }
 
-	acc := m.set(m.one)
-	running := m.newElem()
+	acc := ws.acc
+	copy(acc, m.one)
 	started := false
 	numWindows := (maxBits + int(w) - 1) / int(w)
 	for win := numWindows - 1; win >= 0; win-- {
@@ -257,20 +270,18 @@ func pippengerMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.In
 			}
 		}
 		offset := uint(win) * w
+		gen := uint64(win) + 1
 		used := false
-		for d := range inUse {
-			inUse[d] = false
-		}
 		for i := range bases {
-			d := windowDigit(words[i], offset, w)
+			d := windowDigit(exps[i].Bits(), offset, w)
 			if d == 0 {
 				continue
 			}
-			if !inUse[d] {
-				copy(bucket(d), montBases[i])
-				inUse[d] = true
+			if stamp[d] != gen {
+				copy(bucket(d), mb[i*k:(i+1)*k])
+				stamp[d] = gen
 			} else {
-				m.mul(bucket(d), bucket(d), montBases[i], t)
+				m.mul(bucket(d), bucket(d), mb[i*k:(i+1)*k], t)
 			}
 			used = true
 		}
@@ -280,8 +291,8 @@ func pippengerMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.In
 		// running = prod_{e >= d} bucket[e]; window sum = prod_d bucket[d]^d.
 		copy(running, m.one)
 		haveRunning := false
-		for d := len(inUse) - 1; d >= 1; d-- {
-			if inUse[d] {
+		for d := len(stamp) - 1; d >= 1; d-- {
+			if stamp[d] == gen {
 				m.mul(running, running, bucket(uint(d)), t)
 				haveRunning = true
 			}
@@ -291,5 +302,5 @@ func pippengerMont(m *mont, bases, exps []*big.Int, w uint, maxBits int) *big.In
 		}
 		started = true
 	}
-	return m.fromMont(acc, t)
+	return m.fromMontDestr(acc, t)
 }

@@ -22,6 +22,11 @@ var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 // reach one decade lower than the job-latency buckets.
 var phaseBucketsS = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
 
+// verifyBatchBuckets are the upper bounds (share items per combined
+// pass) of the dmwd_verify_batch_size histogram: how many share checks
+// the cross-job coalescer absorbed into one multi-exp pass.
+var verifyBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
 // PhaseQueueWait is the server-side segment preceding the protocol
 // phases: admission to worker pickup. Together with dmw.PhaseNames it
 // makes the dmwd_phase_seconds series sum to (approximately — modulo
@@ -65,6 +70,9 @@ type metrics struct {
 	// phases holds one seconds-denominated histogram per phase segment
 	// of phaseOrder (dmwd_phase_seconds{phase=...}).
 	phases map[string]*obs.Histogram
+	// verifyBatch records the item count of every combined pass the
+	// share-verification coalescer ran (dmwd_verify_batch_size_*).
+	verifyBatch *obs.Histogram
 
 	// tenantMu guards the per-tenant label maps below. Cardinality is
 	// bounded by the registry (tenant.CleanID folding plus the dynamic-
@@ -82,6 +90,7 @@ func newMetrics() *metrics {
 	m := &metrics{
 		latency:        obs.NewHistogram(latencyBucketsMS),
 		phases:         make(map[string]*obs.Histogram, len(phaseOrder)),
+		verifyBatch:    obs.NewHistogram(verifyBatchBuckets),
 		tenantAdmitted: make(map[string]int64),
 		tenantRejected: make(map[string]map[string]int64),
 	}
@@ -141,6 +150,14 @@ type snapshotGauges struct {
 	eventSubscribers int
 	eventsPublished  uint64
 	eventsDropped    uint64
+
+	// tableBuildSeconds is the boot-time cost of building the group's
+	// fixed-base/joint tables (dmwd_table_build_seconds): near zero when
+	// a -params-cache artifact was loaded instead of built.
+	tableBuildSeconds float64
+	// paramsCacheLoaded reports whether boot loaded a warm table
+	// artifact (dmwd_params_cache_loaded).
+	paramsCacheLoaded bool
 
 	// journal* carry the WAL counters when the store is journal-backed
 	// (journalEnabled); the exposition emits dmwd_journal_enabled either
@@ -210,6 +227,12 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	}
 	p("dmwd_jobs_live %d\n", g.liveJobs)
 	p("dmwd_uptime_seconds %.3f\n", g.uptime.Seconds())
+	p("dmwd_table_build_seconds %.6f\n", g.tableBuildSeconds)
+	if g.paramsCacheLoaded {
+		p("dmwd_params_cache_loaded 1\n")
+	} else {
+		p("dmwd_params_cache_loaded 0\n")
+	}
 	p("dmwd_admission_price %.6f\n", g.admissionPrice)
 	p("dmwd_event_subscribers %d\n", g.eventSubscribers)
 	p("dmwd_events_published_total %d\n", g.eventsPublished)
@@ -229,6 +252,7 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	}
 
 	m.latency.Write(w, "dmwd_job_latency_ms", "")
+	m.verifyBatch.Write(w, "dmwd_verify_batch_size", "")
 	for _, name := range phaseOrder {
 		m.phases[name].Write(w, "dmwd_phase_seconds", `phase="`+name+`"`)
 	}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dmw/internal/bidcode"
+	"dmw/internal/commit"
 	protocol "dmw/internal/dmw"
 	"dmw/internal/group"
 	"dmw/internal/journal"
@@ -67,6 +68,23 @@ type Config struct {
 	// Params optionally supplies explicit parameters (e.g. loaded from a
 	// dmwparams file) instead of a preset.
 	Params *group.Params
+	// ParamsCache, when set, is the path of a warm table artifact
+	// (group.SaveTables, written by `dmwparams -tables` or a previous
+	// boot). Boot loads the precomputed fixed-base and joint Shamir
+	// tables from it instead of rebuilding them, provided the artifact
+	// is intact and matches the configured parameters; a missing,
+	// corrupted, version-mismatched, or wrong-parameter artifact is
+	// logged loudly, the tables are rebuilt from parameters, and the
+	// artifact is rewritten for the next boot. /healthz reports
+	// table_build_seconds either way.
+	ParamsCache string
+	// VerifyWindow and VerifyMaxTerms tune the cross-job share-
+	// verification coalescer (zero selects commit.DefaultCoalesceWindow
+	// / commit.DefaultMaxBatchTerms). Negative VerifyMaxTerms is
+	// reserved; tests shrink VerifyWindow to make coalescing windows
+	// deterministic.
+	VerifyWindow   time.Duration
+	VerifyMaxTerms int
 	// QueueDepth bounds the admission queue (default 64).
 	QueueDepth int
 	// Workers is the job-level concurrency (default 2).
@@ -169,6 +187,13 @@ type Server struct {
 	cfg    Config
 	params *group.Params
 	grp    *group.Group
+	// verifier coalesces share verifications across every concurrent
+	// job on grp into combined random-linear-combination passes; the
+	// observe hook feeds dmwd_verify_batch_size.
+	verifier *commit.Coalescer
+	// paramsCacheLoaded records whether boot loaded the warm table
+	// artifact (vs building tables); grp.TableBuildTime() has the cost.
+	paramsCacheLoaded bool
 
 	queue   *tenant.Queue[*Job]
 	store   Store
@@ -215,21 +240,34 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	var (
-		params *group.Params
-		grp    *group.Group
-		err    error
+		params      *group.Params
+		grp         *group.Group
+		err         error
+		cacheLoaded bool
 	)
 	if cfg.Params != nil {
 		params = cfg.Params
-		grp, err = group.New(params)
 	} else {
 		params, err = group.ParamsFor(cfg.Preset)
-		if err == nil {
-			grp, err = group.SharedFor(cfg.Preset)
-		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("server: resolving group parameters: %w", err)
+	}
+	if cfg.ParamsCache != "" {
+		grp, cacheLoaded = loadParamsCache(cfg.ParamsCache, params, cfg.Logf)
+	}
+	if grp == nil {
+		if cfg.Params != nil {
+			grp, err = group.New(params)
+		} else {
+			grp, err = group.SharedFor(cfg.Preset)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("server: resolving group parameters: %w", err)
+		}
+		if cfg.ParamsCache != "" {
+			saveParamsCache(cfg.ParamsCache, grp, cfg.Logf)
+		}
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -243,6 +281,10 @@ func New(cfg Config) (*Server, error) {
 		drainRate:  tenant.NewRateEstimator(cfg.DrainTau),
 		queue:      tenant.NewQueue[*Job](cfg.QueueDepth),
 	}
+	s.paramsCacheLoaded = cacheLoaded
+	s.verifier = commit.NewCoalescer(grp, cfg.VerifyWindow, cfg.VerifyMaxTerms, func(items int) {
+		s.metrics.verifyBatch.Observe(float64(items))
+	})
 	mem := newMemStore()
 	s.store = mem
 	if cfg.DataDir != "" {
@@ -258,6 +300,60 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// loadParamsCache attempts the warm-boot path: load precomputed tables
+// from the artifact at path and use them iff they were built for
+// exactly the configured parameters. Every failure mode — missing
+// file, corruption, version mismatch, wrong parameters — logs loudly
+// and returns (nil, false) so the caller rebuilds from parameters; a
+// quiet wrong answer is never an option here.
+func loadParamsCache(path string, want *group.Params, logf func(string, ...any)) (*group.Group, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		logf("params-cache: %v; building tables from parameters", err)
+		return nil, false
+	}
+	defer f.Close()
+	g, err := group.LoadTables(f)
+	if err != nil {
+		logf("params-cache: %s unusable (%v); building tables from parameters", path, err)
+		return nil, false
+	}
+	if !g.Params().Equal(want) {
+		logf("params-cache: %s was built for different parameters; building tables from configured parameters", path)
+		return nil, false
+	}
+	logf("params-cache: loaded precomputed tables from %s in %s", path, g.TableBuildTime())
+	return g, true
+}
+
+// saveParamsCache writes grp's tables to path (atomically, via a
+// same-directory temp file) so the NEXT boot takes the warm path.
+// Best-effort: failure is logged, not fatal.
+func saveParamsCache(path string, grp *group.Group, logf func(string, ...any)) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".params-cache-*")
+	if err != nil {
+		logf("params-cache: not writing %s: %v", path, err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := group.SaveTables(tmp, grp); err == nil {
+		err = tmp.Sync()
+	} else {
+		logf("params-cache: serializing tables: %v", err)
+		tmp.Close()
+		return
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		logf("params-cache: writing %s: %v", path, cerr)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		logf("params-cache: installing %s: %v", path, err)
+		return
+	}
+	logf("params-cache: wrote precomputed tables to %s (table build took %s)", path, grp.TableBuildTime())
 }
 
 // loadOrCreateReplicaID resolves the instance identity surfaced by
@@ -781,6 +877,9 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		eventSubscribers: s.hub.Subscribers(),
 		eventsPublished:  s.hub.Published(),
 		eventsDropped:    s.hub.Dropped(),
+
+		tableBuildSeconds: s.grp.TableBuildTime().Seconds(),
+		paramsCacheLoaded: s.paramsCacheLoaded,
 	}
 	if s.jstore != nil {
 		g.journalEnabled = true
@@ -899,6 +998,10 @@ func (s *Server) runJob(job *Job) {
 		Parallelism: par,
 		CountOps:    job.Spec.CountOps,
 		Record:      job.Spec.Record,
+		// The fleet-wide coalescer batches this job's share checks with
+		// every other concurrent job's (Run drops it for count_ops jobs
+		// to keep per-agent accounting exact).
+		Verifier:    s.verifier,
 		Trace:       rec,
 		TraceParent: root.ID(),
 	}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"dmw/internal/bidcode"
+	"dmw/internal/commit"
+	"dmw/internal/dmw"
+	"dmw/internal/group"
+	"dmw/internal/transport"
+)
+
+// commitmentsMessage builds the largest message the protocol ships: a
+// full commitments payload (3*sigma group elements).
+func commitmentsMessage(t testing.TB) (transport.Message, int) {
+	t.Helper()
+	g := group.MustNew(group.MustPreset(group.PresetTest64))
+	cfg := bidcode.Config{W: []int{1, 2, 3}, C: 1, N: 6}
+	enc, err := bidcode.Encode(cfg, 2, g.Scalars(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms, err := commit.New(g, enc, cfg.Sigma())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := transport.Message{From: 1, To: 2, Kind: transport.KindCommitments, Payload: dmw.CommitmentsPayload{C: comms}}
+	return m, cfg.Sigma()
+}
+
+// TestAllocBudgetEncode pins the single-allocation encode path: the
+// sizing pass plus FillBytes-into-tail leaves exactly one buffer
+// allocation per message, any payload shape.
+func TestAllocBudgetEncode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation")
+	}
+	cm, _ := commitmentsMessage(t)
+	msgs := []transport.Message{
+		cm,
+		{From: 1, To: 2, Kind: transport.KindLambdaPsi, Payload: dmw.LambdaPsiPayload{Lambda: big.NewInt(99), Psi: big.NewInt(77)}},
+		{From: 0, To: 1, Kind: transport.KindBid, Payload: nil},
+	}
+	for _, m := range msgs {
+		m := m
+		avg := testing.AllocsPerRun(50, func() {
+			if _, err := EncodeMessage(m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > 1 {
+			t.Errorf("EncodeMessage(%T): %.1f allocs/op, want 1 (the output buffer)", m.Payload, avg)
+		}
+	}
+}
+
+// TestAllocBudgetDecode bounds the decode path: one header slab + one
+// pointer slab + one words array per big.Int (SetBytes must own its
+// words — decoded values do not alias the input). Budget: one
+// allocation per value (3*sigma of them) plus a handful of slabs and
+// boxes; anything past that means per-value overhead crept in.
+func TestAllocBudgetDecode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector instrumentation")
+	}
+	m, sigma := commitmentsMessage(t)
+	b, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := float64(3*sigma + 8)
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := DecodeMessage(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("DecodeMessage(commitments, sigma=%d): %.1f allocs/op (budget %.0f)", sigma, avg, budget)
+	if avg > budget {
+		t.Errorf("DecodeMessage allocates %.1f/op, budget %.0f", avg, budget)
+	}
+}

@@ -14,14 +14,21 @@
 //
 // All integers are big-endian. Every protocol value is a residue mod p,
 // so magnitudes are bounded by the group size and signs never occur.
+//
+// The codec is allocation-frugal: EncodeMessage sizes the message
+// exactly, allocates ONE buffer, and fills big.Int bytes in place
+// (big.Int.FillBytes into the tail — no intermediate Bytes() copies);
+// DecodeMessage walks an index cursor over the input and materializes
+// each payload's big.Ints from a single header slab, calling SetBytes
+// directly on subslices of the input. Decoded values never alias the
+// input buffer (SetBytes copies into the integer's own words), so
+// callers are free to reuse or mutate b after decoding.
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math/big"
 
 	"dmw/internal/bidcode"
@@ -44,288 +51,359 @@ const (
 
 const nilLen = 0xFFFF
 
+// headerSize covers from:i32 to:i32 kind:u8 task:i32 ptype:u8.
+const headerSize = 4 + 4 + 1 + 4 + 1
+
 // ErrTruncated is returned when the input ends before the structure does.
 var ErrTruncated = errors.New("wire: truncated message")
 
-func putBig(w *bytes.Buffer, v *big.Int) error {
+// bigSize validates v for encoding and returns its wire footprint.
+func bigSize(v *big.Int) (int, error) {
 	if v == nil {
-		return binary.Write(w, binary.BigEndian, uint16(nilLen))
+		return 2, nil
 	}
 	if v.Sign() < 0 {
-		return fmt.Errorf("wire: negative value %v", v)
+		return 0, fmt.Errorf("wire: negative value %v", v)
 	}
-	b := v.Bytes()
-	if len(b) >= nilLen {
-		return fmt.Errorf("wire: value too large (%d bytes)", len(b))
+	n := (v.BitLen() + 7) / 8
+	if n >= nilLen {
+		return 0, fmt.Errorf("wire: value too large (%d bytes)", n)
 	}
-	if err := binary.Write(w, binary.BigEndian, uint16(len(b))); err != nil {
-		return err
-	}
-	_, err := w.Write(b)
-	return err
+	return 2 + n, nil
 }
 
-func getBig(r *bytes.Reader) (*big.Int, error) {
-	var n uint16
-	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-		return nil, ErrTruncated
-	}
-	if n == nilLen {
-		return nil, nil
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, ErrTruncated
-	}
-	return new(big.Int).SetBytes(b), nil
-}
-
-func putVector(w *bytes.Buffer, vs []*big.Int) error {
+func vectorSize(vs []*big.Int) (int, error) {
 	if len(vs) >= nilLen {
-		return fmt.Errorf("wire: vector too long (%d)", len(vs))
+		return 0, fmt.Errorf("wire: vector too long (%d)", len(vs))
 	}
-	if err := binary.Write(w, binary.BigEndian, uint16(len(vs))); err != nil {
-		return err
-	}
+	size := 2
 	for _, v := range vs {
-		if err := putBig(w, v); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func getVector(r *bytes.Reader) ([]*big.Int, error) {
-	var n uint16
-	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-		return nil, ErrTruncated
-	}
-	if int(n) > r.Len() { // each element needs at least 2 bytes
-		return nil, ErrTruncated
-	}
-	out := make([]*big.Int, n)
-	for i := range out {
-		v, err := getBig(r)
+		n, err := bigSize(v)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[i] = v
+		size += n
 	}
-	return out, nil
+	return size, nil
 }
 
-// EncodeMessage serializes a protocol message.
-func EncodeMessage(m transport.Message) ([]byte, error) {
-	var w bytes.Buffer
-	for _, v := range []int32{int32(m.From), int32(m.To)} {
-		if err := binary.Write(&w, binary.BigEndian, v); err != nil {
-			return nil, err
-		}
-	}
-	if err := w.WriteByte(uint8(m.Kind)); err != nil {
-		return nil, err
-	}
-	if err := binary.Write(&w, binary.BigEndian, int32(m.Task)); err != nil {
-		return nil, err
-	}
+// encodedSize is the validation pass: it computes the exact wire size
+// of m and rejects anything EncodeMessage cannot represent, so the
+// subsequent fill pass is infallible and never reallocates.
+func encodedSize(m transport.Message) (int, error) {
+	size := headerSize
 	switch p := m.Payload.(type) {
 	case nil:
-		w.WriteByte(tNone)
 	case dmw.SharePayload:
-		w.WriteByte(tShare)
 		for _, v := range []*big.Int{p.Share.E, p.Share.F, p.Share.G, p.Share.H} {
-			if err := putBig(&w, v); err != nil {
-				return nil, err
+			n, err := bigSize(v)
+			if err != nil {
+				return 0, err
 			}
+			size += n
 		}
 	case dmw.CommitmentsPayload:
-		w.WriteByte(tCommitments)
 		if p.C == nil {
-			return nil, errors.New("wire: nil commitments payload")
+			return 0, errors.New("wire: nil commitments payload")
 		}
 		sigma := p.C.Sigma()
-		if err := binary.Write(&w, binary.BigEndian, uint16(sigma)); err != nil {
-			return nil, err
-		}
+		size += 2
 		for _, vec := range [][]*big.Int{p.C.O, p.C.Q, p.C.R} {
 			if len(vec) != sigma {
-				return nil, errors.New("wire: ragged commitment vectors")
+				return 0, errors.New("wire: ragged commitment vectors")
 			}
 			for _, v := range vec {
-				if err := putBig(&w, v); err != nil {
-					return nil, err
+				n, err := bigSize(v)
+				if err != nil {
+					return 0, err
 				}
+				size += n
 			}
 		}
 	case dmw.LambdaPsiPayload:
-		w.WriteByte(tLambdaPsi)
-		if err := putBig(&w, p.Lambda); err != nil {
-			return nil, err
-		}
-		if err := putBig(&w, p.Psi); err != nil {
-			return nil, err
+		for _, v := range []*big.Int{p.Lambda, p.Psi} {
+			n, err := bigSize(v)
+			if err != nil {
+				return 0, err
+			}
+			size += n
 		}
 	case dmw.DisclosurePayload:
-		w.WriteByte(tDisclosure)
-		if err := putVector(&w, p.F); err != nil {
-			return nil, err
+		n, err := vectorSize(p.F)
+		if err != nil {
+			return 0, err
 		}
+		size += n
 	case dmw.SecondPricePayload:
-		w.WriteByte(tSecondPrice)
-		if err := putBig(&w, p.Lambda); err != nil {
-			return nil, err
-		}
-		if err := putBig(&w, p.Psi); err != nil {
-			return nil, err
+		for _, v := range []*big.Int{p.Lambda, p.Psi} {
+			n, err := bigSize(v)
+			if err != nil {
+				return 0, err
+			}
+			size += n
 		}
 	case dmw.PaymentClaimPayload:
-		w.WriteByte(tPaymentClaim)
 		if len(p.Payments) >= nilLen {
-			return nil, errors.New("wire: claim vector too long")
+			return 0, errors.New("wire: claim vector too long")
 		}
-		if err := binary.Write(&w, binary.BigEndian, uint16(len(p.Payments))); err != nil {
-			return nil, err
+		size += 2 + 8*len(p.Payments)
+	case dmw.AbortPayload:
+		if len(p.Reason) >= nilLen {
+			return 0, errors.New("wire: abort reason too long")
 		}
-		for _, v := range p.Payments {
-			if err := binary.Write(&w, binary.BigEndian, v); err != nil {
-				return nil, err
+		size += 2 + len(p.Reason)
+	default:
+		return 0, fmt.Errorf("wire: unsupported payload type %T", m.Payload)
+	}
+	return size, nil
+}
+
+// appender fills a presized buffer; every method appends within the
+// capacity reserved by encodedSize.
+type appender struct{ b []byte }
+
+func (a *appender) u8(v byte)    { a.b = append(a.b, v) }
+func (a *appender) u16(v uint16) { a.b = binary.BigEndian.AppendUint16(a.b, v) }
+func (a *appender) u32(v uint32) { a.b = binary.BigEndian.AppendUint32(a.b, v) }
+func (a *appender) u64(v uint64) { a.b = binary.BigEndian.AppendUint64(a.b, v) }
+
+// big writes v's length-prefixed bytes directly into the buffer tail.
+// Validation (sign, magnitude) already happened in encodedSize.
+func (a *appender) big(v *big.Int) {
+	if v == nil {
+		a.u16(nilLen)
+		return
+	}
+	n := (v.BitLen() + 7) / 8
+	a.u16(uint16(n))
+	start := len(a.b)
+	a.b = a.b[:start+n]
+	v.FillBytes(a.b[start : start+n])
+}
+
+// EncodeMessage serializes a protocol message into one exactly-sized
+// allocation.
+func EncodeMessage(m transport.Message) ([]byte, error) {
+	size, err := encodedSize(m)
+	if err != nil {
+		return nil, err
+	}
+	a := appender{b: make([]byte, 0, size)}
+	a.u32(uint32(int32(m.From)))
+	a.u32(uint32(int32(m.To)))
+	a.u8(uint8(m.Kind))
+	a.u32(uint32(int32(m.Task)))
+	switch p := m.Payload.(type) {
+	case nil:
+		a.u8(tNone)
+	case dmw.SharePayload:
+		a.u8(tShare)
+		for _, v := range []*big.Int{p.Share.E, p.Share.F, p.Share.G, p.Share.H} {
+			a.big(v)
+		}
+	case dmw.CommitmentsPayload:
+		a.u8(tCommitments)
+		a.u16(uint16(p.C.Sigma()))
+		for _, vec := range [][]*big.Int{p.C.O, p.C.Q, p.C.R} {
+			for _, v := range vec {
+				a.big(v)
 			}
 		}
+	case dmw.LambdaPsiPayload:
+		a.u8(tLambdaPsi)
+		a.big(p.Lambda)
+		a.big(p.Psi)
+	case dmw.DisclosurePayload:
+		a.u8(tDisclosure)
+		a.u16(uint16(len(p.F)))
+		for _, v := range p.F {
+			a.big(v)
+		}
+	case dmw.SecondPricePayload:
+		a.u8(tSecondPrice)
+		a.big(p.Lambda)
+		a.big(p.Psi)
+	case dmw.PaymentClaimPayload:
+		a.u8(tPaymentClaim)
+		a.u16(uint16(len(p.Payments)))
+		for _, v := range p.Payments {
+			a.u64(uint64(v))
+		}
 	case dmw.AbortPayload:
-		w.WriteByte(tAbort)
-		if len(p.Reason) >= nilLen {
-			return nil, errors.New("wire: abort reason too long")
-		}
-		if err := binary.Write(&w, binary.BigEndian, uint16(len(p.Reason))); err != nil {
-			return nil, err
-		}
-		w.WriteString(p.Reason)
-	default:
-		return nil, fmt.Errorf("wire: unsupported payload type %T", m.Payload)
+		a.u8(tAbort)
+		a.u16(uint16(len(p.Reason)))
+		a.b = append(a.b, p.Reason...)
 	}
-	return w.Bytes(), nil
+	return a.b, nil
+}
+
+// reader is a bounds-checked big-endian cursor over the input; any
+// overrun latches err instead of panicking on crafted bytes.
+type reader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err || n < 0 || r.off+n > len(r.b) {
+		r.err = true
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) i32() int32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return int32(binary.BigEndian.Uint32(b))
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// big decodes one length-prefixed integer into dst (a slab entry) and
+// returns it, or nil for the explicit nil marker. Callers must check
+// r.err to distinguish "encoded nil" from truncation.
+func (r *reader) big(dst *big.Int) *big.Int {
+	n := r.u16()
+	if r.err || n == nilLen {
+		return nil
+	}
+	b := r.take(int(n))
+	if r.err {
+		return nil
+	}
+	return dst.SetBytes(b)
 }
 
 // DecodeMessage parses a message produced by EncodeMessage.
 func DecodeMessage(b []byte) (transport.Message, error) {
 	var m transport.Message
-	r := bytes.NewReader(b)
-	var from, to, task int32
-	var kind uint8
-	if err := binary.Read(r, binary.BigEndian, &from); err != nil {
-		return m, ErrTruncated
-	}
-	if err := binary.Read(r, binary.BigEndian, &to); err != nil {
-		return m, ErrTruncated
-	}
-	var err error
-	if kind, err = r.ReadByte(); err != nil {
-		return m, ErrTruncated
-	}
-	if err := binary.Read(r, binary.BigEndian, &task); err != nil {
+	r := &reader{b: b}
+	from, to := r.i32(), r.i32()
+	kind := r.u8()
+	task := r.i32()
+	ptype := r.u8()
+	if r.err {
 		return m, ErrTruncated
 	}
 	m.From, m.To, m.Kind, m.Task = int(from), int(to), transport.Kind(kind), int(task)
 
-	ptype, err := r.ReadByte()
-	if err != nil {
-		return m, ErrTruncated
-	}
 	switch ptype {
 	case tNone:
 		m.Payload = nil
 	case tShare:
 		var s bidcode.Share
-		for _, dst := range []**big.Int{&s.E, &s.F, &s.G, &s.H} {
-			v, err := getBig(r)
-			if err != nil {
-				return m, err
+		vals := make([]big.Int, 4)
+		for i, dst := range []**big.Int{&s.E, &s.F, &s.G, &s.H} {
+			*dst = r.big(&vals[i])
+			if r.err {
+				return m, ErrTruncated
 			}
-			*dst = v
 		}
 		m.Payload = dmw.SharePayload{Share: s}
 	case tCommitments:
-		var sigma uint16
-		if err := binary.Read(r, binary.BigEndian, &sigma); err != nil {
+		sigma := int(r.u16())
+		if r.err || sigma*3*2 > r.remaining() {
 			return m, ErrTruncated
 		}
-		if int(sigma)*3*2 > r.Len() {
-			return m, ErrTruncated
-		}
+		vals := make([]big.Int, 3*sigma)
+		ptrs := make([]*big.Int, 3*sigma)
 		c := &commit.Commitments{
-			O: make([]*big.Int, sigma),
-			Q: make([]*big.Int, sigma),
-			R: make([]*big.Int, sigma),
+			O: ptrs[:sigma:sigma],
+			Q: ptrs[sigma : 2*sigma : 2*sigma],
+			R: ptrs[2*sigma:],
 		}
-		for _, vec := range [][]*big.Int{c.O, c.Q, c.R} {
-			for i := range vec {
-				v, err := getBig(r)
-				if err != nil {
-					return m, err
-				}
-				vec[i] = v
+		for i := range ptrs {
+			ptrs[i] = r.big(&vals[i])
+			if r.err {
+				return m, ErrTruncated
 			}
 		}
 		m.Payload = dmw.CommitmentsPayload{C: c}
 	case tLambdaPsi:
-		lambda, err := getBig(r)
-		if err != nil {
-			return m, err
-		}
-		psi, err := getBig(r)
-		if err != nil {
-			return m, err
+		vals := make([]big.Int, 2)
+		lambda := r.big(&vals[0])
+		psi := r.big(&vals[1])
+		if r.err {
+			return m, ErrTruncated
 		}
 		m.Payload = dmw.LambdaPsiPayload{Lambda: lambda, Psi: psi}
 	case tDisclosure:
-		f, err := getVector(r)
-		if err != nil {
-			return m, err
+		n := int(r.u16())
+		if r.err || n*2 > r.remaining() { // each element needs at least 2 bytes
+			return m, ErrTruncated
 		}
-		m.Payload = dmw.DisclosurePayload{F: f}
+		vals := make([]big.Int, n)
+		out := make([]*big.Int, n)
+		for i := range out {
+			out[i] = r.big(&vals[i])
+			if r.err {
+				return m, ErrTruncated
+			}
+		}
+		m.Payload = dmw.DisclosurePayload{F: out}
 	case tSecondPrice:
-		lambda, err := getBig(r)
-		if err != nil {
-			return m, err
-		}
-		psi, err := getBig(r)
-		if err != nil {
-			return m, err
+		vals := make([]big.Int, 2)
+		lambda := r.big(&vals[0])
+		psi := r.big(&vals[1])
+		if r.err {
+			return m, ErrTruncated
 		}
 		m.Payload = dmw.SecondPricePayload{Lambda: lambda, Psi: psi}
 	case tPaymentClaim:
-		var n uint16
-		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-			return m, ErrTruncated
-		}
-		if int(n)*8 > r.Len() {
+		n := int(r.u16())
+		if r.err || n*8 > r.remaining() {
 			return m, ErrTruncated
 		}
 		ps := make([]int64, n)
 		for i := range ps {
-			if err := binary.Read(r, binary.BigEndian, &ps[i]); err != nil {
-				return m, ErrTruncated
-			}
+			ps[i] = int64(r.u64())
+		}
+		if r.err {
+			return m, ErrTruncated
 		}
 		m.Payload = dmw.PaymentClaimPayload{Payments: ps}
 	case tAbort:
-		var n uint16
-		if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-			return m, ErrTruncated
-		}
-		if int(n) > r.Len() {
-			return m, ErrTruncated
-		}
-		s := make([]byte, n)
-		if _, err := io.ReadFull(r, s); err != nil {
+		n := int(r.u16())
+		s := r.take(n)
+		if r.err {
 			return m, ErrTruncated
 		}
 		m.Payload = dmw.AbortPayload{Reason: string(s)}
 	default:
 		return m, fmt.Errorf("wire: unknown payload type %d", ptype)
 	}
-	if r.Len() != 0 {
-		return m, fmt.Errorf("wire: %d trailing bytes", r.Len())
+	if r.remaining() != 0 {
+		return m, fmt.Errorf("wire: %d trailing bytes", r.remaining())
 	}
 	return m, nil
 }
