@@ -9,7 +9,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X dmw/internal/obs.Version=$(VERSION)"
 # BENCH_OUT is the archived benchmark document `make bench` emits; bump
 # the suffix when re-baselining after a performance PR.
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 # BENCHTIME trades precision for runtime; 0.2s is enough for the
 # crypto-level series to stabilize on an idle machine.
 BENCHTIME ?= 0.2s
@@ -25,7 +25,7 @@ SERVER_BENCHTIME ?= 3s
 # manually with `go test -fuzz <Target> <pkg>`.
 FUZZTIME ?= 3s
 
-.PHONY: all build bin vet test test-race test-server e2e-shard e2e-tenant obs-smoke bench bench-crypto bench-smoke bench-server bench-gateway allocs-gate fuzz-smoke ci
+.PHONY: all build bin vet test test-race test-server e2e-shard e2e-tenant e2e-elastic obs-smoke bench bench-crypto bench-smoke bench-server bench-gateway allocs-gate fuzz-smoke ci
 
 all: build vet test
 
@@ -77,6 +77,18 @@ e2e-shard:
 e2e-tenant:
 	$(GO) test -race -run 'TestE2ETenantIsolationAndStreamSurvival' -v -count=1 ./internal/gateway
 
+# e2e-elastic is the elastic-fleet acceptance scenario: a lease-only
+# gateway (zero static backends) grows a journal-backed fleet of REAL
+# dmwd child processes 2 -> 6 and shrinks it back to 3 under sustained
+# mixed load — all through membership leases, no gateway config edits
+# or restarts. Asserts zero acknowledged-job loss and that reads of
+# acknowledged jobs never 502 mid-resize; the companion kill -9 test
+# pins that acknowledged transcripts survive owner death (replica copy
+# first, WAL recovery second). See docs/SCALING.md. Runs under -race;
+# CI runs this on every push.
+e2e-elastic:
+	$(GO) test -race -run 'TestE2EElastic' -v -count=1 ./internal/gateway
+
 # obs-smoke boots a REAL dmwd process (JSON logs, -addr :0), submits a
 # traced job over HTTP, asserts the trace endpoint serves at least one
 # span per DMW phase, SIGTERMs the daemon, and checks that it exits
@@ -96,7 +108,7 @@ bench:
 		./internal/group ./internal/commit ./internal/journal ./internal/tenant && \
 	  $(GO) test -run xxx -bench 'Table1|MinWork' -benchmem -benchtime $(BENCHTIME) . && \
 	  $(GO) test -run xxx -bench ServerThroughput -benchmem -benchtime $(SERVER_BENCHTIME) . && \
-	  $(GO) test -run xxx -bench GatewayThroughput -benchtime $(GATEWAY_BENCHTIME) . \
+	  $(GO) test -run xxx -bench 'GatewayThroughput|GatewayElasticResize' -benchtime $(GATEWAY_BENCHTIME) . \
 	) | ./bin/benchjson -out $(BENCH_OUT)
 
 # bench-crypto runs only the cryptographic inner loops (group + commit)
@@ -138,4 +150,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
 	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
 
-ci: build vet test-race e2e-shard e2e-tenant obs-smoke allocs-gate bench-smoke fuzz-smoke
+ci: build vet test-race e2e-shard e2e-tenant e2e-elastic obs-smoke allocs-gate bench-smoke fuzz-smoke

@@ -30,8 +30,10 @@ import (
 	"dmw/internal/gateway"
 	"dmw/internal/group"
 	"dmw/internal/mechanism"
+	"dmw/internal/membership"
 	"dmw/internal/poly"
 	"dmw/internal/privacy"
+	replicapkg "dmw/internal/replica"
 	"dmw/internal/sched"
 	"dmw/internal/server"
 )
@@ -402,6 +404,12 @@ func BenchmarkMinWorkCentralizedLarge(b *testing.B) {
 // listener for the gateway scaling benchmark.
 func startBenchReplica(b *testing.B) *httptest.Server {
 	b.Helper()
+	_, ts := startBenchReplicaSrv(b)
+	return ts
+}
+
+func startBenchReplicaSrv(b *testing.B) (*server.Server, *httptest.Server) {
+	b.Helper()
 	srv, err := server.New(server.Config{
 		Preset:     PresetTest64,
 		QueueDepth: 128,
@@ -419,7 +427,7 @@ func startBenchReplica(b *testing.B) *httptest.Server {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 	})
-	return ts
+	return srv, ts
 }
 
 // benchGatewaySpec is the scaling workload: a small auction over
@@ -440,8 +448,12 @@ func benchGatewaySpec(seed int64) server.JobSpec {
 
 // benchHTTPJobs drives depth-windowed submit+wait pairs over HTTP
 // against base (a dmwd or a dmwgw front door) and reports jobs/sec.
-func benchHTTPJobs(b *testing.B, base string, depth int) {
+// retryReads makes the read half retry 404/502/non-terminal answers —
+// the client contract during a fleet resize, when a job may live on a
+// member that just left the ring until its replicated copy lands.
+func benchHTTPJobs(b *testing.B, base string, depth int, retryReads ...bool) {
 	b.Helper()
+	retry := len(retryReads) > 0 && retryReads[0]
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        4 * depth,
 		MaxIdleConnsPerHost: 4 * depth,
@@ -478,23 +490,29 @@ func benchHTTPJobs(b *testing.B, base string, depth int) {
 			id = view.ID
 			break
 		}
-		resp, err := client.Get(base + "/v1/jobs/" + id + "?wait=30s")
-		if err != nil {
-			return err
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := client.Get(base + "/v1/jobs/" + id + "?wait=30s")
+			if err != nil {
+				return err
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			var view server.JobView
+			if err := json.Unmarshal(data, &view); err != nil && !retry {
+				return err
+			}
+			if view.State == server.StateDone {
+				return nil
+			}
+			if !retry || time.Now().After(deadline) {
+				return fmt.Errorf("job %s: HTTP %d state %s: %s", id, resp.StatusCode, view.State, view.Error)
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		var view server.JobView
-		if err := json.Unmarshal(data, &view); err != nil {
-			return err
-		}
-		if view.State != server.StateDone {
-			return fmt.Errorf("job %s state %s: %s", id, view.State, view.Error)
-		}
-		return nil
 	}
 
 	sem := make(chan struct{}, depth)
@@ -549,4 +567,108 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 			benchHTTPJobs(b, front.URL, depth)
 		})
 	}
+}
+
+// BenchmarkGatewayElasticResize measures jobs/sec through the gateway
+// while the fleet is CONTINUOUSLY resizing via membership leases: a
+// background churner joins two extra members and releases them again,
+// over and over, so every measured window spans several ring-epoch
+// changes. The delta against BenchmarkGatewayThroughput/replicas=2
+// prices keyspace movement under load — the number the elastic-fleet
+// design promises stays small.
+func BenchmarkGatewayElasticResize(b *testing.B) {
+	const depth = 64
+	g, err := gateway.New(gateway.Config{
+		AllowEmptyFleet: true,
+		HealthInterval:  time.Second,
+		LeaseTTL:        time.Hour, // churn is explicit below, never TTL expiry
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	front := httptest.NewServer(g.Handler())
+	b.Cleanup(func() {
+		front.Close()
+		g.Close()
+	})
+
+	lease := func(name, url string) {
+		body, _ := json.Marshal(membership.LeaseRequest{Name: name, URL: url, Weight: 1})
+		resp, err := http.Post(front.URL+membership.LeasePath, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("lease %s: HTTP %d", name, resp.StatusCode)
+		}
+	}
+	release := func(name string) {
+		req, _ := http.NewRequest(http.MethodDelete, front.URL+membership.LeasePath+"/"+name, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// Two permanent members carry the load; two transient ones churn.
+	// Every member gets the full fleet view (what lease grants install
+	// in production) so terminal records replicate to ring successors
+	// and reads of jobs finished on a departed member keep answering.
+	type member struct {
+		srv *server.Server
+		ts  *httptest.Server
+	}
+	mk := func() member {
+		srv, ts := startBenchReplicaSrv(b)
+		return member{srv, ts}
+	}
+	fleet := map[string]member{"perm0": mk(), "perm1": mk(), "churn0": mk(), "churn1": mk()}
+	var epoch uint64
+	installViews := func() {
+		epoch++
+		var peers []replicapkg.Peer
+		for name, m := range fleet {
+			peers = append(peers, replicapkg.Peer{Name: name, URL: m.ts.URL, Weight: 1})
+		}
+		for name, m := range fleet {
+			m.srv.ApplyFleetView(replicapkg.View{
+				Epoch: epoch, Self: name, Replication: len(fleet), Peers: peers,
+			})
+		}
+	}
+	installViews()
+	lease("perm0", fleet["perm0"].ts.URL)
+	lease("perm1", fleet["perm1"].ts.URL)
+	churn0, churn1 := fleet["churn0"].ts, fleet["churn1"].ts
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			if i%2 == 0 {
+				lease("churn0", churn0.URL)
+				lease("churn1", churn1.URL)
+			} else {
+				release("churn0")
+				release("churn1")
+			}
+		}
+	}()
+	b.Cleanup(func() {
+		close(stop)
+		churnWG.Wait()
+	})
+
+	benchHTTPJobs(b, front.URL, depth, true)
+	b.ReportMetric(float64(g.RingEpoch()), "ring-epochs")
 }

@@ -12,8 +12,19 @@
 //	     [-data-dir dir] [-fsync always|interval|never]
 //	     [-fsync-interval 100ms] [-snapshot-every 1024]
 //	     [-tenants tenants.json]
+//	     [-join http://gw:7800] [-advertise http://host:7700]
+//	     [-member-name name] [-member-weight 1]
 //	     [-pprof-addr 127.0.0.1:6060]
 //	     [-log-level info] [-log-format text|json] [-addr-file path]
+//
+// With -join, the daemon becomes an elastic fleet member: it acquires a
+// renewable lease from the dmwgw gateway(s), which places it on the
+// routing ring automatically (no gateway config edit or restart), and
+// every lease grant installs the fleet view that drives the replicated
+// results tier — terminal job records are pushed to ring successors so
+// reads of acknowledged jobs survive resizes and owner death. On
+// SIGTERM the daemon drains, hands its records to the survivors, and
+// releases its lease. See docs/SCALING.md.
 //
 // Logs are structured (log/slog): -log-format json emits one JSON
 // object per line for machine consumption, each carrying the
@@ -49,13 +60,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dmw"
 	"dmw/internal/group"
+	"dmw/internal/membership"
 	"dmw/internal/obs"
 	"dmw/internal/pprofserve"
+	"dmw/internal/replica"
 	"dmw/internal/server"
 	"dmw/internal/tenant"
 )
@@ -95,6 +109,11 @@ func run() error {
 		tenantsFile = flag.String("tenants", "", "per-tenant limits JSON (rate/burst/quota/weight); empty = single unlimited default tenant; see docs/TENANCY.md")
 
 		paramsCache = flag.String("params-cache", "", "warm precompute tables artifact (dmwparams -tables, or GET /v1/params-cache from a peer); loaded at boot, rebuilt and rewritten if missing or invalid; see docs/PERFORMANCE.md")
+
+		join         = flag.String("join", "", "comma-separated dmwgw base URLs to lease fleet membership from (empty = static deployment); see docs/SCALING.md")
+		advertise    = flag.String("advertise", "", "base URL peers and the gateway reach this daemon at (default http://<bound addr>, with unspecified hosts rewritten to 127.0.0.1)")
+		memberName   = flag.String("member-name", "", "fleet member name for the lease (default: the replica ID, stable across restarts with -data-dir)")
+		memberWeight = flag.Int("member-weight", 1, "relative ring weight of this member (capacity hint)")
 	)
 	flag.Parse()
 
@@ -176,6 +195,46 @@ func run() error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Elastic membership: lease a ring slot from the gateway(s) and feed
+	// every grant's peer list into the replica tier. Started only after
+	// the listener is bound, so the advertised URL is always reachable
+	// by the time the gateway routes to it.
+	var agent *membership.Agent
+	if *join != "" {
+		name := *memberName
+		if name == "" {
+			name = srv.ReplicaID()
+		}
+		selfURL := *advertise
+		if selfURL == "" {
+			selfURL = defaultAdvertise(ln.Addr())
+		}
+		agent, err = membership.NewAgent(membership.AgentConfig{
+			Gateways: splitGateways(*join),
+			Name:     name,
+			URL:      selfURL,
+			Weight:   *memberWeight,
+			Logf:     logf,
+			OnGrant: func(gr membership.LeaseGrant) {
+				peers := make([]replica.Peer, len(gr.Peers))
+				for i, p := range gr.Peers {
+					peers[i] = replica.Peer{Name: p.Name, URL: p.URL, Weight: p.Weight}
+				}
+				srv.ApplyFleetView(replica.View{
+					Epoch:       gr.Epoch,
+					Self:        name,
+					Replication: gr.Replication,
+					Peers:       peers,
+				})
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("membership: %w", err)
+		}
+		logf("membership: leasing as %q (%s) from %s", name, selfURL, *join)
+		agent.Start()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		logf("listening on %s", ln.Addr())
@@ -201,6 +260,12 @@ func run() error {
 	if err := srv.Shutdown(ctx); err != nil {
 		logf("drain incomplete: %v", err)
 	}
+	// Release the lease only AFTER the drain: the member stays on the
+	// ring while it finishes work and hands its records to successors,
+	// then leaves gracefully (the gateway bumps the ring epoch).
+	if agent != nil {
+		agent.Stop()
+	}
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer httpCancel()
 	if err := httpSrv.Shutdown(httpCtx); err != nil {
@@ -208,4 +273,30 @@ func run() error {
 	}
 	logf("bye")
 	return nil
+}
+
+// splitGateways parses the -join list (comma-separated, blanks ignored).
+func splitGateways(s string) []string {
+	var out []string
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// defaultAdvertise derives a reachable base URL from the bound listen
+// address: an unspecified host (-addr :7700 binds [::] or 0.0.0.0) is
+// rewritten to 127.0.0.1 — correct for single-host fleets; multi-host
+// deployments pass -advertise explicitly.
+func defaultAdvertise(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

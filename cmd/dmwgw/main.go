@@ -12,8 +12,19 @@
 //	      [-vnodes 128] [-max-inflight 256]
 //	      [-health-interval 1s] [-health-timeout 2s]
 //	      [-fail-after 2] [-recover-after 2]
+//	      [-lease-ttl 10s] [-replication 2] [-addr-file path]
 //	      [-request-timeout 60s] [-pprof-addr addr] [-q]
 //	      [-log-level info] [-log-format text|json]
+//
+// Backends join in two ways: statically via -backend flags, or
+// elastically by leasing membership (dmwd -join http://this-gateway).
+// Leased members are placed on the ring the moment their lease is
+// granted and removed when they release it or let it expire (-lease-ttl
+// bounds how long a silent member stays routable); every membership
+// change bumps the ring epoch exposed on /healthz and /metrics. A
+// gateway may start with zero static backends and grow entirely from
+// leases. -replication is the R factor granted to members for the
+// replicated results tier. See docs/SCALING.md.
 //
 // Logs are structured (log/slog); -log-format json emits one JSON
 // object per line. Every proxied request carries an X-Request-Id
@@ -39,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -96,6 +108,9 @@ func run() error {
 		healthTO   = flag.Duration("health-timeout", 2*time.Second, "per-probe timeout")
 		failAfter  = flag.Int("fail-after", 2, "consecutive probe failures before ring ejection")
 		recovAfter = flag.Int("recover-after", 2, "consecutive probe successes before re-admission")
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "membership lease lifetime; members renew at a fraction of it")
+		replFactor = flag.Int("replication", 2, "replication factor R granted to leased members (owner + R-1 copies)")
+		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file (use with -addr :0)")
 		reqTO      = flag.Duration("request-timeout", time.Minute, "per-attempt proxy timeout")
 		streamTO   = flag.Duration("stream-timeout", 15*time.Minute, "relayed SSE stream lifetime bound (negative = unbounded)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
@@ -107,9 +122,8 @@ func run() error {
 	if parseErr != nil {
 		return parseErr
 	}
-	if len(backends) == 0 {
-		return fmt.Errorf("at least one -backend is required")
-	}
+	// Zero static backends is a valid elastic deployment: the fleet
+	// grows entirely from membership leases (dmwd -join).
 
 	slogger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -128,32 +142,45 @@ func run() error {
 	defer stopPprof()
 
 	g, err := gateway.New(gateway.Config{
-		Backends:       backends,
-		VirtualNodes:   *vnodes,
-		MaxInFlight:    *maxInFl,
-		HealthInterval: *healthInt,
-		HealthTimeout:  *healthTO,
-		FailAfter:      *failAfter,
-		RecoverAfter:   *recovAfter,
-		RequestTimeout: *reqTO,
-		StreamTimeout:  *streamTO,
-		Logf:           logf,
-		Logger:         slogger,
+		Backends:        backends,
+		AllowEmptyFleet: true, // elastic: leases may be the only members
+		VirtualNodes:    *vnodes,
+		MaxInFlight:     *maxInFl,
+		HealthInterval:  *healthInt,
+		HealthTimeout:   *healthTO,
+		FailAfter:       *failAfter,
+		RecoverAfter:    *recovAfter,
+		RequestTimeout:  *reqTO,
+		StreamTimeout:   *streamTO,
+		LeaseTTL:        *leaseTTL,
+		Replication:     *replFactor,
+		Logf:            logf,
+		Logger:          slogger,
 	})
 	if err != nil {
 		return err
 	}
 	defer g.Close()
 
+	// Listen explicitly so the bound address is known before serving
+	// (-addr :0 plus -addr-file boots on a free port for harnesses).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           g.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		logf("routing %d backends, listening on %s", len(backends), *addr)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logf("routing %d static backends (leases welcome), listening on %s", len(backends), ln.Addr())
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			errCh <- err
 		}
 	}()

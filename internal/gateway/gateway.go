@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dmw/internal/membership"
 	"dmw/internal/obs"
 	"dmw/internal/ring"
 )
@@ -54,8 +55,23 @@ type Backend struct {
 
 // Config configures New.
 type Config struct {
-	// Backends is the replica fleet. At least one is required.
+	// Backends is the static replica fleet. At least one is required
+	// unless AllowEmptyFleet is set, in which case the fleet may form
+	// entirely from membership leases (see internal/membership).
 	Backends []Backend
+	// AllowEmptyFleet permits starting with zero static backends; the
+	// gateway then answers 502/"no backend candidates" until the first
+	// replica leases in.
+	AllowEmptyFleet bool
+	// LeaseTTL is the lifetime of membership leases this gateway issues
+	// (default membership.DefaultTTL). Expired leases are swept on the
+	// health-probe tick, so the effective removal latency is
+	// LeaseTTL + HealthInterval.
+	LeaseTTL time.Duration
+	// Replication is the results replication factor R advertised in
+	// lease grants: a terminal job record lives on its owner plus R-1
+	// ring successors (default 2).
+	Replication int
 	// VirtualNodes per unit weight on the ring (default
 	// ring.DefaultVirtualNodes).
 	VirtualNodes int
@@ -113,6 +129,12 @@ func (c Config) withDefaults() Config {
 	if c.StreamTimeout == 0 {
 		c.StreamTimeout = 15 * time.Minute
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = membership.DefaultTTL
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -139,6 +161,10 @@ type backend struct {
 	// a replica that fails slowly is exactly what the histogram is for.
 	reqHist *obs.Histogram
 
+	// leased marks a backend that joined via a membership lease rather
+	// than static config; it leaves the fleet on release or expiry.
+	leased bool
+
 	// up is the ring-membership view of health. Backends start up;
 	// the prober ejects after FailAfter consecutive failures.
 	up atomic.Bool
@@ -163,12 +189,28 @@ func (b *backend) release() { <-b.sem }
 
 // Gateway routes the dmwd HTTP API across a replica fleet.
 type Gateway struct {
-	cfg      Config
-	ring     *ring.Ring
-	backends map[string]*backend // by name; immutable after New
-	order    []string            // config order, for stable /healthz output
-	metrics  gwMetrics
-	start    time.Time
+	cfg  Config
+	ring *ring.Ring
+
+	// bmu guards backends and order. The fleet is no longer immutable
+	// after New: membership leases add and remove backends at runtime.
+	// Readers take snapshots (snapshotBackends) rather than holding the
+	// lock across network I/O.
+	bmu      sync.RWMutex
+	backends map[string]*backend // by name
+	order    []string            // join order, for stable /healthz output
+
+	// leases is the membership ledger; the sweep on the health tick
+	// turns expirations into ring removals.
+	leases *membership.Table
+	// epoch numbers ring rebuilds: every membership change (lease
+	// join/release/expiry, prober eject/readmit) increments it. Grants
+	// and /metrics expose it so operators and replicas can watch a
+	// resize converge.
+	epoch atomic.Uint64
+
+	metrics gwMetrics
+	start   time.Time
 	// instanceID identifies this gateway process in dmwgw_build_info and
 	// structured logs; random per boot (the gateway is stateless, so a
 	// restart genuinely is a new instance).
@@ -183,13 +225,14 @@ type Gateway struct {
 // Call Close to stop it.
 func New(cfg Config) (*Gateway, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Backends) == 0 {
+	if len(cfg.Backends) == 0 && !cfg.AllowEmptyFleet {
 		return nil, errors.New("gateway: no backends configured")
 	}
 	g := &Gateway{
 		cfg:        cfg,
 		ring:       ring.New(cfg.VirtualNodes),
 		backends:   make(map[string]*backend, len(cfg.Backends)),
+		leases:     membership.NewTable(cfg.LeaseTTL),
 		start:      time.Now(),
 		stop:       make(chan struct{}),
 		instanceID: newJobID(),
@@ -205,58 +248,97 @@ func New(cfg Config) (*Gateway, error) {
 		if err != nil || u.Scheme == "" || u.Host == "" {
 			return nil, fmt.Errorf("gateway: backend %q: invalid URL %q", bc.Name, bc.URL)
 		}
-		w := bc.Weight
-		if w < 1 {
-			w = 1
-		}
-		b := &backend{
-			name:    bc.Name,
-			weight:  w,
-			sem:     make(chan struct{}, cfg.MaxInFlight),
-			reqHist: obs.NewHistogram(backendLatencyBucketsS),
-			client: &http.Client{
-				// Keep-alive pool sized for the in-flight bound: every
-				// concurrent request can park its connection instead of
-				// re-dialing, which is where gateway throughput lives.
-				Transport: &http.Transport{
-					MaxIdleConns:        cfg.MaxInFlight,
-					MaxIdleConnsPerHost: cfg.MaxInFlight,
-					IdleConnTimeout:     90 * time.Second,
-				},
-			},
-		}
-		b.base.Store(u)
-		b.up.Store(true)
+		b := g.newBackend(bc.Name, u, bc.Weight, false)
 		g.backends[bc.Name] = b
 		g.order = append(g.order, bc.Name)
-		g.ring.Add(bc.Name, w)
+		g.ring.Add(bc.Name, b.weight)
 	}
+	// Epoch 1 is "the ring as configured at boot"; every later
+	// membership change increments.
+	g.epoch.Store(1)
 	g.wg.Add(1)
 	go g.healthLoop()
 	return g, nil
+}
+
+// newBackend builds the runtime state for one replica (static or
+// leased). Callers insert it into g.backends and the ring themselves.
+func (g *Gateway) newBackend(name string, u *url.URL, weight int, leased bool) *backend {
+	if weight < 1 {
+		weight = 1
+	}
+	b := &backend{
+		name:    name,
+		weight:  weight,
+		leased:  leased,
+		sem:     make(chan struct{}, g.cfg.MaxInFlight),
+		reqHist: obs.NewHistogram(backendLatencyBucketsS),
+		client: &http.Client{
+			// Keep-alive pool sized for the in-flight bound: every
+			// concurrent request can park its connection instead of
+			// re-dialing, which is where gateway throughput lives.
+			Transport: &http.Transport{
+				MaxIdleConns:        g.cfg.MaxInFlight,
+				MaxIdleConnsPerHost: g.cfg.MaxInFlight,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	b.base.Store(u)
+	b.up.Store(true)
+	return b
 }
 
 // Close stops the health prober and closes idle connections.
 func (g *Gateway) Close() {
 	g.stopOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
-	for _, b := range g.backends {
+	for _, b := range g.snapshotBackends() {
 		b.client.CloseIdleConnections()
 	}
+}
+
+// RingEpoch reports the current ring epoch (see Gateway.epoch).
+func (g *Gateway) RingEpoch() uint64 { return g.epoch.Load() }
+
+// snapshotBackends returns the fleet in join order. The slice is fresh;
+// the *backend values are shared live state.
+func (g *Gateway) snapshotBackends() []*backend {
+	g.bmu.RLock()
+	defer g.bmu.RUnlock()
+	out := make([]*backend, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, g.backends[name])
+	}
+	return out
+}
+
+// getBackend looks up one backend by name.
+func (g *Gateway) getBackend(name string) (*backend, bool) {
+	g.bmu.RLock()
+	defer g.bmu.RUnlock()
+	b, ok := g.backends[name]
+	return b, ok
 }
 
 // candidates returns the failover order for key: the ring owner first,
 // then its distinct successors. Ejected backends are already off the
 // ring; if every backend is ejected, fall back to the full fleet (a
-// best-effort attempt beats a guaranteed 503).
+// best-effort attempt beats a guaranteed 503). With an empty fleet
+// (AllowEmptyFleet before the first lease) the list is empty and
+// callers answer 502.
 func (g *Gateway) candidates(key string) []*backend {
 	names := g.ring.Successors(key, 0)
+	g.bmu.RLock()
+	defer g.bmu.RUnlock()
 	if len(names) == 0 {
 		names = g.order
 	}
 	out := make([]*backend, 0, len(names))
 	for _, n := range names {
-		out = append(out, g.backends[n])
+		if b, ok := g.backends[n]; ok {
+			out = append(out, b)
+		}
 	}
 	return out
 }
@@ -287,7 +369,7 @@ func (b *backend) joinPath(path, rawQuery string) string {
 // Placement is untouched (the ring keys on the backend name); only the
 // dial target changes.
 func (g *Gateway) SetBackendURL(name, rawURL string) error {
-	b, ok := g.backends[name]
+	b, ok := g.getBackend(name)
 	if !ok {
 		return fmt.Errorf("gateway: unknown backend %q", name)
 	}

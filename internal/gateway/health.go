@@ -31,8 +31,9 @@ func (g *Gateway) healthLoop() {
 		case <-g.stop:
 			return
 		case <-t.C:
-			for _, name := range g.order {
-				g.probe(g.backends[name])
+			g.sweepLeases(time.Now())
+			for _, b := range g.snapshotBackends() {
+				g.probe(b)
 			}
 		}
 	}
@@ -66,8 +67,9 @@ func (g *Gateway) probe(b *backend) {
 				b.oks = 0
 				b.up.Store(true)
 				g.ring.Add(b.name, b.weight)
+				g.epoch.Add(1)
 				g.metrics.readmitted.Add(1)
-				g.cfg.Logf("gateway: backend %s re-admitted to ring", b.name)
+				g.cfg.Logf("gateway: backend %s re-admitted to ring (epoch %d)", b.name, g.epoch.Load())
 			}
 		}
 		return
@@ -77,8 +79,9 @@ func (g *Gateway) probe(b *backend) {
 	if b.up.Load() && b.fails >= g.cfg.FailAfter {
 		b.up.Store(false)
 		g.ring.Remove(b.name)
+		g.epoch.Add(1)
 		g.metrics.ejected.Add(1)
-		g.cfg.Logf("gateway: backend %s ejected after %d failed probes", b.name, b.fails)
+		g.cfg.Logf("gateway: backend %s ejected after %d failed probes (epoch %d)", b.name, b.fails, g.epoch.Load())
 	}
 }
 
@@ -104,9 +107,12 @@ func (g *Gateway) checkOnce(ctx context.Context, b *backend) (healthy bool, repl
 
 // gatewayHealth is the gateway's own /healthz body.
 type gatewayHealth struct {
-	Status     string          `json:"status"` // "ok" | "degraded" (some down) | "down" (all down)
-	UptimeSecs float64         `json:"uptime_seconds"`
-	Backends   []backendStatus `json:"backends"`
+	Status     string  `json:"status"` // "ok" | "degraded" (some down) | "down" (all down)
+	UptimeSecs float64 `json:"uptime_seconds"`
+	// RingEpoch numbers ring rebuilds; it moves on every membership
+	// change, so a stable value means placement has converged.
+	RingEpoch uint64          `json:"ring_epoch"`
+	Backends  []backendStatus `json:"backends"`
 }
 
 type backendStatus struct {
@@ -115,27 +121,46 @@ type backendStatus struct {
 	Weight    int    `json:"weight"`
 	Up        bool   `json:"up"`
 	ReplicaID string `json:"replica_id,omitempty"`
+	// Source is "static" (config) or "lease" (membership protocol).
+	Source string `json:"source"`
+	// LeaseExpiresSecs is the remaining lease lifetime for leased
+	// members (absent for static ones). Negative means the sweep is
+	// about to remove it.
+	LeaseExpiresSecs *float64 `json:"lease_expires_seconds,omitempty"`
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	hv := gatewayHealth{UptimeSecs: time.Since(g.start).Seconds()}
-	up := 0
-	for _, name := range g.order {
-		b := g.backends[name]
+	hv := gatewayHealth{
+		UptimeSecs: time.Since(g.start).Seconds(),
+		RingEpoch:  g.epoch.Load(),
+	}
+	now := time.Now()
+	up, total := 0, 0
+	for _, b := range g.snapshotBackends() {
 		b.mu.Lock()
 		rid := b.replicaID
 		b.mu.Unlock()
 		alive := b.up.Load()
+		total++
 		if alive {
 			up++
 		}
-		hv.Backends = append(hv.Backends, backendStatus{
+		bs := backendStatus{
 			Name: b.name, URL: b.base.Load().String(), Weight: b.weight, Up: alive, ReplicaID: rid,
-		})
+			Source: "static",
+		}
+		if b.leased {
+			bs.Source = "lease"
+			if l, ok := g.leases.Get(b.name); ok {
+				rem := l.Expires.Sub(now).Seconds()
+				bs.LeaseExpiresSecs = &rem
+			}
+		}
+		hv.Backends = append(hv.Backends, bs)
 	}
 	status := http.StatusOK
 	switch {
-	case up == len(g.order):
+	case total > 0 && up == total:
 		hv.Status = "ok"
 	case up > 0:
 		hv.Status = "degraded"

@@ -1,16 +1,21 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"dmw/internal/group"
+	"dmw/internal/membership"
+	replpkg "dmw/internal/replica"
 	"dmw/internal/server"
 	"dmw/internal/tenant"
 )
@@ -25,6 +30,16 @@ const replicaChildEnv = "DMWGW_REPLICA_CHILD_DIR"
 // the dmwd -tenants flag loads) for the child, so the tenancy e2e can
 // run real replicas with real per-tenant admission control.
 const replicaTenantsEnv = "DMWGW_REPLICA_TENANTS"
+
+// replicaJoinEnv / replicaNameEnv turn the child into an elastic fleet
+// member (the dmwd -join / -member-name path): it leases membership
+// from the gateway URL, feeds every grant into the replica tier, and on
+// SIGTERM drains, hands its records to survivors, and releases the
+// lease — exactly the production leave sequence.
+const (
+	replicaJoinEnv = "DMWGW_REPLICA_JOIN"
+	replicaNameEnv = "DMWGW_REPLICA_NAME"
+)
 
 func TestMain(m *testing.M) {
 	if os.Getenv(replicaChildEnv) != "" {
@@ -68,11 +83,57 @@ func runReplicaChild() {
 		die(err)
 	}
 	addrFile := filepath.Join(dir, "addr")
-	if err := os.WriteFile(addrFile+".tmp", []byte("http://"+ln.Addr().String()), 0o644); err != nil {
+	selfURL := "http://" + ln.Addr().String()
+	if err := os.WriteFile(addrFile+".tmp", []byte(selfURL), 0o644); err != nil {
 		die(err)
 	}
 	if err := os.Rename(addrFile+".tmp", addrFile); err != nil {
 		die(err)
 	}
-	_ = (&http.Server{Handler: s.Handler()}).Serve(ln) // blocks until SIGKILL
+
+	var agent *membership.Agent
+	if gw := os.Getenv(replicaJoinEnv); gw != "" {
+		name := os.Getenv(replicaNameEnv)
+		if name == "" {
+			name = s.ReplicaID()
+		}
+		agent, err = membership.NewAgent(membership.AgentConfig{
+			Gateways: []string{gw},
+			Name:     name,
+			URL:      selfURL,
+			OnGrant: func(gr membership.LeaseGrant) {
+				peers := make([]replpkg.Peer, len(gr.Peers))
+				for i, p := range gr.Peers {
+					peers[i] = replpkg.Peer{Name: p.Name, URL: p.URL, Weight: p.Weight}
+				}
+				s.ApplyFleetView(replpkg.View{
+					Epoch: gr.Epoch, Self: name,
+					Replication: gr.Replication, Peers: peers,
+				})
+			},
+		})
+		if err != nil {
+			die(err)
+		}
+		agent.Start()
+	}
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	if agent == nil {
+		_ = httpSrv.Serve(ln) // blocks until SIGKILL
+		return
+	}
+	// Elastic member: SIGTERM triggers the graceful leave (drain, hand
+	// off records to ring successors, release the lease). SIGKILL still
+	// tests the crash path — nothing below runs.
+	go func() { _ = httpSrv.Serve(ln) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM)
+	<-sigCh
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+	agent.Stop()
+	_ = httpSrv.Shutdown(ctx)
+	os.Exit(0)
 }

@@ -38,6 +38,11 @@ type gwMetrics struct {
 	ejected         atomic.Int64 // ring ejections by the health prober
 	readmitted      atomic.Int64 // ring re-admissions
 	replicaRestarts atomic.Int64 // replica identity changes behind one address
+
+	leaseJoins    atomic.Int64 // members admitted via membership lease
+	leaseRenewals atomic.Int64 // lease heartbeats for existing members
+	leaseReleases atomic.Int64 // graceful lease releases (drain/leave)
+	leaseExpiries atomic.Int64 // leases swept after missed renewals
 	// scrapeErrors counts replica /metrics scrapes dropped from the
 	// fleet aggregation — unreachable replicas AND replicas whose body
 	// failed to parse (a malformed line poisons the whole scrape; see
@@ -68,9 +73,24 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("dmwgw_backend_ejections_total %d\n", g.metrics.ejected.Load())
 	p("dmwgw_backend_readmissions_total %d\n", g.metrics.readmitted.Load())
 	p("dmwgw_replica_restarts_total %d\n", g.metrics.replicaRestarts.Load())
+	p("dmwgw_ring_epoch %d\n", g.epoch.Load())
+	p("dmwgw_lease_joins_total %d\n", g.metrics.leaseJoins.Load())
+	p("dmwgw_lease_renewals_total %d\n", g.metrics.leaseRenewals.Load())
+	p("dmwgw_lease_releases_total %d\n", g.metrics.leaseReleases.Load())
+	p("dmwgw_lease_expiries_total %d\n", g.metrics.leaseExpiries.Load())
 	p("dmwgw_uptime_seconds %.3f\n", time.Since(g.start).Seconds())
-	for _, name := range g.order {
-		g.backends[name].reqHist.Write(w, "dmwgw_backend_request_seconds", `backend="`+name+`"`)
+	backends := g.snapshotBackends()
+	now := time.Now()
+	for _, b := range backends {
+		b.reqHist.Write(w, "dmwgw_backend_request_seconds", `backend="`+b.name+`"`)
+		if b.leased {
+			if l, ok := g.leases.Get(b.name); ok {
+				// Remaining lease lifetime; operators watch this sink
+				// toward zero on a wedged replica before the expiry sweep
+				// fires.
+				p("dmwgw_backend_lease_seconds{backend=%q} %.3f\n", b.name, l.Expires.Sub(now).Seconds())
+			}
+		}
 	}
 	obs.WriteRuntimeMetrics(w, "dmwgw")
 
@@ -81,8 +101,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var wg sync.WaitGroup
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout)
 	defer cancel()
-	for _, name := range g.order {
-		b := g.backends[name]
+	for _, b := range backends {
 		p("dmwgw_backend_up{backend=%q} %d\n", b.name, boolToInt(b.up.Load()))
 		wg.Add(1)
 		go func(b *backend) {

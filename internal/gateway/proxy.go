@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"dmw/internal/membership"
 	"dmw/internal/obs"
 	"dmw/internal/server"
 	"dmw/internal/tenant"
@@ -41,7 +42,9 @@ const maxRelayBytes = 8 << 20
 //	GET  /v1/jobs/{id}/events     same routing; relays the replica's SSE stream
 //	GET  /v1/events               fleet firehose: every replica's SSE events merged
 //	GET  /v1/params-cache         warm-boot tables artifact from any healthy replica
-//	GET  /healthz                 gateway + per-backend fleet view
+//	POST   /v1/membership/lease          acquire/renew a membership lease (see internal/membership)
+//	DELETE /v1/membership/lease/{name}   graceful lease release
+//	GET  /healthz                 gateway + per-backend fleet view (+ ring epoch, lease state)
 //	GET  /metrics                 gateway counters + summed fleet counters
 //
 // Every route runs behind the request-ID middleware: the X-Request-Id
@@ -58,6 +61,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleJobEvents)
 	mux.HandleFunc("GET /v1/events", g.handleFirehose)
 	mux.HandleFunc("GET /v1/params-cache", g.handleParamsCache)
+	mux.HandleFunc("POST "+membership.LeasePath, g.handleLeaseAcquire)
+	mux.HandleFunc("DELETE "+membership.LeasePath+"/{name}", g.handleLeaseRelease)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return g.withRequestID(mux)
@@ -418,7 +423,12 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		owner, ok := g.ring.Owner(specs[i].ID)
 		if !ok {
-			owner = g.order[0] // fleet fully ejected; best effort
+			// Fleet fully ejected (or empty): best effort via any member.
+			// forward() walks the full candidate list per shard anyway;
+			// with zero members it answers per-item errors below.
+			if bs := g.snapshotBackends(); len(bs) > 0 {
+				owner = bs[0].name
+			}
 		}
 		sh := shards[owner]
 		if sh == nil {

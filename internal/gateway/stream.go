@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"dmw/internal/obs"
 	"dmw/internal/tenant"
@@ -169,6 +170,12 @@ func (g *Gateway) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // streams that drop (replica death, stream timeout) detach silently —
 // the client keeps receiving from the survivors, which is exactly the
 // failover story the rest of the gateway tells.
+//
+// Membership is dynamic: a rescan on the health-probe interval attaches
+// replicas that joined (or recovered) AFTER the client connected, so
+// one firehose subscription survives ring-epoch changes — a replica
+// that leases in mid-stream starts contributing events without the
+// client reconnecting.
 func (g *Gateway) handleFirehose(w http.ResponseWriter, r *http.Request) {
 	g.metrics.requests.Add(1)
 	ctx, cancel := g.streamContext(r.Context())
@@ -178,21 +185,42 @@ func (g *Gateway) handleFirehose(w http.ResponseWriter, r *http.Request) {
 		b    *backend
 		resp *http.Response
 	}
-	var conns []conn
-	for _, name := range g.order {
-		b := g.backends[name]
-		if !b.up.Load() {
-			continue
+
+	// attached tracks which replicas currently have a relay goroutine;
+	// a scanner removes itself on exit so a restarted replica (new
+	// process, same name) re-attaches on the next rescan.
+	var attachMu sync.Mutex
+	attached := make(map[string]bool)
+	dial := func(b *backend) (conn, bool) {
+		attachMu.Lock()
+		if attached[b.name] {
+			attachMu.Unlock()
+			return conn{}, false
 		}
+		attached[b.name] = true
+		attachMu.Unlock()
 		resp, err := b.streamClient(ctx, "/v1/events", r.URL.RawQuery)
 		if err != nil || resp.StatusCode != http.StatusOK {
 			if err == nil {
 				resp.Body.Close()
 			}
 			g.metrics.backendErrors.Add(1)
+			attachMu.Lock()
+			delete(attached, b.name)
+			attachMu.Unlock()
+			return conn{}, false
+		}
+		return conn{b: b, resp: resp}, true
+	}
+
+	var conns []conn
+	for _, b := range g.snapshotBackends() {
+		if !b.up.Load() {
 			continue
 		}
-		conns = append(conns, conn{b: b, resp: resp})
+		if c, ok := dial(b); ok {
+			conns = append(conns, c)
+		}
 	}
 	if len(conns) == 0 {
 		g.metrics.unrouted.Add(1)
@@ -211,11 +239,16 @@ func (g *Gateway) handleFirehose(w http.ResponseWriter, r *http.Request) {
 
 	var mu sync.Mutex // serializes whole frames onto the client stream
 	var wg sync.WaitGroup
-	for _, c := range conns {
+	relayConn := func(c conn) {
 		wg.Add(1)
-		go func(c conn) {
+		go func() {
 			defer wg.Done()
 			defer c.resp.Body.Close()
+			defer func() {
+				attachMu.Lock()
+				delete(attached, c.b.name)
+				attachMu.Unlock()
+			}()
 			sc := bufio.NewScanner(c.resp.Body)
 			sc.Buffer(make([]byte, 64*1024), 1024*1024)
 			var frame strings.Builder
@@ -242,8 +275,34 @@ func (g *Gateway) handleFirehose(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 			}
-		}(c)
+		}()
 	}
+	for _, c := range conns {
+		relayConn(c)
+	}
+
+	// Rescanner: pick up replicas that joined or recovered mid-stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(g.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				for _, b := range g.snapshotBackends() {
+					if !b.up.Load() {
+						continue
+					}
+					if c, ok := dial(b); ok {
+						relayConn(c)
+					}
+				}
+			}
+		}
+	}()
 	wg.Wait()
 }
 

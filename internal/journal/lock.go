@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 )
 
@@ -36,10 +37,13 @@ func acquireDirLock(dir string) (*dirLock, error) {
 		return nil, fmt.Errorf("journal: opening lock file: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		_ = f.Close()
 		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
-			return nil, fmt.Errorf("%w (%s): is another dmwd running with this -data-dir?", ErrLocked, path)
+			holder := readLockHolder(f)
+			_ = f.Close()
+			return nil, fmt.Errorf("%w: %s held by %s: is another dmwd running with -data-dir %s?",
+				ErrLocked, path, holder, dir)
 		}
+		_ = f.Close()
 		return nil, fmt.Errorf("journal: flock %s: %w", path, err)
 	}
 	// Best-effort breadcrumb for operators inspecting the dir; the
@@ -47,6 +51,21 @@ func acquireDirLock(dir string) (*dirLock, error) {
 	_ = f.Truncate(0)
 	_, _ = fmt.Fprintf(f, "pid %d\n", os.Getpid())
 	return &dirLock{f: f}, nil
+}
+
+// readLockHolder reports the holder's breadcrumb ("pid 1234") from the
+// already-open lock file, for the contention error message. The
+// breadcrumb is advisory — a pre-breadcrumb or foreign lock file reads
+// as unknown rather than failing.
+func readLockHolder(f *os.File) string {
+	buf := make([]byte, 64)
+	n, _ := f.ReadAt(buf, 0)
+	line, _, _ := strings.Cut(string(buf[:n]), "\n")
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "pid ") {
+		return "an unknown process"
+	}
+	return "process with " + line
 }
 
 // release drops the lock and closes the handle. Idempotent.

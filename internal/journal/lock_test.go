@@ -2,6 +2,7 @@ package journal
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,6 +26,14 @@ func TestDirLockExcludesSecondOpen(t *testing.T) {
 	}
 	if err == nil || !strings.Contains(err.Error(), "another dmwd") {
 		t.Errorf("lock error %q should tell the operator what is holding the dir", err)
+	}
+	// The contention error names the holder's PID (read from the LOCK
+	// breadcrumb; the holder here is this very process) and the data dir.
+	if want := fmt.Sprintf("pid %d", os.Getpid()); err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("lock error %q should include the holder's %s", err, want)
+	}
+	if err == nil || !strings.Contains(err.Error(), dir) {
+		t.Errorf("lock error %q should include the data dir %s", err, dir)
 	}
 
 	// Close releases the lock; the dir is reusable.

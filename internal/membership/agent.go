@@ -1,0 +1,202 @@
+package membership
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AgentConfig configures a replica-side lease agent.
+type AgentConfig struct {
+	// Gateways are the gateway base URLs, tried in order on every
+	// heartbeat. At least one is required.
+	Gateways []string
+	// Name is the ring identity to lease (see LeaseRequest.Name).
+	Name string
+	// URL is the advertised base URL for this replica.
+	URL string
+	// Weight is the requested keyspace share (default 1).
+	Weight int
+	// Interval overrides the renewal period; 0 derives TTL/3 from each
+	// grant, which tracks the gateway's configured lease length.
+	Interval time.Duration
+	// Client is the HTTP client used for lease calls (default: 5s
+	// timeout).
+	Client *http.Client
+	// Logf receives lifecycle lines (joined, lost contact, released);
+	// nil discards.
+	Logf func(format string, args ...any)
+	// OnGrant observes every successful acquire/renew — the hook the
+	// server uses to rebuild its replication view. Called from the
+	// agent's goroutine; keep it fast.
+	OnGrant func(LeaseGrant)
+}
+
+// Agent keeps one replica's lease alive: acquire at Start, renew at
+// ~TTL/3 (with fast retry while the gateway is unreachable), release on
+// Stop. The agent never gives up — a gateway restart just looks like a
+// streak of failed renewals followed by a fresh join, which is exactly
+// the lease protocol's recovery story.
+type Agent struct {
+	cfg AgentConfig
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewAgent validates cfg and builds an Agent (not yet started).
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if len(cfg.Gateways) == 0 {
+		return nil, errors.New("membership: agent needs at least one gateway URL")
+	}
+	if cfg.Name == "" {
+		return nil, errors.New("membership: agent needs a member name")
+	}
+	if cfg.URL == "" {
+		return nil, errors.New("membership: agent needs an advertise URL")
+	}
+	if cfg.Weight < 1 {
+		cfg.Weight = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Agent{cfg: cfg, stop: make(chan struct{})}, nil
+}
+
+// Start launches the heartbeat loop. The first acquire happens
+// immediately (and synchronously retries inside the loop on failure),
+// so a freshly booted replica is on the ring within one gateway round
+// trip.
+func (a *Agent) Start() {
+	a.wg.Add(1)
+	go a.loop()
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	interval := a.cfg.Interval
+	if interval <= 0 {
+		interval = DefaultTTL / 3
+	}
+	joined := false
+	timer := time.NewTimer(0) // fire immediately for the initial acquire
+	defer timer.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-timer.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		grant, gw, err := a.acquire(ctx)
+		cancel()
+		if err != nil {
+			if joined {
+				a.cfg.Logf("membership: lease renewal failed (will retry): %v", err)
+				joined = false
+			}
+			// Retry fast while out of contact: every missed beat eats
+			// into the TTL the gateway is counting down.
+			retry := interval / 3
+			if retry < 25*time.Millisecond {
+				retry = 25 * time.Millisecond
+			}
+			timer.Reset(retry)
+			continue
+		}
+		if !joined {
+			a.cfg.Logf("membership: lease granted by %s (epoch %d, ttl %s, %d peers)",
+				gw, grant.Epoch, grant.TTL(), len(grant.Peers))
+			joined = true
+		}
+		if a.cfg.Interval <= 0 && grant.TTLMillis > 0 {
+			interval = grant.TTL() / 3
+			if interval < 20*time.Millisecond {
+				interval = 20 * time.Millisecond
+			}
+		}
+		if a.cfg.OnGrant != nil {
+			a.cfg.OnGrant(grant)
+		}
+		timer.Reset(interval)
+	}
+}
+
+// acquire tries each gateway in order, returning the first grant.
+func (a *Agent) acquire(ctx context.Context) (LeaseGrant, string, error) {
+	body, err := json.Marshal(LeaseRequest{Name: a.cfg.Name, URL: a.cfg.URL, Weight: a.cfg.Weight})
+	if err != nil {
+		return LeaseGrant{}, "", err
+	}
+	var lastErr error
+	for _, gw := range a.cfg.Gateways {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			strings.TrimSuffix(gw, "/")+LeasePath, bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := a.cfg.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("gateway %s: HTTP %d: %s", gw, resp.StatusCode, strings.TrimSpace(string(data)))
+			continue
+		}
+		var grant LeaseGrant
+		if err := json.Unmarshal(data, &grant); err != nil {
+			lastErr = fmt.Errorf("gateway %s: decoding grant: %w", gw, err)
+			continue
+		}
+		return grant, gw, nil
+	}
+	return LeaseGrant{}, "", lastErr
+}
+
+// Stop halts the heartbeat loop and releases the lease on every
+// gateway (best effort — an unreachable gateway will expire the lease
+// on its own). Idempotent; safe to call before Start.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		a.wg.Wait()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		for _, gw := range a.cfg.Gateways {
+			req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+				strings.TrimSuffix(gw, "/")+LeasePath+"/"+a.cfg.Name, nil)
+			if err != nil {
+				continue
+			}
+			resp, err := a.cfg.Client.Do(req)
+			if err != nil {
+				a.cfg.Logf("membership: lease release to %s failed (lease will expire): %v", gw, err)
+				continue
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			a.cfg.Logf("membership: lease %s released at %s", a.cfg.Name, gw)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+// Package membership implements lease-based fleet membership for the
+// dmwgw/dmwd pair: replicas acquire renewable leases from the gateway
+// instead of being listed in static -backend flags, so the consistent
+// hash ring grows and shrinks as processes come and go, with no config
+// edits and no gateway restarts.
+//
+// The protocol is deliberately tiny — two HTTP verbs on one path:
+//
+//	POST   /v1/membership/lease          acquire or renew (body: LeaseRequest)
+//	DELETE /v1/membership/lease/{name}   graceful release (drain/leave)
+//
+// A grant carries the lease TTL, the gateway's current ring epoch, the
+// fleet replication factor, and the full peer list. The epoch is a
+// monotone counter bumped on EVERY ring membership change (lease join,
+// release, expiry, and health-prober eject/readmit), so a replica — or
+// an operator watching dmwgw_ring_epoch — can tell "the ring I built my
+// replication placement from" apart from "the ring that exists now".
+//
+// Liveness is the lease: a replica renews at roughly TTL/3; a replica
+// that stops renewing (crash, partition, kill -9) is swept off the ring
+// when its lease expires, which hands its keyspace to the ring
+// successors exactly as an operator-driven removal would. The kernel
+// analogy is the flock in internal/journal: ownership follows the
+// living process, never a config file.
+package membership
+
+import "time"
+
+// LeasePath is the acquire/renew endpoint on the gateway. Release
+// appends "/{name}".
+const LeasePath = "/v1/membership/lease"
+
+// DefaultTTL is the lease lifetime when the gateway config does not
+// choose one. Renewals happen at ~TTL/3, so the default tolerates two
+// missed heartbeats before the sweep fires.
+const DefaultTTL = 10 * time.Second
+
+// LeaseRequest is the acquire/renew body a replica POSTs. Acquire and
+// renew are the same operation: the gateway upserts by Name, so a
+// replica that missed a renewal (GC pause, brief partition) and whose
+// lease already expired simply rejoins on its next heartbeat.
+type LeaseRequest struct {
+	// Name is the stable ring identity — placement keys on it, so a
+	// replica that restarts with the same name (and its WAL) reclaims
+	// exactly its old keyspace.
+	Name string `json:"name"`
+	// URL is the replica's advertised base URL, e.g. "http://10.0.0.7:7700".
+	URL string `json:"url"`
+	// Weight scales the keyspace share (default 1).
+	Weight int `json:"weight,omitempty"`
+}
+
+// Peer is one fleet member as reported in a grant. The shape mirrors
+// gateway.Backend; replicas use the list to build their own copy of the
+// ring for replication placement.
+type Peer struct {
+	Name   string `json:"name"`
+	URL    string `json:"url"`
+	Weight int    `json:"weight"`
+}
+
+// LeaseGrant is the gateway's answer to a successful acquire/renew.
+type LeaseGrant struct {
+	// Epoch is the ring epoch the peer list was snapshotted at.
+	Epoch uint64 `json:"epoch"`
+	// TTLMillis is the lease lifetime; renew well before it elapses.
+	TTLMillis int64 `json:"ttl_ms"`
+	// Replication is the fleet-wide results replication factor R: a
+	// terminal job record lives on its owner plus R-1 ring successors.
+	Replication int `json:"replication"`
+	// Peers is the full current membership (static + leased), self
+	// included.
+	Peers []Peer `json:"peers"`
+}
+
+// TTL returns the grant's lease lifetime as a duration.
+func (gr LeaseGrant) TTL() time.Duration { return time.Duration(gr.TTLMillis) * time.Millisecond }

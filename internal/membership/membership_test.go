@@ -1,0 +1,182 @@
+package membership
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTableAcquireRenewRelease(t *testing.T) {
+	tab := NewTable(time.Second)
+	now := time.Now()
+
+	l, isNew, changed := tab.Acquire("a", "http://x:1", 1, now)
+	if !isNew || changed {
+		t.Fatalf("first acquire: isNew=%v changed=%v, want true,false", isNew, changed)
+	}
+	if l.Expires.Sub(now) != time.Second {
+		t.Fatalf("lease expiry %s from now, want 1s", l.Expires.Sub(now))
+	}
+
+	// Renewal: same URL and weight extends the lease without change.
+	l2, isNew, changed := tab.Acquire("a", "http://x:1", 1, now.Add(500*time.Millisecond))
+	if isNew || changed {
+		t.Fatalf("renewal: isNew=%v changed=%v, want false,false", isNew, changed)
+	}
+	if !l2.Expires.After(l.Expires) {
+		t.Fatal("renewal did not extend the lease")
+	}
+	if l2.Renewals != 1 {
+		t.Fatalf("renewals = %d, want 1", l2.Renewals)
+	}
+
+	// Re-pointing: a changed URL reports changed (restart on a new port).
+	if _, isNew, changed := tab.Acquire("a", "http://x:2", 1, now); isNew || !changed {
+		t.Fatalf("re-point: isNew=%v changed=%v, want false,true", isNew, changed)
+	}
+	// Weight clamps to >= 1 and a weight change reports changed.
+	if l, _, changed := tab.Acquire("a", "http://x:2", 0, now); !changed && l.Weight != 1 {
+		t.Fatalf("weight clamp: got weight %d changed=%v", l.Weight, changed)
+	}
+
+	if _, ok := tab.Release("a"); !ok {
+		t.Fatal("release of held lease returned false")
+	}
+	if _, ok := tab.Release("a"); ok {
+		t.Fatal("double release returned true")
+	}
+}
+
+func TestTableExpiry(t *testing.T) {
+	tab := NewTable(time.Second)
+	now := time.Now()
+	tab.Acquire("b", "http://x:2", 1, now)
+	tab.Acquire("a", "http://x:1", 1, now)
+	tab.Acquire("c", "http://x:3", 1, now.Add(5*time.Second))
+
+	if exp := tab.ExpireBefore(now.Add(500 * time.Millisecond)); len(exp) != 0 {
+		t.Fatalf("premature expiry of %d leases", len(exp))
+	}
+	exp := tab.ExpireBefore(now.Add(2 * time.Second))
+	if len(exp) != 2 || exp[0].Name != "a" || exp[1].Name != "b" {
+		t.Fatalf("expired %+v, want [a b] (sorted)", exp)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("%d leases remain, want 1 (c)", tab.Len())
+	}
+	if _, ok := tab.Get("a"); ok {
+		t.Fatal("expired lease still readable")
+	}
+}
+
+func TestAgentAcquiresRenewsAndReleases(t *testing.T) {
+	var acquires, releases atomic.Int64
+	gw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == LeasePath:
+			var req LeaseRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Name != "n1" {
+				t.Errorf("bad lease request: %v %+v", err, req)
+			}
+			acquires.Add(1)
+			_ = json.NewEncoder(w).Encode(LeaseGrant{
+				Epoch:       uint64(acquires.Load()),
+				TTLMillis:   90, // renew at ~TTL/3 = 30ms
+				Replication: 2,
+				Peers:       []Peer{{Name: "n1", URL: "http://x:1", Weight: 1}},
+			})
+		case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, LeasePath+"/"):
+			releases.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer gw.Close()
+
+	var grants atomic.Int64
+	agent, err := NewAgent(AgentConfig{
+		Gateways: []string{gw.URL},
+		Name:     "n1",
+		URL:      "http://x:1",
+		OnGrant: func(gr LeaseGrant) {
+			if gr.Replication != 2 || len(gr.Peers) != 1 {
+				t.Errorf("grant %+v malformed", gr)
+			}
+			grants.Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for grants.Load() < 3 { // initial + at least two renewals
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d grants observed", grants.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	agent.Stop()
+	if releases.Load() != 1 {
+		t.Fatalf("releases = %d, want 1 (graceful Stop issues DELETE)", releases.Load())
+	}
+	// Stop is idempotent.
+	agent.Stop()
+	if releases.Load() != 1 {
+		t.Fatal("second Stop released again")
+	}
+}
+
+func TestAgentRetriesAcrossGateways(t *testing.T) {
+	// First gateway always refuses; the agent must fall through to the
+	// second within one acquire pass.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	var grants atomic.Int64
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == LeasePath {
+			_ = json.NewEncoder(w).Encode(LeaseGrant{Epoch: 1, TTLMillis: 200, Replication: 1})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer good.Close()
+
+	agent, err := NewAgent(AgentConfig{
+		Gateways: []string{bad.URL, good.URL},
+		Name:     "n2",
+		URL:      "http://x:2",
+		OnGrant:  func(LeaseGrant) { grants.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Start()
+	defer agent.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for grants.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("agent never acquired via the fallback gateway")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	if _, err := NewAgent(AgentConfig{Name: "x", URL: "http://x"}); err == nil {
+		t.Error("no gateways accepted")
+	}
+	if _, err := NewAgent(AgentConfig{Gateways: []string{"http://g"}, URL: "http://x"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewAgent(AgentConfig{Gateways: []string{"http://g"}, Name: "x"}); err == nil {
+		t.Error("empty URL accepted")
+	}
+}

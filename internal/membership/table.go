@@ -1,0 +1,124 @@
+package membership
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lease is one live lease as the table sees it.
+type Lease struct {
+	Name    string
+	URL     string
+	Weight  int
+	Expires time.Time
+	// Renewals counts successful renewals since acquire (0 on a fresh
+	// lease) — a cheap liveness signal for /healthz.
+	Renewals int64
+}
+
+// Table is the gateway-side lease ledger. It tracks only the leases
+// themselves; ring placement and epoch accounting live in the gateway,
+// which calls Acquire/Release and sweeps ExpireBefore on its health
+// tick. All methods are safe for concurrent use.
+type Table struct {
+	ttl time.Duration
+
+	mu     sync.Mutex
+	leases map[string]*Lease
+}
+
+// NewTable builds an empty table issuing leases of the given TTL
+// (DefaultTTL when ttl <= 0).
+func NewTable(ttl time.Duration) *Table {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Table{ttl: ttl, leases: make(map[string]*Lease)}
+}
+
+// TTL reports the lease lifetime this table issues.
+func (t *Table) TTL() time.Duration { return t.ttl }
+
+// Acquire upserts a lease for name. isNew reports whether the name was
+// absent (a join, not a renewal); changed reports whether the URL or
+// weight differ from the previous grant (the caller must re-point or
+// re-weight the backend). Weight is clamped to >= 1.
+func (t *Table) Acquire(name, url string, weight int, now time.Time) (l Lease, isNew, changed bool) {
+	if weight < 1 {
+		weight = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev, ok := t.leases[name]
+	if !ok {
+		lease := &Lease{Name: name, URL: url, Weight: weight, Expires: now.Add(t.ttl)}
+		t.leases[name] = lease
+		return *lease, true, false
+	}
+	changed = prev.URL != url || prev.Weight != weight
+	prev.URL = url
+	prev.Weight = weight
+	prev.Expires = now.Add(t.ttl)
+	prev.Renewals++
+	return *prev, false, changed
+}
+
+// Release drops name's lease, returning it (and true) if one existed.
+func (t *Table) Release(name string) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[name]
+	if !ok {
+		return Lease{}, false
+	}
+	delete(t.leases, name)
+	return *l, true
+}
+
+// ExpireBefore removes and returns every lease whose deadline has
+// passed at now. Callers sweep this on a timer and eject the returned
+// members from the ring.
+func (t *Table) ExpireBefore(now time.Time) []Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var dead []Lease
+	for name, l := range t.leases {
+		if now.After(l.Expires) {
+			dead = append(dead, *l)
+			delete(t.leases, name)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].Name < dead[j].Name })
+	return dead
+}
+
+// Get returns name's lease, if live.
+func (t *Table) Get(name string) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[name]
+	if !ok {
+		return Lease{}, false
+	}
+	return *l, true
+}
+
+// Snapshot returns every live lease, sorted by name.
+func (t *Table) Snapshot() []Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Lease, 0, len(t.leases))
+	for _, l := range t.leases {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of live leases.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.leases)
+}

@@ -1,0 +1,204 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordSink is a test peer that accepts replication POSTs.
+type recordSink struct {
+	mu   sync.Mutex
+	recs []Record
+	srv  *httptest.Server
+}
+
+func newRecordSink(t *testing.T) *recordSink {
+	s := &recordSink{}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != RecordsPath {
+			http.NotFound(w, r)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		var recs []Record
+		if err := json.Unmarshal(body, &recs); err != nil {
+			t.Errorf("sink: %v", err)
+		}
+		s.mu.Lock()
+		s.recs = append(s.recs, recs...)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *recordSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+func view(self string, replication int, peers ...Peer) View {
+	return View{Epoch: 1, Self: self, Replication: replication, Peers: peers}
+}
+
+func TestTargetsExcludeSelfAndHonorFactor(t *testing.T) {
+	r := NewReplicator(Config{})
+	defer r.Close()
+	if got := r.Targets("job-1"); got != nil {
+		t.Fatalf("targets before any view: %v, want nil", got)
+	}
+	peers := []Peer{
+		{Name: "a", URL: "http://a", Weight: 1},
+		{Name: "b", URL: "http://b", Weight: 1},
+		{Name: "c", URL: "http://c", Weight: 1},
+		{Name: "d", URL: "http://d", Weight: 1},
+	}
+	r.Update(view("a", 3, peers...))
+	for _, id := range []string{"j1", "j2", "j3", "j4", "j5"} {
+		ts := r.Targets(id)
+		if len(ts) != 2 {
+			t.Fatalf("R=3: %d targets for %s, want 2", len(ts), id)
+		}
+		for _, p := range ts {
+			if p.Name == "a" {
+				t.Fatalf("self placed as a target for %s", id)
+			}
+			if p.URL == "" {
+				t.Fatalf("target %s has no URL", p.Name)
+			}
+		}
+	}
+	// R=1 means owner-only: no copies.
+	r.Update(view("a", 1, peers...))
+	if got := r.Targets("j1"); got != nil {
+		t.Fatalf("R=1 targets = %v, want nil", got)
+	}
+}
+
+func TestOfferPushesToSuccessors(t *testing.T) {
+	sink := newRecordSink(t)
+	r := NewReplicator(Config{})
+	defer r.Close()
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "peer", URL: sink.srv.URL, Weight: 1},
+	))
+	r.Offer(Record{ID: "j-1", Origin: "self", Epoch: 1, Payload: json.RawMessage(`{"k":1}`)})
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("offer never reached the peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pushes, errs, dropped := r.Stats()
+	if pushes != 1 || errs != 0 || dropped != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 1/0/0", pushes, errs, dropped)
+	}
+}
+
+func TestHandoffGroupsPerTarget(t *testing.T) {
+	s1, s2 := newRecordSink(t), newRecordSink(t)
+	r := NewReplicator(Config{})
+	defer r.Close()
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "p1", URL: s1.srv.URL, Weight: 1},
+		Peer{Name: "p2", URL: s2.srv.URL, Weight: 1},
+	))
+	var recs []Record
+	for i := 0; i < 40; i++ {
+		recs = append(recs, Record{ID: "job-" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Payload: json.RawMessage(`{}`)})
+	}
+	r.Handoff(recs)
+	// Every record went to exactly one of the two peers (R=2 -> one
+	// copy each), synchronously.
+	if got := s1.count() + s2.count(); got != len(recs) {
+		t.Fatalf("handoff delivered %d records, want %d", got, len(recs))
+	}
+	if s1.count() == 0 || s2.count() == 0 {
+		t.Fatalf("handoff not spread across targets: %d/%d", s1.count(), s2.count())
+	}
+}
+
+// TestHandoffFallsBackPastDeadPeer pins the stale-view leave scenario:
+// a leaver's view can still list a member that itself just departed, so
+// when a handoff target is unreachable the records must fall back to
+// the next live member in their successor order instead of being lost —
+// they are the only remaining copies once the leaver exits.
+func TestHandoffFallsBackPastDeadPeer(t *testing.T) {
+	live := newRecordSink(t)
+	r := NewReplicator(Config{PushTimeout: 250 * time.Millisecond})
+	defer r.Close()
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "dead", URL: "http://127.0.0.1:1", Weight: 1},
+		Peer{Name: "live", URL: live.srv.URL, Weight: 1},
+	))
+	var recs []Record
+	for i := 0; i < 30; i++ {
+		recs = append(recs, Record{ID: fmt.Sprintf("fb-%02d", i), Payload: json.RawMessage(`{}`)})
+	}
+	r.Handoff(recs)
+	// With R=2 each record has one preferred target; roughly half prefer
+	// the dead peer, and every one of those must land on the live one.
+	if got := live.count(); got != len(recs) {
+		t.Fatalf("live peer holds %d records after handoff, want all %d", got, len(recs))
+	}
+	if _, errs, _ := r.Stats(); errs == 0 {
+		t.Fatal("no push errors counted despite a dead peer")
+	}
+}
+
+func TestOfferDropsWhenQueueFull(t *testing.T) {
+	// No server behind the peer URL: pushes block on dial timeouts, so a
+	// tiny queue overflows and drops are counted instead of blocking.
+	r := NewReplicator(Config{QueueDepth: 1, PushTimeout: 50 * time.Millisecond})
+	defer r.Close()
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "gone", URL: "http://127.0.0.1:1", Weight: 1},
+	))
+	for i := 0; i < 50; i++ {
+		r.Offer(Record{ID: "x", Payload: json.RawMessage(`{}`)})
+	}
+	if _, _, dropped := r.Stats(); dropped == 0 {
+		t.Fatal("full queue never dropped an offer")
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	s := NewStore()
+	now := time.Now()
+	s.Put(Record{ID: "a", Payload: json.RawMessage(`{}`)}, now.Add(time.Hour))
+	s.Put(Record{ID: "b", Payload: json.RawMessage(`{}`)}, now.Add(time.Millisecond))
+	s.Put(Record{ID: "c", Payload: json.RawMessage(`{}`)}, time.Time{}) // no deadline
+
+	if _, ok := s.Get("a", now); !ok {
+		t.Fatal("live record missing")
+	}
+	if _, ok := s.Get("b", now.Add(time.Second)); ok {
+		t.Fatal("expired record served")
+	}
+	if _, ok := s.Get("c", now.Add(1000*time.Hour)); !ok {
+		t.Fatal("deadline-free record evicted")
+	}
+	if n := s.Sweep(now.Add(time.Second)); n != 0 {
+		// b was already lazily evicted by the Get above.
+		t.Fatalf("sweep evicted %d, want 0 after lazy eviction", n)
+	}
+	if got := len(s.All()); got != 2 {
+		t.Fatalf("All() = %d records, want 2", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+}

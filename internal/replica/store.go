@@ -1,0 +1,83 @@
+package replica
+
+import (
+	"sync"
+	"time"
+)
+
+// stored is one held copy plus its eviction deadline (decoded from the
+// payload by the server at accept time — the store itself never parses
+// payloads).
+type stored struct {
+	rec     Record
+	expires time.Time
+}
+
+// Store holds the replica copies this node guards for its ring
+// predecessors. In-memory only: redundancy, not the WAL, is what makes
+// copies durable (the owner journals; R-1 peers hold copies; a node
+// that restarts re-receives copies from live owners' handoffs).
+type Store struct {
+	mu   sync.Mutex
+	recs map[string]stored
+}
+
+// NewStore builds an empty copy store.
+func NewStore() *Store {
+	return &Store{recs: make(map[string]stored)}
+}
+
+// Put upserts a copy. expires.IsZero() means "keep until overwritten"
+// (callers normally pass the record's TTL deadline).
+func (s *Store) Put(rec Record, expires time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs[rec.ID] = stored{rec: rec, expires: expires}
+}
+
+// Get returns the copy for id if one is held and not expired at now.
+func (s *Store) Get(id string, now time.Time) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.recs[id]
+	if !ok {
+		return Record{}, false
+	}
+	if !st.expires.IsZero() && now.After(st.expires) {
+		delete(s.recs, id)
+		return Record{}, false
+	}
+	return st.rec, true
+}
+
+// All snapshots every held copy (for drain-time handoff).
+func (s *Store) All() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.recs))
+	for _, st := range s.recs {
+		out = append(out, st.rec)
+	}
+	return out
+}
+
+// Sweep evicts expired copies, returning how many were dropped.
+func (s *Store) Sweep(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, st := range s.recs {
+		if !st.expires.IsZero() && now.After(st.expires) {
+			delete(s.recs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of held copies.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}

@@ -244,3 +244,113 @@ func TestEmptyAndSingle(t *testing.T) {
 		t.Errorf("Len = %d, want 1", got)
 	}
 }
+
+// TestSurvivorOrderPreservedOnJoin pins the keyspace-handoff contract a
+// lease-driven join relies on: adding a member may INSERT itself into a
+// key's successor sequence, but must never reorder the surviving
+// members among themselves — so every record replicated before the join
+// is still findable by walking the same survivor order.
+func TestSurvivorOrderPreservedOnJoin(t *testing.T) {
+	r := New(64)
+	for _, m := range []string{"a", "b", "c", "d"} {
+		r.Add(m, 1)
+	}
+	ks := keys(2000)
+	before := make(map[string][]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Successors(k, 0)
+	}
+
+	r.Add("e", 1)
+	for _, k := range ks {
+		after := r.Successors(k, 0)
+		// Deleting the joiner from the after-sequence must reproduce the
+		// before-sequence exactly.
+		surv := make([]string, 0, len(after)-1)
+		for _, m := range after {
+			if m != "e" {
+				surv = append(surv, m)
+			}
+		}
+		if !reflect.DeepEqual(surv, before[k]) {
+			t.Fatalf("key %s: join reordered survivors: before %v, after-minus-joiner %v", k, before[k], surv)
+		}
+	}
+}
+
+// TestSurvivorOrderPreservedOnLeave: the dual contract for leaves —
+// dropping the leaver from every old successor sequence must reproduce
+// the new one, so reads that fall through keep visiting the survivors
+// in the same order as before the leave.
+func TestSurvivorOrderPreservedOnLeave(t *testing.T) {
+	r := New(64)
+	for _, m := range []string{"a", "b", "c", "d", "e"} {
+		r.Add(m, 1)
+	}
+	ks := keys(2000)
+	before := make(map[string][]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Successors(k, 0)
+	}
+
+	r.Remove("c")
+	for _, k := range ks {
+		after := r.Successors(k, 0)
+		surv := make([]string, 0, len(before[k])-1)
+		for _, m := range before[k] {
+			if m != "c" {
+				surv = append(surv, m)
+			}
+		}
+		if !reflect.DeepEqual(after, surv) {
+			t.Fatalf("key %s: leave reordered survivors: before-minus-leaver %v, after %v", k, surv, after)
+		}
+	}
+}
+
+// TestLeaseDrivenResizeMovement replays the e2e-elastic membership
+// trajectory (grow 2->6 one lease at a time, shrink 6->3 one release at
+// a time) against the movement bounds: each join moves roughly 1/(N+1)
+// of the keyspace and only TO the joiner; each leave moves only the
+// leaver's keys. This is the ring-level half of the "no acknowledged
+// read breaks during a resize" guarantee.
+func TestLeaseDrivenResizeMovement(t *testing.T) {
+	r := New(128)
+	r.Add("m0", 1)
+	r.Add("m1", 1)
+	ks := keys(10000)
+
+	// Grow 2 -> 6, one epoch per join.
+	for n := 2; n < 6; n++ {
+		before := placements(r, ks)
+		joiner := fmt.Sprintf("m%d", n)
+		r.Add(joiner, 1)
+		after := placements(r, ks)
+		moved := 0
+		for k, owner := range after {
+			if owner != before[k] {
+				moved++
+				if owner != joiner {
+					t.Fatalf("grow to %d: key %s moved %s -> %s, not to the joiner", n+1, k, before[k], owner)
+				}
+			}
+		}
+		fair := 1.0 / float64(n+1)
+		if frac := float64(moved) / float64(len(ks)); frac < fair*0.5 || frac > fair*2 {
+			t.Errorf("grow to %d members moved %.1f%% of keys, want ~%.1f%%", n+1, frac*100, fair*100)
+		}
+	}
+
+	// Shrink 6 -> 3, one epoch per leave.
+	for n := 6; n > 3; n-- {
+		leaver := fmt.Sprintf("m%d", n-1)
+		before := placements(r, ks)
+		r.Remove(leaver)
+		after := placements(r, ks)
+		for k, owner := range after {
+			if before[k] != leaver && owner != before[k] {
+				t.Fatalf("shrink to %d: key %s moved %s -> %s though its owner survived", n-1, k, before[k], owner)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"dmw/internal/replica"
+)
+
+// Fleet integration: this file is the server half of the replicated
+// results tier (internal/replica). The membership agent feeds lease
+// grants in through ApplyFleetView; workers push terminal records out
+// through replicateTerminal; peers' pushes land in AcceptReplica; and
+// reads that miss the primary store fall through to replicaJob — which
+// is what lets a gateway read of an acknowledged job succeed from a
+// ring successor after the owner died or left.
+
+// maxReplicaBodyBytes bounds one replication POST body. Handoff batches
+// are chunked at 256 records, but records carry full results and
+// transcripts, so the ceiling is set well above the job-submit limits.
+const maxReplicaBodyBytes = 32 << 20
+
+// ApplyFleetView installs a new fleet view (from a membership lease
+// grant) on the replicator, rebuilding its placement ring.
+func (s *Server) ApplyFleetView(v replica.View) {
+	s.repl.Update(v)
+}
+
+// FleetView returns the currently installed fleet view.
+func (s *Server) FleetView() replica.View { return s.repl.CurrentView() }
+
+// terminalRecord snapshots j into a replication record. Only completed
+// and failed jobs replicate: a rejected record is a transient
+// backpressure marker, not acknowledged work.
+func (s *Server) terminalRecord(j *Job) (replica.Record, bool) {
+	r := j.record()
+	if !r.State.Terminal() || r.State == StateRejected {
+		return replica.Record{}, false
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		s.cfg.Logf("replica: encoding record %s: %v", r.ID, err)
+		return replica.Record{}, false
+	}
+	return replica.Record{
+		ID:      r.ID,
+		Origin:  s.replicaID,
+		Epoch:   s.repl.CurrentView().Epoch,
+		Payload: payload,
+	}, true
+}
+
+// replicateTerminal offers job's terminal record for asynchronous push
+// to its R-1 ring successors. Never blocks the worker: the record is
+// already durable locally (WAL when journal-backed), so a dropped offer
+// only costs read locality until the next handoff.
+func (s *Server) replicateTerminal(job *Job) {
+	if !s.repl.Ready() {
+		return
+	}
+	if rec, ok := s.terminalRecord(job); ok {
+		s.repl.Offer(rec)
+	}
+}
+
+// AcceptReplica stores pushed copies from ring predecessors, returning
+// how many were accepted. Malformed, non-terminal, ID-mismatched, and
+// already-expired payloads are skipped (logged), never fatal: the RPC
+// is best-effort redundancy, not a consistency protocol.
+func (s *Server) AcceptReplica(recs []replica.Record) int {
+	now := time.Now()
+	stored := 0
+	for _, rec := range recs {
+		var r jobRecord
+		if err := json.Unmarshal(rec.Payload, &r); err != nil {
+			s.cfg.Logf("replica: skipping undecodable copy %q from %s: %v", rec.ID, rec.Origin, err)
+			continue
+		}
+		if r.ID != rec.ID || !r.State.Terminal() || r.State == StateRejected {
+			s.cfg.Logf("replica: skipping copy %q from %s: not a terminal record", rec.ID, rec.Origin)
+			continue
+		}
+		if !r.Expires.IsZero() && now.After(r.Expires) {
+			continue // past its TTL: do not resurrect
+		}
+		s.replStore.Put(rec, r.Expires)
+		stored++
+	}
+	if stored > 0 {
+		s.metrics.replicaAccepted.Add(int64(stored))
+	}
+	return stored
+}
+
+// replicaJob answers a read from the held copies: the record is decoded
+// back into a terminal Job, so View/WaitDone/Transcript behave exactly
+// as they would on the owner. (nil, false) when no live copy is held.
+func (s *Server) replicaJob(id string) (*Job, bool) {
+	rec, ok := s.replStore.Get(id, time.Now())
+	if !ok {
+		return nil, false
+	}
+	var r jobRecord
+	if err := json.Unmarshal(rec.Payload, &r); err != nil {
+		s.cfg.Logf("replica: held copy %q undecodable: %v", id, err)
+		return nil, false
+	}
+	if !r.State.Terminal() {
+		return nil, false
+	}
+	s.metrics.replicaReads.Add(1)
+	return jobFromRecord(r), true
+}
+
+// lookupJob is the read path shared by the job handlers: the primary
+// store first (owner-preference), then the replica copies.
+func (s *Server) lookupJob(id string) (*Job, bool) {
+	if job, ok := s.Get(id); ok {
+		return job, true
+	}
+	return s.replicaJob(id)
+}
+
+// handoffReplicas synchronously pushes everything this node holds —
+// owned terminal records plus guarded copies — to the current ring
+// targets. Called while draining (workers done, lease still held), so
+// a graceful leave moves every acknowledged record onto the survivors
+// before the member disappears from the ring.
+func (s *Server) handoffReplicas() {
+	if !s.repl.Ready() {
+		return
+	}
+	now := time.Now()
+	seen := make(map[string]bool)
+	var recs []replica.Record
+	for _, j := range s.mem.snapshotJobs() {
+		if j.expired(now) {
+			continue
+		}
+		if rec, ok := s.terminalRecord(j); ok {
+			seen[rec.ID] = true
+			recs = append(recs, rec)
+		}
+	}
+	for _, rec := range s.replStore.All() {
+		if !seen[rec.ID] {
+			recs = append(recs, rec)
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+	s.cfg.Logf("replica: handing off %d records before leaving", len(recs))
+	s.repl.Handoff(recs)
+}
+
+// handleReplicaRecords is POST /v1/replica/records: the replication RPC
+// peers push terminal-record copies through (single records at finish
+// time, batches at drain time).
+func (s *Server) handleReplicaRecords(w http.ResponseWriter, r *http.Request) {
+	var recs []replica.Record
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReplicaBodyBytes))
+	if err := dec.Decode(&recs); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding replica records: " + err.Error()})
+		return
+	}
+	s.AcceptReplica(recs)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -13,6 +13,7 @@ import (
 	"dmw/internal/audit"
 	"dmw/internal/group"
 	"dmw/internal/obs"
+	"dmw/internal/replica"
 	"dmw/internal/tenant"
 )
 
@@ -55,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/events", s.handleFirehose)
+	mux.HandleFunc("POST "+replica.RecordsPath, s.handleReplicaRecords)
 	mux.HandleFunc("GET /v1/params-cache", s.handleParamsCache)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -224,7 +226,10 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.Get(r.PathValue("id"))
+	// Reads consult the primary store first, then the replica copies
+	// this node guards for its ring predecessors — so a gateway read
+	// that fell through from a dead owner still finds the record.
+	job, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
 		return
@@ -244,7 +249,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.Get(r.PathValue("id"))
+	job, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job id"})
 		return
@@ -322,6 +327,17 @@ type healthView struct {
 	ParamsCacheLoaded bool    `json:"params_cache_loaded"`
 	// Journal summarizes the WAL when durability is enabled (-data-dir).
 	Journal *journalView `json:"journal,omitempty"`
+	// Fleet summarizes the replicated results tier once a membership
+	// lease grant has installed a fleet view (absent when static).
+	Fleet *fleetView `json:"fleet,omitempty"`
+}
+
+// fleetView is the JSON stats surface of the replica tier.
+type fleetView struct {
+	Epoch          uint64 `json:"epoch"`
+	Peers          int    `json:"peers"`
+	Replication    int    `json:"replication"`
+	ReplicaRecords int    `json:"replica_records"`
 }
 
 // journalView is the JSON stats surface of the WAL.
@@ -340,13 +356,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining, start := s.draining, s.startTime
 	s.mu.Unlock()
 	hv := healthView{
-		Status:           "ok",
-		ReplicaID:        s.replicaID,
-		Version:          obs.Version,
-		GoVersion:        obs.GoVersion(),
-		QueueDepth:       s.queue.Len(),
-		Workers:          s.cfg.Workers,
-		LiveJobs:         s.store.Len(),
+		Status:            "ok",
+		ReplicaID:         s.replicaID,
+		Version:           obs.Version,
+		GoVersion:         obs.GoVersion(),
+		QueueDepth:        s.queue.Len(),
+		Workers:           s.cfg.Workers,
+		LiveJobs:          s.store.Len(),
 		AdmissionPrice:    s.observePrice(time.Now()),
 		Tenants:           s.registry.Len(),
 		EventSubscribers:  s.hub.Subscribers(),
@@ -363,6 +379,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Snapshots:    st.Snapshots,
 			ReplayedJobs: replayed,
 			Recoveries:   recoveries,
+		}
+	}
+	if view := s.repl.CurrentView(); view.Epoch > 0 {
+		hv.Fleet = &fleetView{
+			Epoch:          view.Epoch,
+			Peers:          len(view.Peers),
+			Replication:    view.Replication,
+			ReplicaRecords: s.replStore.Len(),
 		}
 	}
 	if !start.IsZero() {

@@ -463,12 +463,13 @@ func (j *Job) finishedRecord() finishedRecord {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return finishedRecord{
-		ID:       j.ID,
-		State:    j.state,
-		Result:   j.result,
-		Error:    j.errMsg,
-		Finished: j.finished,
-		Expires:  j.expires,
+		ID:         j.ID,
+		State:      j.state,
+		Result:     j.result,
+		Transcript: j.transcript,
+		Error:      j.errMsg,
+		Finished:   j.finished,
+		Expires:    j.expires,
 	}
 }
 

@@ -74,6 +74,14 @@ type metrics struct {
 	// share-verification coalescer ran (dmwd_verify_batch_size_*).
 	verifyBatch *obs.Histogram
 
+	// replicaAccepted counts terminal-record copies stored for ring
+	// predecessors; replicaReads counts reads served from those copies
+	// after the primary store missed. replicaPush observes one
+	// replication POST's wall time (dmwd_replica_push_seconds_*).
+	replicaAccepted atomic.Int64
+	replicaReads    atomic.Int64
+	replicaPush     *obs.Histogram
+
 	// tenantMu guards the per-tenant label maps below. Cardinality is
 	// bounded by the registry (tenant.CleanID folding plus the dynamic-
 	// table cap), so these maps cannot grow without bound.
@@ -91,6 +99,7 @@ func newMetrics() *metrics {
 		latency:        obs.NewHistogram(latencyBucketsMS),
 		phases:         make(map[string]*obs.Histogram, len(phaseOrder)),
 		verifyBatch:    obs.NewHistogram(verifyBatchBuckets),
+		replicaPush:    obs.NewHistogram(phaseBucketsS),
 		tenantAdmitted: make(map[string]int64),
 		tenantRejected: make(map[string]map[string]int64),
 	}
@@ -158,6 +167,18 @@ type snapshotGauges struct {
 	// paramsCacheLoaded reports whether boot loaded a warm table
 	// artifact (dmwd_params_cache_loaded).
 	paramsCacheLoaded bool
+
+	// fleet*/replica* describe the replicated results tier: the lease-
+	// grant epoch the replicator last placed against (0 = no fleet view,
+	// static deployment), the peer count and factor of that view, held
+	// copy count, and the push outcome counters.
+	fleetEpoch        uint64
+	fleetPeers        int
+	fleetReplication  int
+	replicaRecords    int
+	replicaPushes     int64
+	replicaPushErrors int64
+	replicaDropped    int64
 
 	// journal* carry the WAL counters when the store is journal-backed
 	// (journalEnabled); the exposition emits dmwd_journal_enabled either
@@ -238,6 +259,15 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	p("dmwd_events_published_total %d\n", g.eventsPublished)
 	p("dmwd_events_dropped_total %d\n", g.eventsDropped)
 	m.writeTenants(w)
+	p("dmwd_fleet_epoch %d\n", g.fleetEpoch)
+	p("dmwd_fleet_peers %d\n", g.fleetPeers)
+	p("dmwd_fleet_replication %d\n", g.fleetReplication)
+	p("dmwd_replica_records %d\n", g.replicaRecords)
+	p("dmwd_replica_pushes_total %d\n", g.replicaPushes)
+	p("dmwd_replica_push_errors_total %d\n", g.replicaPushErrors)
+	p("dmwd_replica_dropped_total %d\n", g.replicaDropped)
+	p("dmwd_replica_accepted_total %d\n", m.replicaAccepted.Load())
+	p("dmwd_replica_reads_total %d\n", m.replicaReads.Load())
 	if g.journalEnabled {
 		p("dmwd_journal_enabled 1\n")
 		p("dmwd_journal_appends_total %d\n", g.journal.Appends)
@@ -253,6 +283,7 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 
 	m.latency.Write(w, "dmwd_job_latency_ms", "")
 	m.verifyBatch.Write(w, "dmwd_verify_batch_size", "")
+	m.replicaPush.Write(w, "dmwd_replica_push_seconds", "")
 	for _, name := range phaseOrder {
 		m.phases[name].Write(w, "dmwd_phase_seconds", `phase="`+name+`"`)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	protocol "dmw/internal/dmw"
 	"dmw/internal/journal"
 )
 
@@ -30,9 +31,12 @@ const (
 // jobRecord is the durable form of a Job. Timestamps are absolute so
 // the TTL clock survives restarts: Expires is measured from completion,
 // not from recovery (see the store contract in store.go). Transcripts
-// are deliberately NOT journaled — they can be orders of magnitude
-// larger than results; a restart drops them (documented in
-// docs/DURABILITY.md).
+// ride the terminal record (Transcript is nil until completion and for
+// unrecorded jobs), so a transcript the client was told exists survives
+// kill -9 exactly like the result does; jobRecord is also the
+// replication payload the owner pushes to its ring successors (see
+// internal/replica), which is how a read finds the transcript after the
+// owner dies for good.
 type jobRecord struct {
 	ID    string   `json:"id"`
 	Spec  JobSpec  `json:"spec"`
@@ -40,7 +44,8 @@ type jobRecord struct {
 	State JobState `json:"state"`
 	Error string   `json:"error,omitempty"`
 
-	Result *JobResult `json:"result,omitempty"`
+	Result     *JobResult           `json:"result,omitempty"`
+	Transcript *protocol.Transcript `json:"transcript,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitempty"`
@@ -56,12 +61,13 @@ type startedRecord struct {
 
 // finishedRecord journals a terminal transition.
 type finishedRecord struct {
-	ID       string     `json:"id"`
-	State    JobState   `json:"state"`
-	Result   *JobResult `json:"result,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	Finished time.Time  `json:"finished"`
-	Expires  time.Time  `json:"expires"`
+	ID         string               `json:"id"`
+	State      JobState             `json:"state"`
+	Result     *JobResult           `json:"result,omitempty"`
+	Transcript *protocol.Transcript `json:"transcript,omitempty"`
+	Error      string               `json:"error,omitempty"`
+	Finished   time.Time            `json:"finished"`
+	Expires    time.Time            `json:"expires"`
 }
 
 // record snapshots the job into its durable form.
@@ -69,16 +75,17 @@ func (j *Job) record() jobRecord {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobRecord{
-		ID:        j.ID,
-		Spec:      j.Spec,
-		Bids:      j.bids,
-		State:     j.state,
-		Error:     j.errMsg,
-		Result:    j.result,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
-		Expires:   j.expires,
+		ID:         j.ID,
+		Spec:       j.Spec,
+		Bids:       j.bids,
+		State:      j.state,
+		Error:      j.errMsg,
+		Result:     j.result,
+		Transcript: j.transcript,
+		Submitted:  j.submitted,
+		Started:    j.started,
+		Finished:   j.finished,
+		Expires:    j.expires,
 	}
 }
 
@@ -99,6 +106,7 @@ func jobFromRecord(r jobRecord) *Job {
 		j.state = r.State
 		j.errMsg = r.Error
 		j.result = r.Result
+		j.transcript = r.Transcript
 		j.started = r.Started
 		j.finished = r.Finished
 		j.expires = r.Expires
@@ -124,6 +132,7 @@ func (r *jobRecord) applyFinished(fr finishedRecord) {
 	}
 	r.State = fr.State
 	r.Result = fr.Result
+	r.Transcript = fr.Transcript
 	r.Error = fr.Error
 	r.Finished = fr.Finished
 	r.Expires = fr.Expires

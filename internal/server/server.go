@@ -38,6 +38,7 @@ import (
 	"dmw/internal/journal"
 	"dmw/internal/mechanism"
 	"dmw/internal/obs"
+	"dmw/internal/replica"
 	"dmw/internal/sched"
 	"dmw/internal/tenant"
 )
@@ -214,6 +215,16 @@ type Server struct {
 	// a different backend appearing behind a reused address.
 	replicaID string
 
+	// mem is the in-memory index underneath store (identical to store
+	// unless journal-backed); retained for drain-time handoff enumeration.
+	mem *memStore
+	// repl places and pushes terminal-record copies onto ring successors;
+	// replStore guards the copies this node holds for its predecessors.
+	// Both exist unconditionally (inert without a fleet view), so a
+	// static single-node server pays only two nil-checks per job.
+	repl      *replica.Replicator
+	replStore *replica.Store
+
 	// jstore is non-nil when the store is journal-backed (DataDir set);
 	// it is only consulted for stats — all operations go through store.
 	jstore *journalStore
@@ -287,13 +298,23 @@ func New(cfg Config) (*Server, error) {
 	})
 	mem := newMemStore()
 	s.store = mem
+	s.mem = mem
+	s.replStore = replica.NewStore()
+	s.repl = replica.NewReplicator(replica.Config{
+		Logf: cfg.Logf,
+		ObservePush: func(seconds float64) {
+			s.metrics.replicaPush.Observe(seconds)
+		},
+	})
 	if cfg.DataDir != "" {
 		if err := s.openJournal(mem); err != nil {
+			s.repl.Close()
 			return nil, err
 		}
 	}
 	s.replicaID, err = loadOrCreateReplicaID(cfg.DataDir)
 	if err != nil {
+		s.repl.Close()
 		if cerr := s.store.Close(); cerr != nil {
 			cfg.Logf("closing store after replica-id failure: %v", cerr)
 		}
@@ -496,6 +517,9 @@ func (s *Server) Start() {
 			case now := <-t.C:
 				if n := s.store.Sweep(now); n > 0 {
 					s.cfg.Logf("janitor: evicted %d expired jobs", n)
+				}
+				if n := s.replStore.Sweep(now); n > 0 {
+					s.cfg.Logf("janitor: evicted %d expired replica copies", n)
 				}
 			case <-s.stopSweeps:
 				return
@@ -711,7 +735,7 @@ type BatchItem struct {
 func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 	items := make([]BatchItem, len(specs))
 	now := time.Now()
-	jobs := make([]*Job, len(specs))      // nil where the spec was invalid
+	jobs := make([]*Job, len(specs))              // nil where the spec was invalid
 	holders := make([]*tenant.Tenant, len(specs)) // quota reservations to release on failure
 	var valid []*Job
 	var validIdx []int // valid[k] came from specs[validIdx[k]]
@@ -881,6 +905,12 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		tableBuildSeconds: s.grp.TableBuildTime().Seconds(),
 		paramsCacheLoaded: s.paramsCacheLoaded,
 	}
+	view := s.repl.CurrentView()
+	g.fleetEpoch = view.Epoch
+	g.fleetPeers = len(view.Peers)
+	g.fleetReplication = view.Replication
+	g.replicaRecords = s.replStore.Len()
+	g.replicaPushes, g.replicaPushErrors, g.replicaDropped = s.repl.Stats()
 	if s.jstore != nil {
 		g.journalEnabled = true
 		g.journal = s.jstore.j.Stats()
@@ -927,6 +957,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !started {
 		// Never-started server: nothing to drain, but the store (and
 		// its WAL) must still be released.
+		s.repl.Close()
 		s.closeStore.Do(func() {
 			if err := s.store.Close(); err != nil {
 				s.cfg.Logf("shutdown: closing store: %v", err)
@@ -938,8 +969,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		s.workersWG.Wait()
 		s.janitorWG.Wait()
-		// Drain complete: every accepted job is terminal, so the final
-		// snapshot captures a quiescent state before the WAL is sealed.
+		// Drain complete: every accepted job is terminal. Hand the
+		// records this node holds to the surviving ring (the lease is
+		// still held, so placement excludes only self), then seal the
+		// store — the final snapshot captures a quiescent state.
+		s.handoffReplicas()
+		s.repl.Close()
 		s.closeStore.Do(func() {
 			if err := s.store.Close(); err != nil {
 				s.cfg.Logf("shutdown: closing store: %v", err)
@@ -1028,6 +1063,7 @@ func (s *Server) runJob(job *Job) {
 		job.setTrace(rec.Spans())
 		job.finish(StateFailed, nil, nil, err.Error(), now, s.cfg.ResultTTL)
 		s.store.Finished(job)
+		s.replicateTerminal(job)
 		s.metrics.failed.Add(1)
 		s.metrics.observe(now.Sub(job.submitted))
 		s.publish(job, tenant.Event{Type: tenant.EventFailed, Time: now,
@@ -1049,6 +1085,7 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.finish(StateDone, jr, res.Transcript, "", now, s.cfg.ResultTTL)
 	s.store.Finished(job)
+	s.replicateTerminal(job)
 	s.metrics.completed.Add(1)
 	s.metrics.auctions.Add(int64(job.Tasks()))
 	s.metrics.groupExp.Add(jr.GroupExp)
