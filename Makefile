@@ -9,7 +9,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X dmw/internal/obs.Version=$(VERSION)"
 # BENCH_OUT is the archived benchmark document `make bench` emits; bump
 # the suffix when re-baselining after a performance PR.
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 # BENCHTIME trades precision for runtime; 0.2s is enough for the
 # crypto-level series to stabilize on an idle machine.
 BENCHTIME ?= 0.2s
@@ -125,7 +125,7 @@ bench-crypto:
 # themselves under it (see race_on_test.go in each package). CI runs
 # this on every push, next to the e2e and smoke gates.
 allocs-gate:
-	$(GO) test -run 'TestAllocBudget' -count=1 -v ./internal/commit ./internal/wire
+	$(GO) test -run 'TestAllocBudget' -count=1 -v ./internal/commit ./internal/wire ./internal/gateway
 
 # bench-smoke compiles and runs every benchmark exactly once so the
 # benchmark code cannot bit-rot; CI runs this on every push. The root
@@ -147,6 +147,7 @@ bench-gateway:
 # one line per target.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzJobFrameRoundTrip -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
 	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
 

@@ -14,6 +14,7 @@
 //	      [-fail-after 2] [-recover-after 2]
 //	      [-lease-ttl 10s] [-replication 2] [-addr-file path]
 //	      [-request-timeout 60s] [-pprof-addr addr] [-q]
+//	      [-coalesce-window 0] [-coalesce-max-batch 64] [-no-wire]
 //	      [-log-level info] [-log-format text|json]
 //
 // Backends join in two ways: statically via -backend flags, or
@@ -112,6 +113,9 @@ func run() error {
 		replFactor = flag.Int("replication", 2, "replication factor R granted to leased members (owner + R-1 copies)")
 		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file (use with -addr :0)")
 		reqTO      = flag.Duration("request-timeout", time.Minute, "per-attempt proxy timeout")
+		coalesceW  = flag.Duration("coalesce-window", 0, "micro-batch single submits per ring owner for at most this long (0 = off); see docs/PERFORMANCE.md")
+		coalesceN  = flag.Int("coalesce-max-batch", 64, "max jobs per coalesced flush (flushes early when full)")
+		noWire     = flag.Bool("no-wire", false, "force JSON intra-fleet bodies (disable binary frame negotiation)")
 		streamTO   = flag.Duration("stream-timeout", 15*time.Minute, "relayed SSE stream lifetime bound (negative = unbounded)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
@@ -142,20 +146,23 @@ func run() error {
 	defer stopPprof()
 
 	g, err := gateway.New(gateway.Config{
-		Backends:        backends,
-		AllowEmptyFleet: true, // elastic: leases may be the only members
-		VirtualNodes:    *vnodes,
-		MaxInFlight:     *maxInFl,
-		HealthInterval:  *healthInt,
-		HealthTimeout:   *healthTO,
-		FailAfter:       *failAfter,
-		RecoverAfter:    *recovAfter,
-		RequestTimeout:  *reqTO,
-		StreamTimeout:   *streamTO,
-		LeaseTTL:        *leaseTTL,
-		Replication:     *replFactor,
-		Logf:            logf,
-		Logger:          slogger,
+		Backends:         backends,
+		AllowEmptyFleet:  true, // elastic: leases may be the only members
+		VirtualNodes:     *vnodes,
+		MaxInFlight:      *maxInFl,
+		HealthInterval:   *healthInt,
+		HealthTimeout:    *healthTO,
+		FailAfter:        *failAfter,
+		RecoverAfter:     *recovAfter,
+		RequestTimeout:   *reqTO,
+		StreamTimeout:    *streamTO,
+		CoalesceWindow:   *coalesceW,
+		CoalesceMaxBatch: *coalesceN,
+		DisableWire:      *noWire,
+		LeaseTTL:         *leaseTTL,
+		Replication:      *replFactor,
+		Logf:             logf,
+		Logger:           slogger,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,80 @@
+package gateway
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// The relay arena: every buffered backend response body (submits, batch
+// scatter-gather shards, job reads) lands in a pooled buffer instead of
+// a fresh io.ReadAll allocation. At gateway throughput the response
+// bodies are the dominant per-request allocation, and they have a
+// perfectly recyclable lifetime — read fully, relayed (or decoded),
+// dropped — so the arena turns the steady state into zero-allocation
+// relaying.
+//
+// Ownership is refcounted because a coalesced flush fans ONE backend
+// response out to many waiting submitters: each waiter holds a slice
+// aliasing the pooled buffer until its own response is written. The
+// last release returns the buffer to the pool.
+
+// maxPooledRelayBuf caps the capacity retained by the pool: a rare
+// multi-megabyte transcript relay must not pin its buffer forever under
+// a pool slot that mostly serves kilobyte job views.
+const maxPooledRelayBuf = 1 << 20
+
+// relayBuf is one pooled response buffer plus its reference count.
+type relayBuf struct {
+	bb   bytes.Buffer
+	refs atomic.Int32
+}
+
+type relayPool struct {
+	pool   sync.Pool
+	gets   atomic.Int64 // acquisitions (hits + misses)
+	misses atomic.Int64 // acquisitions that had to allocate
+}
+
+func newRelayPool() *relayPool {
+	p := &relayPool{}
+	p.pool.New = func() any {
+		p.misses.Add(1)
+		return &relayBuf{}
+	}
+	return p
+}
+
+// get returns an empty buffer owned by exactly one holder.
+func (p *relayPool) get() *relayBuf {
+	p.gets.Add(1)
+	buf := p.pool.Get().(*relayBuf)
+	buf.bb.Reset()
+	buf.refs.Store(1)
+	return buf
+}
+
+// retain adds n holders (a coalesced fan-out claims one per waiter).
+func (buf *relayBuf) retain(n int32) { buf.refs.Add(n) }
+
+// release drops one hold; the last hold returns the buffer to the pool
+// (unless it grew past the retention cap, in which case it is left to
+// the GC so the pool stays populated with right-sized buffers).
+func (p *relayPool) release(buf *relayBuf) {
+	if buf == nil {
+		return
+	}
+	if buf.refs.Add(-1) == 0 && buf.bb.Cap() <= maxPooledRelayBuf {
+		p.pool.Put(buf)
+	}
+}
+
+// releaseResult drops the holder's reference on a buffered attempt, if
+// the attempt is backed by a pooled buffer. Safe on nil results.
+func (g *Gateway) releaseResult(res *attemptResult) {
+	if res != nil && res.buf != nil {
+		g.relayBufs.release(res.buf)
+		res.buf = nil
+		res.body = nil
+	}
+}

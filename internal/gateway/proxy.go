@@ -156,6 +156,9 @@ type attemptResult struct {
 	status int
 	header http.Header
 	body   []byte
+	// buf is the pooled buffer backing body; non-nil results must reach
+	// exactly one releaseResult (fan-outs take extra references).
+	buf *relayBuf
 }
 
 // tryBackend sends method+path(+query) with body to b. A transport
@@ -178,6 +181,15 @@ type attemptResult struct {
 // still has room, defeating per-replica admission control. The 429
 // relays with its derived Retry-After and X-Admission-Price intact.
 func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQuery string, body []byte) (*attemptResult, error) {
+	return g.tryBackendOpts(ctx, b, method, path, rawQuery, body, "application/json", "")
+}
+
+// tryBackendOpts is tryBackend with an explicit request encoding: the
+// intra-fleet binary protocol rides through contentType (a frame type
+// instead of application/json) and accept (asking for a binary result
+// frame back). Response bodies land in the pooled relay arena; on a
+// nil error the caller owns the result's buffer reference.
+func (g *Gateway) tryBackendOpts(ctx context.Context, b *backend, method, path, rawQuery string, body []byte, contentType, accept string) (*attemptResult, error) {
 	if err := b.acquire(ctx); err != nil {
 		return nil, err
 	}
@@ -197,7 +209,10 @@ func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQ
 		return nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	// Forward the correlation ID so the replica's access log, job record
 	// and trace carry the same request_id the gateway logged.
@@ -218,20 +233,24 @@ func (g *Gateway) tryBackend(ctx context.Context, b *backend, method, path, rawQ
 	// Read one byte past the relay bound so overflow is DETECTED: a
 	// silently truncated body relayed with the original 200 would hand
 	// the client corrupt JSON.
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
+	buf := g.relayBufs.get()
+	n, err := buf.bb.ReadFrom(io.LimitReader(resp.Body, maxRelayBytes+1))
 	if err != nil {
+		g.relayBufs.release(buf)
 		g.metrics.backendErrors.Add(1)
 		return nil, fmt.Errorf("backend %s: reading response: %w", b.name, err)
 	}
-	if len(data) > maxRelayBytes {
+	if n > maxRelayBytes {
+		g.relayBufs.release(buf)
 		g.metrics.backendErrors.Add(1)
 		return nil, fmt.Errorf("backend %s: response exceeds relay limit of %d bytes", b.name, maxRelayBytes)
 	}
 	if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+		g.relayBufs.release(buf)
 		g.metrics.backendErrors.Add(1)
 		return nil, fmt.Errorf("backend %s: HTTP %d", b.name, resp.StatusCode)
 	}
-	return &attemptResult{status: resp.StatusCode, header: resp.Header, body: data}, nil
+	return &attemptResult{status: resp.StatusCode, header: resp.Header, body: buf.bb.Bytes(), buf: buf}, nil
 }
 
 // forward walks the candidate list for key, returning the first
@@ -273,9 +292,11 @@ func (g *Gateway) forward(ctx context.Context, key, method, path, rawQuery strin
 			continue
 		}
 		if notFoundFallthrough && res.status == http.StatusNotFound {
+			g.releaseResult(lastMiss) // keep only the newest miss buffered
 			lastMiss = res
 			continue
 		}
+		g.releaseResult(lastMiss)
 		return res, nil
 	}
 	if lastMiss != nil && lastErr == nil {
@@ -283,6 +304,7 @@ func (g *Gateway) forward(ctx context.Context, key, method, path, rawQuery strin
 		// genuinely unknown.
 		return lastMiss, nil
 	}
+	g.releaseResult(lastMiss)
 	if lastErr == nil {
 		lastErr = errors.New("no backend candidates")
 	}
@@ -305,20 +327,38 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec.ID = newJobID()
 		g.metrics.assignedIDs.Add(1)
 	}
-	body, err := json.Marshal(spec)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
-		return
-	}
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
 	defer cancel()
-	res, err := g.forward(ctx, spec.ID, http.MethodPost, "/v1/jobs", "", body, false)
+	if g.coalesce != nil {
+		// A coalesced spec travels inside a batch body, so the identity
+		// that normally rides request headers must ride the spec itself.
+		ride := spec
+		if ride.RequestID == "" {
+			ride.RequestID = requestIDFrom(ctx)
+		}
+		if ride.Tenant == "" {
+			ride.Tenant = tenantFrom(ctx)
+		}
+		if out, joined := g.coalesce.submit(ctx, ride); joined {
+			if out.res != nil {
+				relay(w, out.res)
+				g.releaseResult(out.res)
+				return
+			}
+			// direct fallback: fall through to the ordinary path.
+		} else if ctx.Err() != nil {
+			writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "submit timed out in coalescing window"})
+			return
+		}
+	}
+	res, err := g.forwardSubmit(ctx, spec.ID, "/v1/jobs", submitBodies([]server.JobSpec{spec}, true), false)
 	if err != nil {
 		g.metrics.unrouted.Add(1)
 		writeJSON(w, http.StatusBadGateway, apiError{Error: "no replica accepted the job: " + err.Error()})
 		return
 	}
 	relay(w, res)
+	g.releaseResult(res)
 }
 
 // handleParamsCache relays the warm-boot tables artifact (see
@@ -340,6 +380,7 @@ func (g *Gateway) handleParamsCache(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	relay(w, res)
+	g.releaseResult(res)
 }
 
 func (g *Gateway) handleGetJob(w http.ResponseWriter, r *http.Request) {
@@ -354,6 +395,7 @@ func (g *Gateway) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	relay(w, res)
+	g.releaseResult(res)
 }
 
 // readWaitAllowance extends the proxy deadline by the client's ?wait
@@ -410,12 +452,17 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Shard by ring owner, remembering each spec's input position.
+	// Shard by ring owner, remembering each spec's input position. Two
+	// passes: the first counts per-owner items so every shard slice is
+	// allocated at its exact final size (a per-item append on an unsized
+	// slice reallocates log(n) times per shard per batch, pure overhead
+	// on the gateway's hottest write path).
 	type shard struct {
 		indices []int
 		specs   []server.JobSpec
 	}
-	shards := make(map[string]*shard)
+	owners := make([]string, len(specs))
+	counts := make(map[string]int)
 	for i := range specs {
 		if specs[i].ID == "" {
 			specs[i].ID = newJobID()
@@ -424,16 +471,22 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		owner, ok := g.ring.Owner(specs[i].ID)
 		if !ok {
 			// Fleet fully ejected (or empty): best effort via any member.
-			// forward() walks the full candidate list per shard anyway;
-			// with zero members it answers per-item errors below.
+			// The forwarding walk visits the full candidate list per shard
+			// anyway; with zero members it answers per-item errors below.
 			if bs := g.snapshotBackends(); len(bs) > 0 {
 				owner = bs[0].name
 			}
 		}
-		sh := shards[owner]
+		owners[i] = owner
+		counts[owner]++
+	}
+	shards := make(map[string]*shard, len(counts))
+	for i := range specs {
+		sh := shards[owners[i]]
 		if sh == nil {
-			sh = &shard{}
-			shards[owner] = sh
+			n := counts[owners[i]]
+			sh = &shard{indices: make([]int, 0, n), specs: make([]server.JobSpec, 0, n)}
+			shards[owners[i]] = sh
 		}
 		sh.indices = append(sh.indices, i)
 		sh.specs = append(sh.specs, specs[i])
@@ -448,23 +501,23 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(owner string, sh *shard) {
 			defer wg.Done()
-			body, err := json.Marshal(sh.specs)
+			// Failover order keyed by the first job in the shard: every
+			// job in the shard has the same owner, so the successor walk
+			// is the same for all of them. The shard body rides the
+			// negotiated intra-fleet encoding; the answer stays JSON
+			// because the client-facing merge below is JSON anyway.
+			res, err := g.forwardSubmit(ctx, sh.specs[0].ID, "/v1/jobs/batch", submitBodies(sh.specs, false), false)
 			if err == nil {
-				var res *attemptResult
-				// Failover order keyed by the first job in the shard:
-				// every job in the shard has the same owner, so the
-				// successor walk is the same for all of them.
-				res, err = g.forward(ctx, sh.specs[0].ID, http.MethodPost, "/v1/jobs/batch", "", body, false)
-				if err == nil {
-					var items []server.BatchItem
-					if res.status == http.StatusOK && json.Unmarshal(res.body, &items) == nil && len(items) == len(sh.indices) {
-						for k, idx := range sh.indices {
-							merged[idx] = items[k]
-						}
-						return
+				var items []server.BatchItem
+				if res.status == http.StatusOK && json.Unmarshal(res.body, &items) == nil && len(items) == len(sh.indices) {
+					g.releaseResult(res)
+					for k, idx := range sh.indices {
+						merged[idx] = items[k]
 					}
-					err = fmt.Errorf("shard response HTTP %d", res.status)
+					return
 				}
+				err = fmt.Errorf("shard response HTTP %d", res.status)
+				g.releaseResult(res)
 			}
 			g.metrics.unrouted.Add(int64(len(sh.indices)))
 			for _, idx := range sh.indices {
@@ -473,5 +526,18 @@ func (g *Gateway) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}(owner, sh)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, merged)
+	// Encode the merged answer through the pooled arena instead of a
+	// fresh encoder allocation per batch.
+	buf := g.relayBufs.get()
+	enc := json.NewEncoder(&buf.bb)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(merged); err != nil {
+		g.relayBufs.release(buf)
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.bb.Bytes())
+	g.relayBufs.release(buf)
 }

@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"dmw/internal/ring"
+	"dmw/internal/wire"
 )
 
 // RecordsPath is the replication RPC endpoint on every dmwd: POST a
@@ -85,6 +87,13 @@ type Config struct {
 	// seconds (success or failure) — wired to the server's metrics
 	// histogram.
 	ObservePush func(seconds float64)
+	// ObserveBatch, when set, observes the record count of each push
+	// RPC — wired to the server's push-batch-size histogram, so the
+	// coalescing win of the batched drain is visible in /metrics.
+	ObserveBatch func(records int)
+	// DisableWire forces JSON push bodies even to peers that advertise
+	// the binary record-frame encoding.
+	DisableWire bool
 }
 
 // Replicator owns replication placement and transport for one replica.
@@ -94,10 +103,11 @@ type Config struct {
 type Replicator struct {
 	cfg Config
 
-	mu   sync.RWMutex
-	view View
-	ring *ring.Ring
-	urls map[string]string // member name -> base URL
+	mu       sync.RWMutex
+	view     View
+	ring     *ring.Ring
+	urls     map[string]string // member name -> base URL
+	jsonOnly map[string]bool   // peers that refused the binary record frame
 
 	queue chan Record
 	stop  chan struct{}
@@ -123,7 +133,18 @@ func NewReplicator(cfg Config) *Replicator {
 		cfg.PushTimeout = 5 * time.Second
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: cfg.PushTimeout}
+		// Replication pushes are small, frequent, and always aimed at the
+		// same few ring successors: keep-alive reuse matters more than
+		// connection parallelism, so the pool is tuned for a handful of
+		// warm connections per peer instead of the transport defaults.
+		cfg.Client = &http.Client{
+			Timeout: cfg.PushTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 4,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -131,12 +152,16 @@ func NewReplicator(cfg Config) *Replicator {
 	if cfg.ObservePush == nil {
 		cfg.ObservePush = func(float64) {}
 	}
+	if cfg.ObserveBatch == nil {
+		cfg.ObserveBatch = func(int) {}
+	}
 	r := &Replicator{
-		cfg:   cfg,
-		ring:  ring.New(cfg.VirtualNodes),
-		urls:  make(map[string]string),
-		queue: make(chan Record, cfg.QueueDepth),
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		ring:     ring.New(cfg.VirtualNodes),
+		urls:     make(map[string]string),
+		jsonOnly: make(map[string]bool),
+		queue:    make(chan Record, cfg.QueueDepth),
+		stop:     make(chan struct{}),
 	}
 	r.wg.Add(1)
 	go r.worker()
@@ -159,6 +184,9 @@ func (r *Replicator) Update(v View) {
 	r.view = v
 	r.ring = rg
 	r.urls = urls
+	// A new view means peers may have restarted (possibly upgraded):
+	// forget negotiation verdicts and re-probe the binary encoding.
+	r.jsonOnly = make(map[string]bool)
 	r.mu.Unlock()
 }
 
@@ -213,32 +241,59 @@ func (r *Replicator) Offer(rec Record) {
 	}
 }
 
+// worker drains the async queue in batches: one blocking receive, then
+// everything immediately available up to handoffChunk. Under light load
+// each record still ships alone within one receive of finishing; under
+// a completion burst (many workers finishing into a slow link) the
+// queue depth converts into batch size, amortizing one POST per peer
+// over the whole burst instead of one per record.
 func (r *Replicator) worker() {
 	defer r.wg.Done()
+	batch := make([]Record, 0, handoffChunk)
 	for {
 		select {
 		case <-r.stop:
 			return
 		case rec := <-r.queue:
-			r.pushOne(rec)
+			batch = append(batch[:0], rec)
+		drain:
+			for len(batch) < handoffChunk {
+				select {
+				case more := <-r.queue:
+					batch = append(batch, more)
+				default:
+					break drain
+				}
+			}
+			r.pushBatch(batch)
 		}
 	}
 }
 
-// pushOne delivers rec to each of its targets, retrying once per
-// target after a short pause — enough to ride out a successor that is
-// mid-restart without wedging the queue.
-func (r *Replicator) pushOne(rec Record) {
-	for _, p := range r.Targets(rec.ID) {
-		if err := r.post(p, []Record{rec}); err != nil {
+// pushBatch groups the drained records by target peer and delivers one
+// POST per peer (retrying once after a short pause — enough to ride out
+// a successor that is mid-restart without wedging the queue). A record
+// with R-1 > 1 appears in several peers' groups.
+func (r *Replicator) pushBatch(recs []Record) {
+	groups := make(map[string][]Record)
+	peers := make(map[string]Peer)
+	for _, rec := range recs {
+		for _, p := range r.Targets(rec.ID) {
+			groups[p.Name] = append(groups[p.Name], rec)
+			peers[p.Name] = p
+		}
+	}
+	for name, group := range groups {
+		p := peers[name]
+		if err := r.post(p, group); err != nil {
 			time.Sleep(50 * time.Millisecond)
-			if err = r.post(p, []Record{rec}); err != nil {
-				r.pushErrors.Add(1)
-				r.cfg.Logf("replica: pushing %s to %s failed: %v", rec.ID, p.Name, err)
+			if err = r.post(p, group); err != nil {
+				r.pushErrors.Add(int64(len(group)))
+				r.cfg.Logf("replica: pushing %d records to %s failed: %v", len(group), name, err)
 				continue
 			}
 		}
-		r.pushes.Add(1)
+		r.pushes.Add(int64(len(group)))
 	}
 }
 
@@ -365,30 +420,97 @@ func (r *Replicator) Handoff(recs []Record) {
 	}
 }
 
-// post delivers one batch to one peer.
+// post delivers one batch to one peer, preferring the binary record
+// frame and falling back (sticky per peer, until the next view) to JSON
+// when the peer answers a frame-typed request without the wire
+// capability header — the signature of a member that predates the
+// binary protocol.
 func (r *Replicator) post(p Peer, recs []Record) error {
+	r.cfg.ObserveBatch(len(recs))
 	start := time.Now()
 	defer func() { r.cfg.ObservePush(time.Since(start).Seconds()) }()
+	if !r.cfg.DisableWire && !r.peerJSONOnly(p.Name) {
+		err, fellBack := r.postFrame(p, recs)
+		if !fellBack {
+			return err
+		}
+		r.markJSONOnly(p.Name)
+		r.cfg.Logf("replica: peer %s does not speak record frames; falling back to JSON", p.Name)
+	}
+	return r.postJSON(p, recs)
+}
+
+func (r *Replicator) peerJSONOnly(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.jsonOnly[name]
+}
+
+func (r *Replicator) markJSONOnly(name string) {
+	r.mu.Lock()
+	r.jsonOnly[name] = true
+	r.mu.Unlock()
+}
+
+// postFrame attempts the binary encoding. fellBack reports a
+// negotiation failure (peer rejected the content type without speaking
+// the wire header): the caller must re-send as JSON. Genuine errors —
+// transport failures, or peer-side refusals that DO carry the header —
+// are returned as err with fellBack false, since the peer understood
+// the frame and retrying as JSON would not change the verdict.
+func (r *Replicator) postFrame(p Peer, recs []Record) (err error, fellBack bool) {
+	wrecs := make([]wire.Record, len(recs))
+	for i, rec := range recs {
+		wrecs[i] = wire.Record{ID: rec.ID, Origin: rec.Origin, Epoch: rec.Epoch, Payload: rec.Payload}
+	}
+	body, err := wire.AppendRecordFrame(nil, wrecs)
+	if err != nil {
+		return err, false
+	}
+	resp, err := r.send(p, body, wire.ContentTypeRecordFrame)
+	if err != nil {
+		return err, false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNoContent:
+		return nil, false
+	case (resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusUnsupportedMediaType) &&
+		resp.Header.Get(wire.HeaderWire) == "":
+		return nil, true
+	default:
+		return &statusError{status: resp.StatusCode}, false
+	}
+}
+
+func (r *Replicator) postJSON(p Peer, recs []Record) error {
 	body, err := json.Marshal(recs)
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.PushTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL+RecordsPath, bytes.NewReader(body))
+	resp, err := r.send(p, body, "application/json")
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := r.cfg.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
 		return &statusError{status: resp.StatusCode}
 	}
 	return nil
+}
+
+// send issues one replication POST; callers own the response body.
+func (r *Replicator) send(p Peer, body []byte, contentType string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL+RecordsPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return r.cfg.Client.Do(req)
 }
 
 type statusError struct{ status int }

@@ -9,13 +9,19 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dmw/internal/wire"
 )
 
-// recordSink is a test peer that accepts replication POSTs.
+// recordSink is a test peer that accepts replication POSTs in both the
+// JSON and binary record-frame encodings (like a current dmwd). It also
+// remembers per-POST batch sizes and which encodings it saw.
 type recordSink struct {
-	mu   sync.Mutex
-	recs []Record
-	srv  *httptest.Server
+	mu      sync.Mutex
+	recs    []Record
+	batches []int
+	framed  int // POSTs that arrived as binary record frames
+	srv     *httptest.Server
 }
 
 func newRecordSink(t *testing.T) *recordSink {
@@ -27,11 +33,52 @@ func newRecordSink(t *testing.T) *recordSink {
 		}
 		body, _ := io.ReadAll(r.Body)
 		var recs []Record
-		if err := json.Unmarshal(body, &recs); err != nil {
+		if r.Header.Get("Content-Type") == wire.ContentTypeRecordFrame {
+			w.Header().Set(wire.HeaderWire, wire.WireV1)
+			wrecs, err := wire.DecodeRecordFrame(body)
+			if err != nil {
+				t.Errorf("sink: %v", err)
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			for _, wr := range wrecs {
+				recs = append(recs, Record{ID: wr.ID, Origin: wr.Origin, Epoch: wr.Epoch,
+					Payload: json.RawMessage(append([]byte(nil), wr.Payload...))})
+			}
+			s.mu.Lock()
+			s.framed++
+			s.mu.Unlock()
+		} else if err := json.Unmarshal(body, &recs); err != nil {
 			t.Errorf("sink: %v", err)
 		}
 		s.mu.Lock()
 		s.recs = append(s.recs, recs...)
+		s.batches = append(s.batches, len(recs))
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+// newJSONOnlySink is a peer that predates the binary protocol: it
+// refuses unknown content types with a plain 400 and no wire header.
+func newJSONOnlySink(t *testing.T) *recordSink {
+	s := &recordSink{}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != RecordsPath {
+			http.NotFound(w, r)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		var recs []Record
+		if err := json.Unmarshal(body, &recs); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.recs = append(s.recs, recs...)
+		s.batches = append(s.batches, len(recs))
 		s.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 	}))
@@ -43,6 +90,24 @@ func (s *recordSink) count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.recs)
+}
+
+func (s *recordSink) framedPosts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.framed
+}
+
+func (s *recordSink) maxBatch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := 0
+	for _, n := range s.batches {
+		if n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 func view(self string, replication int, peers ...Peer) View {
@@ -155,6 +220,129 @@ func TestHandoffFallsBackPastDeadPeer(t *testing.T) {
 	}
 	if _, errs, _ := r.Stats(); errs == 0 {
 		t.Fatal("no push errors counted despite a dead peer")
+	}
+}
+
+// TestOfferPushesUseRecordFrames: the async push path defaults to the
+// binary encoding when the peer advertises it.
+func TestOfferPushesUseRecordFrames(t *testing.T) {
+	sink := newRecordSink(t)
+	r := NewReplicator(Config{})
+	defer r.Close()
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "peer", URL: sink.srv.URL, Weight: 1},
+	))
+	r.Offer(Record{ID: "wf-1", Origin: "self", Epoch: 1, Payload: json.RawMessage(`{"k":1}`)})
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("offer never reached the peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sink.framedPosts() == 0 {
+		t.Fatal("push to a frame-capable peer arrived as JSON")
+	}
+	sink.mu.Lock()
+	got := string(sink.recs[0].Payload)
+	sink.mu.Unlock()
+	if got != `{"k":1}` {
+		t.Fatalf("payload %q survived the frame wrong", got)
+	}
+}
+
+// TestWireFallbackToJSONOnly: a peer that answers a frame-typed POST
+// with 400 and no capability header is a pre-wire member — the push
+// must be retried as JSON within the same delivery (no record loss, no
+// push error counted) and the verdict remembered for later pushes.
+func TestWireFallbackToJSONOnly(t *testing.T) {
+	sink := newJSONOnlySink(t)
+	r := NewReplicator(Config{})
+	defer r.Close()
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "old", URL: sink.srv.URL, Weight: 1},
+	))
+	for i := 0; i < 3; i++ {
+		r.Offer(Record{ID: fmt.Sprintf("fb-%d", i), Payload: json.RawMessage(`{}`)})
+		deadline := time.Now().Add(5 * time.Second)
+		for sink.count() <= i {
+			if time.Now().After(deadline) {
+				t.Fatalf("offer %d never reached the JSON-only peer", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if pushes, errs, _ := r.Stats(); pushes != 3 || errs != 0 {
+		t.Fatalf("stats = %d pushes / %d errors, want 3/0 (fallback is not an error)", pushes, errs)
+	}
+	if !r.peerJSONOnly("old") {
+		t.Fatal("negotiation verdict not remembered")
+	}
+	// A view change re-probes: the verdict must be cleared.
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "old", URL: sink.srv.URL, Weight: 1},
+	))
+	if r.peerJSONOnly("old") {
+		t.Fatal("negotiation verdict survived a view change")
+	}
+}
+
+// TestOfferBatchedDrain: a burst of offers into a queue drains as a few
+// grouped POSTs, not one POST per record, and the batch sizes are
+// surfaced through ObserveBatch.
+func TestOfferBatchedDrain(t *testing.T) {
+	slow := make(chan struct{})
+	sink := newRecordSink(t)
+	// Gate the sink so the burst accumulates in the queue while the
+	// first push is in flight.
+	gated := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-slow
+		sink.srv.Config.Handler.ServeHTTP(w, r)
+	}))
+	defer gated.Close()
+
+	var observed []int
+	var obsMu sync.Mutex
+	r := NewReplicator(Config{ObserveBatch: func(n int) {
+		obsMu.Lock()
+		observed = append(observed, n)
+		obsMu.Unlock()
+	}})
+	defer r.Close()
+	r.Update(view("self", 2,
+		Peer{Name: "self", URL: "http://ignored", Weight: 1},
+		Peer{Name: "peer", URL: gated.URL, Weight: 1},
+	))
+	const burst = 32
+	for i := 0; i < burst; i++ {
+		r.Offer(Record{ID: fmt.Sprintf("bd-%02d", i), Payload: json.RawMessage(`{}`)})
+	}
+	close(slow)
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() < burst {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d records delivered", sink.count(), burst)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The first record ships alone (it was drained before the burst
+	// finished queueing), but the remainder must coalesce.
+	if got := sink.maxBatch(); got < 2 {
+		t.Fatalf("max delivered batch = %d; burst never coalesced", got)
+	}
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	max := 0
+	for _, n := range observed {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 2 {
+		t.Fatalf("ObserveBatch max = %d; batch sizes not surfaced", max)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"dmw/internal/obs"
 	"dmw/internal/replica"
 	"dmw/internal/tenant"
+	"dmw/internal/wire"
 )
 
 // maxBodyBytes bounds POST bodies; a 64x64 bid matrix is ~20 KB of
@@ -130,15 +131,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// retryAfterSeconds renders d as an integral Retry-After value: whole
-// seconds, rounded up, at least 1 (a zero would invite an immediate
-// retry storm).
-func retryAfterSeconds(d time.Duration) string {
+// retryAfterSecs derives an integral Retry-After value: whole seconds,
+// rounded up, at least 1 (a zero would invite an immediate retry
+// storm). Shared by the header rendering and the per-item batch
+// outcomes.
+func retryAfterSecs(d time.Duration) int {
 	secs := int(math.Ceil(d.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
-	return strconv.Itoa(secs)
+	return secs
+}
+
+// retryAfterSeconds renders d as the Retry-After header value.
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(retryAfterSecs(d))
 }
 
 // setRejectionHeaders stamps the refusal guidance derived at admission
@@ -152,11 +159,23 @@ func setRejectionHeaders(w http.ResponseWriter, rej *Rejection) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec: " + err.Error()})
-		return
+	if r.Header.Get("Content-Type") == wire.ContentTypeJobFrame {
+		specs, ok := s.decodeJobFrameBody(w, r, maxBodyBytes)
+		if !ok {
+			return
+		}
+		if len(specs) != 1 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("job frame carries %d specs; POST /v1/jobs takes exactly one", len(specs))})
+			return
+		}
+		spec = specs[0]
+	} else {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec: " + err.Error()})
+			return
+		}
 	}
 	if spec.RequestID == "" {
 		spec.RequestID = requestIDFrom(r.Context())
@@ -198,11 +217,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // 200 with a BatchItem per spec, positionally aligned with the input.
 func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	var specs []JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&specs); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec array: " + err.Error()})
-		return
+	if r.Header.Get("Content-Type") == wire.ContentTypeJobFrame {
+		var ok bool
+		if specs, ok = s.decodeJobFrameBody(w, r, maxBatchBodyBytes); !ok {
+			return
+		}
+	} else {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&specs); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding job spec array: " + err.Error()})
+			return
+		}
 	}
 	if len(specs) == 0 {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty batch"})
@@ -222,7 +248,15 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			specs[i].Tenant = tid
 		}
 	}
-	writeJSON(w, http.StatusOK, s.SubmitBatch(specs))
+	items := s.SubmitBatch(specs)
+	// A frame-speaking gateway asks for the binary result encoding so it
+	// can fan pre-marshaled per-item bodies back to coalesced waiters
+	// without parsing them; everyone else gets the JSON item array.
+	if r.Header.Get("Accept") == wire.ContentTypeResultFrame {
+		s.writeResultFrame(w, items)
+		return
+	}
+	writeJSON(w, http.StatusOK, items)
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {

@@ -27,6 +27,12 @@ var phaseBucketsS = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.0
 // the cross-job coalescer absorbed into one multi-exp pass.
 var verifyBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
+// pushBatchBuckets are the upper bounds (records per POST) of the
+// replica-tier batching histograms: how many records one replication
+// RPC absorbed, on the push side (dmwd_replica_push_batch_size) and
+// the accept side (dmwd_replica_accept_batch_size).
+var pushBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // PhaseQueueWait is the server-side segment preceding the protocol
 // phases: admission to worker pickup. Together with dmw.PhaseNames it
 // makes the dmwd_phase_seconds series sum to (approximately — modulo
@@ -77,10 +83,21 @@ type metrics struct {
 	// replicaAccepted counts terminal-record copies stored for ring
 	// predecessors; replicaReads counts reads served from those copies
 	// after the primary store missed. replicaPush observes one
-	// replication POST's wall time (dmwd_replica_push_seconds_*).
-	replicaAccepted atomic.Int64
-	replicaReads    atomic.Int64
-	replicaPush     *obs.Histogram
+	// replication POST's wall time (dmwd_replica_push_seconds_*);
+	// replicaPushBatch / replicaAcceptBatch observe how many records
+	// each replication RPC carried on the way out and in.
+	replicaAccepted    atomic.Int64
+	replicaReads       atomic.Int64
+	replicaPush        *obs.Histogram
+	replicaPushBatch   *obs.Histogram
+	replicaAcceptBatch *obs.Histogram
+
+	// wireRequests counts frame-encoded requests served on the fleet
+	// endpoints; wireErrors counts frame bodies refused as corrupt or
+	// truncated (each one answered with a loud 400, never fed to the
+	// JSON decoder).
+	wireRequests atomic.Int64
+	wireErrors   atomic.Int64
 
 	// tenantMu guards the per-tenant label maps below. Cardinality is
 	// bounded by the registry (tenant.CleanID folding plus the dynamic-
@@ -96,12 +113,14 @@ type metrics struct {
 // newMetrics builds the metric set with its histograms registered.
 func newMetrics() *metrics {
 	m := &metrics{
-		latency:        obs.NewHistogram(latencyBucketsMS),
-		phases:         make(map[string]*obs.Histogram, len(phaseOrder)),
-		verifyBatch:    obs.NewHistogram(verifyBatchBuckets),
-		replicaPush:    obs.NewHistogram(phaseBucketsS),
-		tenantAdmitted: make(map[string]int64),
-		tenantRejected: make(map[string]map[string]int64),
+		latency:            obs.NewHistogram(latencyBucketsMS),
+		phases:             make(map[string]*obs.Histogram, len(phaseOrder)),
+		verifyBatch:        obs.NewHistogram(verifyBatchBuckets),
+		replicaPush:        obs.NewHistogram(phaseBucketsS),
+		replicaPushBatch:   obs.NewHistogram(pushBatchBuckets),
+		replicaAcceptBatch: obs.NewHistogram(pushBatchBuckets),
+		tenantAdmitted:     make(map[string]int64),
+		tenantRejected:     make(map[string]map[string]int64),
 	}
 	for _, name := range phaseOrder {
 		m.phases[name] = obs.NewHistogram(phaseBucketsS)
@@ -268,6 +287,8 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	p("dmwd_replica_dropped_total %d\n", g.replicaDropped)
 	p("dmwd_replica_accepted_total %d\n", m.replicaAccepted.Load())
 	p("dmwd_replica_reads_total %d\n", m.replicaReads.Load())
+	p("dmwd_wire_requests_total %d\n", m.wireRequests.Load())
+	p("dmwd_wire_errors_total %d\n", m.wireErrors.Load())
 	if g.journalEnabled {
 		p("dmwd_journal_enabled 1\n")
 		p("dmwd_journal_appends_total %d\n", g.journal.Appends)
@@ -284,6 +305,8 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 	m.latency.Write(w, "dmwd_job_latency_ms", "")
 	m.verifyBatch.Write(w, "dmwd_verify_batch_size", "")
 	m.replicaPush.Write(w, "dmwd_replica_push_seconds", "")
+	m.replicaPushBatch.Write(w, "dmwd_replica_push_batch_size", "")
+	m.replicaAcceptBatch.Write(w, "dmwd_replica_accept_batch_size", "")
 	for _, name := range phaseOrder {
 		m.phases[name].Write(w, "dmwd_phase_seconds", `phase="`+name+`"`)
 	}

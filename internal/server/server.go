@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -304,6 +305,9 @@ func New(cfg Config) (*Server, error) {
 		Logf: cfg.Logf,
 		ObservePush: func(seconds float64) {
 			s.metrics.replicaPush.Observe(seconds)
+		},
+		ObserveBatch: func(records int) {
+			s.metrics.replicaPushBatch.Observe(float64(records))
 		},
 	})
 	if cfg.DataDir != "" {
@@ -725,6 +729,17 @@ type BatchItem struct {
 	// Job is the job view; nil only for specs that failed validation
 	// (those never get a job record).
 	Job *JobView `json:"job,omitempty"`
+	// Status is the HTTP status this item would have earned on a single
+	// submit (202/400/429/503) — what lets a gateway that coalesced
+	// independent single submits into this batch fan each item back with
+	// exactly the status, Retry-After, and admission price the item's
+	// own backend answer carried, never the batch envelope's.
+	Status int `json:"status,omitempty"`
+	// RetryAfterSec and Price carry the per-item refusal guidance for
+	// 429/503 items, derived from the same Rejection a single submit
+	// would have rendered into headers.
+	RetryAfterSec int     `json:"retry_after_seconds,omitempty"`
+	Price         float64 `json:"price,omitempty"`
 }
 
 // SubmitBatch admits each spec independently against the bounded queue
@@ -745,6 +760,7 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 		if err != nil {
 			s.metrics.rejected.Add(1)
 			items[i].Error = err.Error()
+			items[i].Status = http.StatusBadRequest
 			continue
 		}
 		// Idempotency for client-supplied IDs, mirroring Submit: an ID
@@ -758,11 +774,11 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 			if job, ok := s.store.Get(id, now); ok && job.State() != StateRejected {
 				s.metrics.deduped.Add(1)
 				v := job.View()
-				items[i] = BatchItem{Accepted: true, Job: &v}
+				items[i] = BatchItem{Accepted: true, Job: &v, Status: http.StatusAccepted}
 				continue
 			}
 			if batchIDs[id] {
-				items[i] = BatchItem{Error: fmt.Sprintf("duplicate job id %q within batch", id)}
+				items[i] = BatchItem{Error: fmt.Sprintf("duplicate job id %q within batch", id), Status: http.StatusBadRequest}
 				continue
 			}
 			batchIDs[id] = true
@@ -773,13 +789,15 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 		tn := s.registry.Get(specs[i].Tenant)
 		if rej := s.throttle(tn, specs[i].MaxPrice, now); rej != nil {
 			_ = s.rejectTenant(specs[i].ID, rej, now)
-			items[i] = BatchItem{Error: rej.Error()}
+			items[i] = BatchItem{Error: rej.Error(), Status: http.StatusTooManyRequests,
+				RetryAfterSec: retryAfterSecs(rej.RetryAfter), Price: rej.Price}
 			continue
 		}
 		job, err := newJob(specs[i], bids, now)
 		if err != nil {
 			tn.Release()
 			items[i].Error = err.Error()
+			items[i].Status = http.StatusBadRequest
 			continue
 		}
 		jobs[i] = job
@@ -797,7 +815,7 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 			if job != nil {
 				holders[i].Release()
 				s.metrics.rejected.Add(1)
-				items[i] = BatchItem{Error: "persisting admission: " + err.Error()}
+				items[i] = BatchItem{Error: "persisting admission: " + err.Error(), Status: http.StatusInternalServerError}
 			}
 		}
 		return items
@@ -811,7 +829,7 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 		holders[i].Release()
 		s.metrics.deduped.Add(1)
 		v := old.View()
-		items[i] = BatchItem{Accepted: true, Job: &v}
+		items[i] = BatchItem{Accepted: true, Job: &v, Status: http.StatusAccepted}
 	}
 
 	for i, job := range jobs {
@@ -836,21 +854,23 @@ func (s *Server) SubmitBatch(specs []JobSpec) []BatchItem {
 			s.publish(job, tenant.Event{Type: tenant.EventAdmitted, Time: now,
 				Tenant: tn.ID, JobID: job.ID, Price: s.observePrice(now)})
 			v := job.View()
-			items[i] = BatchItem{Accepted: true, Job: &v}
+			items[i] = BatchItem{Accepted: true, Job: &v, Status: http.StatusAccepted}
 		case errors.Is(pushErr, tenant.ErrQueueClosed):
 			tn.Release()
 			job.reject(ErrDraining.Error(), now, s.cfg.ResultTTL)
 			s.store.Finished(job)
-			_ = s.rejectBackpressure(job, ErrDraining, tenant.ReasonDraining, now)
+			rej := s.rejectBackpressure(job, ErrDraining, tenant.ReasonDraining, now)
 			v := job.View()
-			items[i] = BatchItem{Error: ErrDraining.Error(), Job: &v}
+			items[i] = BatchItem{Error: ErrDraining.Error(), Job: &v, Status: http.StatusServiceUnavailable,
+				RetryAfterSec: retryAfterSecs(rej.RetryAfter), Price: rej.Price}
 		default: // tenant.ErrQueueFull
 			tn.Release()
 			job.reject(ErrQueueFull.Error(), now, s.cfg.ResultTTL)
 			s.store.Finished(job)
-			_ = s.rejectBackpressure(job, ErrQueueFull, tenant.ReasonQueueFull, now)
+			rej := s.rejectBackpressure(job, ErrQueueFull, tenant.ReasonQueueFull, now)
 			v := job.View()
-			items[i] = BatchItem{Error: ErrQueueFull.Error(), Job: &v}
+			items[i] = BatchItem{Error: ErrQueueFull.Error(), Job: &v, Status: http.StatusServiceUnavailable,
+				RetryAfterSec: retryAfterSecs(rej.RetryAfter), Price: rej.Price}
 		}
 	}
 	return items

@@ -1,0 +1,502 @@
+// Frames: the intra-fleet binary encoding negotiated on the fleet's
+// existing HTTP endpoints (gateway→dmwd job submits, dmwd→gateway
+// batch results, dmwd→dmwd replica write-through). JSON stays the
+// external and default representation; a frame is only ever sent after
+// content-type negotiation, and a peer that does not recognize the
+// frame content types keeps speaking JSON.
+//
+//	frame    := 'D' 'W' version:u8 type:u8 count:u32 item*
+//	str      := len:u16 utf8
+//	blob     := len:u32 bytes
+//	i64      := 8 bytes big-endian (two's complement)
+//	f64      := IEEE-754 bits, big-endian
+//
+//	job      := id:str rid:str tenant:str flags:u8
+//	            c:i64 seed:i64 parallelism:i64 linkDelayMS:f64 maxPrice:f64
+//	            w:(count:u16 i64*)
+//	            random? agents:u32 tasks:u32
+//	            bids?   rows:u16 (cols:u16 i64*)*
+//	result   := status:u16 retryAfterSec:u32 price:f64 errMsg:str body:blob
+//	record   := id:str origin:str epoch:u64 payload:blob
+//
+// The job codec round-trips the UNVALIDATED client spec (the server
+// still runs the same validation it runs on JSON input), so integer
+// fields are full-width i64 and bid matrices may be ragged. Decoded
+// result/record items alias the input buffer (zero-copy bodies); the
+// caller owns keeping the buffer alive until the items are consumed.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Content types negotiated on the fleet endpoints, and the capability
+// header a frame-speaking server stamps on every response to a
+// binary-typed request. The header is what makes fallback loud AND
+// unambiguous: a 400 answer WITHOUT it came from a peer that never
+// understood the frame (renegotiate as JSON), while a 400 WITH it is a
+// real per-request error from a peer that did.
+const (
+	ContentTypeJobFrame    = "application/x-dmw-jobs"
+	ContentTypeResultFrame = "application/x-dmw-results"
+	ContentTypeRecordFrame = "application/x-dmw-records"
+	HeaderWire             = "X-DMW-Wire"
+	WireV1                 = "v1"
+)
+
+// Frame type tags (byte 3 of the header).
+const (
+	frameJobs    uint8 = 1
+	frameResults uint8 = 2
+	frameRecords uint8 = 3
+)
+
+const (
+	frameVersion    uint8 = 1
+	frameHeaderSize       = 2 + 1 + 1 + 4 // magic, version, type, count
+)
+
+// Job spec flag bits.
+const (
+	jfRandom uint8 = 1 << iota
+	jfRecord
+	jfCountOps
+	jfTrace
+)
+
+// maxFrameItems bounds the decoded item count of any frame before the
+// per-item size guards kick in; the HTTP layers apply their own
+// (smaller) batch limits after decoding.
+const maxFrameItems = 1 << 20
+
+// Job is the frame-level mirror of server.JobSpec. The server owns the
+// canonical spec schema; this struct exists so the codec does not
+// import the server package (which imports this one). Conversions are
+// field-for-field (server.SpecToWire / server.SpecFromWire) and pinned
+// by a round-trip test against the JSON encoding.
+type Job struct {
+	ID           string
+	Random       bool // true: RandomAgents/RandomTasks; false: Bids
+	RandomAgents int
+	RandomTasks  int
+	Bids         [][]int
+	W            []int
+	C            int
+	Seed         int64
+	Parallelism  int
+	Record       bool
+	CountOps     bool
+	Trace        bool
+	LinkDelayMS  float64
+	RequestID    string
+	Tenant       string
+	MaxPrice     float64
+}
+
+// ResultItem is one per-spec outcome inside a batch-result frame: the
+// HTTP status the item maps to on a single submit (202/400/429/503),
+// the derived retry/price guidance for refusals, and the item's
+// single-submit JSON body (a job view for 202/503, empty for 400/429 —
+// the relay rebuilds the small error envelope from ErrMsg). Carrying
+// the body as pre-marshaled JSON is what makes the gateway relay
+// zero-copy: it slices bytes out of the frame and writes them to each
+// waiting client without parsing them.
+type ResultItem struct {
+	Status        int
+	RetryAfterSec int
+	Price         float64
+	ErrMsg        string
+	Body          []byte // aliases the decode input
+}
+
+// Record mirrors replica.Record for the write-through RPC.
+type Record struct {
+	ID      string
+	Origin  string
+	Epoch   uint64
+	Payload []byte // aliases the decode input
+}
+
+// ErrFrame wraps every frame-decode failure so HTTP layers can answer
+// a loud 400 ("the bytes claimed to be a frame and were not") rather
+// than feeding them to a JSON decoder whose error would misattribute
+// the corruption.
+var ErrFrame = errors.New("wire: bad frame")
+
+func framef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFrame, fmt.Sprintf(format, args...))
+}
+
+// --- sizing -----------------------------------------------------------
+
+func strSize(s string) (int, error) {
+	if len(s) > math.MaxUint16 {
+		return 0, fmt.Errorf("wire: string field of %d bytes exceeds frame limit", len(s))
+	}
+	return 2 + len(s), nil
+}
+
+// jobSize computes one job item's exact wire footprint, rejecting
+// anything the fill pass cannot represent.
+func jobSize(j *Job) (int, error) {
+	size := 1 + 5*8 // flags + c, seed, parallelism, linkDelayMS, maxPrice
+	for _, s := range []string{j.ID, j.RequestID, j.Tenant} {
+		n, err := strSize(s)
+		if err != nil {
+			return 0, err
+		}
+		size += n
+	}
+	if len(j.W) > math.MaxUint16 {
+		return 0, fmt.Errorf("wire: w of %d entries exceeds frame limit", len(j.W))
+	}
+	size += 2 + 8*len(j.W)
+	if j.Random {
+		size += 4 + 4
+	} else {
+		if len(j.Bids) > math.MaxUint16 {
+			return 0, fmt.Errorf("wire: bid matrix of %d rows exceeds frame limit", len(j.Bids))
+		}
+		size += 2
+		for _, row := range j.Bids {
+			if len(row) > math.MaxUint16 {
+				return 0, fmt.Errorf("wire: bid row of %d entries exceeds frame limit", len(row))
+			}
+			size += 2 + 8*len(row)
+		}
+	}
+	return size, nil
+}
+
+// --- encode -----------------------------------------------------------
+
+func (a *appender) header(ftype uint8, count int) {
+	a.u8('D')
+	a.u8('W')
+	a.u8(frameVersion)
+	a.u8(ftype)
+	a.u32(uint32(count))
+}
+
+func (a *appender) str(s string) {
+	a.u16(uint16(len(s)))
+	a.b = append(a.b, s...)
+}
+
+func (a *appender) blob(b []byte) {
+	a.u32(uint32(len(b)))
+	a.b = append(a.b, b...)
+}
+
+func (a *appender) i64(v int64) { a.u64(uint64(v)) }
+func (a *appender) f64(v float64) {
+	a.u64(math.Float64bits(v))
+}
+
+func (a *appender) job(j *Job) {
+	a.str(j.ID)
+	a.str(j.RequestID)
+	a.str(j.Tenant)
+	var flags uint8
+	if j.Random {
+		flags |= jfRandom
+	}
+	if j.Record {
+		flags |= jfRecord
+	}
+	if j.CountOps {
+		flags |= jfCountOps
+	}
+	if j.Trace {
+		flags |= jfTrace
+	}
+	a.u8(flags)
+	a.i64(int64(j.C))
+	a.i64(j.Seed)
+	a.i64(int64(j.Parallelism))
+	a.f64(j.LinkDelayMS)
+	a.f64(j.MaxPrice)
+	a.u16(uint16(len(j.W)))
+	for _, v := range j.W {
+		a.i64(int64(v))
+	}
+	if j.Random {
+		a.u32(uint32(int32(j.RandomAgents)))
+		a.u32(uint32(int32(j.RandomTasks)))
+		return
+	}
+	a.u16(uint16(len(j.Bids)))
+	for _, row := range j.Bids {
+		a.u16(uint16(len(row)))
+		for _, v := range row {
+			a.i64(int64(v))
+		}
+	}
+}
+
+// EncodeJobFrame serializes a job-submit frame into one exactly-sized
+// allocation (the same sizing-pass-then-infallible-fill discipline as
+// EncodeMessage).
+func EncodeJobFrame(jobs []Job) ([]byte, error) {
+	if len(jobs) > maxFrameItems {
+		return nil, fmt.Errorf("wire: %d jobs exceeds frame limit", len(jobs))
+	}
+	size := frameHeaderSize
+	for i := range jobs {
+		n, err := jobSize(&jobs[i])
+		if err != nil {
+			return nil, err
+		}
+		size += n
+	}
+	a := appender{b: make([]byte, 0, size)}
+	a.header(frameJobs, len(jobs))
+	for i := range jobs {
+		a.job(&jobs[i])
+	}
+	return a.b, nil
+}
+
+// AppendResultFrame appends a batch-result frame to dst (typically a
+// pooled buffer — steady state re-encodes with zero allocations once
+// the buffer has grown to the working batch size). Oversized ErrMsg
+// strings are truncated rather than refused: they are diagnostics, and
+// a result frame must always be encodable for outcomes the server
+// already committed to.
+func AppendResultFrame(dst []byte, items []ResultItem) []byte {
+	a := appender{b: dst}
+	a.header(frameResults, len(items))
+	for i := range items {
+		it := &items[i]
+		a.u16(uint16(it.Status))
+		ra := it.RetryAfterSec
+		if ra < 0 {
+			ra = 0
+		}
+		a.u32(uint32(ra))
+		a.f64(it.Price)
+		msg := it.ErrMsg
+		if len(msg) > math.MaxUint16 {
+			msg = msg[:math.MaxUint16]
+		}
+		a.str(msg)
+		a.blob(it.Body)
+	}
+	return a.b
+}
+
+// AppendRecordFrame appends a replica-record frame to dst.
+func AppendRecordFrame(dst []byte, recs []Record) ([]byte, error) {
+	if len(recs) > maxFrameItems {
+		return nil, fmt.Errorf("wire: %d records exceeds frame limit", len(recs))
+	}
+	a := appender{b: dst}
+	a.header(frameRecords, len(recs))
+	for i := range recs {
+		if _, err := strSize(recs[i].ID); err != nil {
+			return nil, err
+		}
+		if _, err := strSize(recs[i].Origin); err != nil {
+			return nil, err
+		}
+		a.str(recs[i].ID)
+		a.str(recs[i].Origin)
+		a.u64(recs[i].Epoch)
+		a.blob(recs[i].Payload)
+	}
+	return a.b, nil
+}
+
+// --- decode -----------------------------------------------------------
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// str decodes a length-prefixed string (copying out of the input).
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.take(n)
+	if r.err {
+		return ""
+	}
+	return string(b)
+}
+
+// blob decodes a length-prefixed byte field WITHOUT copying: the
+// returned slice aliases the input buffer.
+func (r *reader) blob() []byte {
+	n := int(r.u32())
+	b := r.take(n)
+	if r.err {
+		return nil
+	}
+	return b
+}
+
+// frameHeader validates the magic/version/type prefix and returns the
+// item count.
+func frameHeader(r *reader, want uint8) (int, error) {
+	m0, m1 := r.u8(), r.u8()
+	version, ftype := r.u8(), r.u8()
+	count := int(r.u32())
+	switch {
+	case r.err:
+		return 0, ErrTruncated
+	case m0 != 'D' || m1 != 'W':
+		return 0, framef("bad magic %#x %#x", m0, m1)
+	case version != frameVersion:
+		return 0, framef("unsupported frame version %d", version)
+	case ftype != want:
+		return 0, framef("frame type %d, want %d", ftype, want)
+	case count > maxFrameItems:
+		return 0, framef("%d items exceeds frame limit", count)
+	}
+	return count, nil
+}
+
+// minJobItemSize is the floor footprint of one encoded job (all
+// strings empty, W empty, random shape); used to bound the item-slice
+// preallocation against crafted counts.
+const minJobItemSize = 3*2 + 1 + 5*8 + 2 + 8
+
+// DecodeJobFrame parses a frame produced by EncodeJobFrame. Decoded
+// jobs own their memory (strings and matrices are copied out), so the
+// input buffer is free for reuse.
+func DecodeJobFrame(b []byte) ([]Job, error) {
+	r := &reader{b: b}
+	count, err := frameHeader(r, frameJobs)
+	if err != nil {
+		return nil, err
+	}
+	if count*minJobItemSize > r.remaining() {
+		return nil, ErrTruncated
+	}
+	jobs := make([]Job, count)
+	for i := range jobs {
+		j := &jobs[i]
+		j.ID = r.str()
+		j.RequestID = r.str()
+		j.Tenant = r.str()
+		flags := r.u8()
+		j.Random = flags&jfRandom != 0
+		j.Record = flags&jfRecord != 0
+		j.CountOps = flags&jfCountOps != 0
+		j.Trace = flags&jfTrace != 0
+		j.C = int(r.i64())
+		j.Seed = r.i64()
+		j.Parallelism = int(r.i64())
+		j.LinkDelayMS = r.f64()
+		j.MaxPrice = r.f64()
+		nw := int(r.u16())
+		if r.err || nw*8 > r.remaining() {
+			return nil, ErrTruncated
+		}
+		if nw > 0 {
+			j.W = make([]int, nw)
+			for k := range j.W {
+				j.W[k] = int(r.i64())
+			}
+		}
+		if j.Random {
+			j.RandomAgents = int(int32(r.u32()))
+			j.RandomTasks = int(int32(r.u32()))
+		} else {
+			rows := int(r.u16())
+			if r.err || rows*2 > r.remaining() {
+				return nil, ErrTruncated
+			}
+			if rows > 0 {
+				j.Bids = make([][]int, rows)
+				for ri := range j.Bids {
+					cols := int(r.u16())
+					if r.err || cols*8 > r.remaining() {
+						return nil, ErrTruncated
+					}
+					row := make([]int, cols)
+					for k := range row {
+						row[k] = int(r.i64())
+					}
+					j.Bids[ri] = row
+				}
+			}
+		}
+		if r.err {
+			return nil, ErrTruncated
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, framef("%d trailing bytes", r.remaining())
+	}
+	return jobs, nil
+}
+
+const minResultItemSize = 2 + 4 + 8 + 2 + 4
+
+// DecodeResultFrame parses a batch-result frame. Item bodies alias b:
+// the caller must keep b alive (and unmodified) until every body has
+// been written out.
+func DecodeResultFrame(b []byte) ([]ResultItem, error) {
+	r := &reader{b: b}
+	count, err := frameHeader(r, frameResults)
+	if err != nil {
+		return nil, err
+	}
+	if count*minResultItemSize > r.remaining() {
+		return nil, ErrTruncated
+	}
+	items := make([]ResultItem, count)
+	for i := range items {
+		it := &items[i]
+		it.Status = int(r.u16())
+		it.RetryAfterSec = int(r.u32())
+		it.Price = r.f64()
+		it.ErrMsg = r.str()
+		it.Body = r.blob()
+		if r.err {
+			return nil, ErrTruncated
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, framef("%d trailing bytes", r.remaining())
+	}
+	return items, nil
+}
+
+const minRecordItemSize = 2 + 2 + 8 + 4
+
+// DecodeRecordFrame parses a replica-record frame. Payloads alias b.
+func DecodeRecordFrame(b []byte) ([]Record, error) {
+	r := &reader{b: b}
+	count, err := frameHeader(r, frameRecords)
+	if err != nil {
+		return nil, err
+	}
+	if count*minRecordItemSize > r.remaining() {
+		return nil, ErrTruncated
+	}
+	recs := make([]Record, count)
+	for i := range recs {
+		rec := &recs[i]
+		rec.ID = r.str()
+		rec.Origin = r.str()
+		rec.Epoch = r.u64()
+		rec.Payload = r.blob()
+		if r.err {
+			return nil, ErrTruncated
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, framef("%d trailing bytes", r.remaining())
+	}
+	return recs, nil
+}
