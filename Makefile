@@ -25,7 +25,7 @@ SERVER_BENCHTIME ?= 3s
 # manually with `go test -fuzz <Target> <pkg>`.
 FUZZTIME ?= 3s
 
-.PHONY: all build bin vet test test-race test-server e2e-shard e2e-tenant e2e-elastic obs-smoke bench bench-crypto bench-smoke bench-server bench-gateway allocs-gate fuzz-smoke ci
+.PHONY: all build bin vet test test-race test-server e2e-shard e2e-tenant e2e-elastic obs-smoke latency-smoke bench bench-crypto bench-smoke bench-server bench-gateway allocs-gate fuzz-smoke ci
 
 all: build vet test
 
@@ -34,7 +34,7 @@ build:
 
 # bin builds the version-stamped daemon + tool binaries into ./bin.
 bin:
-	$(GO) build $(LDFLAGS) -o bin/ ./cmd/dmwd ./cmd/dmwgw ./cmd/dmwtrace
+	$(GO) build $(LDFLAGS) -o bin/ ./cmd/dmwd ./cmd/dmwgw ./cmd/dmwtrace ./cmd/dmwload
 
 # vet runs the standard analyzers everywhere, plus the shadow analyzer
 # when its external binary is installed (it is not part of the base
@@ -97,6 +97,16 @@ e2e-elastic:
 obs-smoke:
 	$(GO) test -race -run 'TestObsSmoke' -v -count=1 ./cmd/dmwd
 
+# latency-smoke is the tail-latency acceptance gate: a short open-loop
+# dmwload run (coordinated-omission-free arrival ladder) against a
+# 2-replica in-process dmwgw fleet. Asserts the report parses with
+# finite p50/p99/p999, the dmwd_slo_*/dmwgw_slo_* burn-rate gauges are
+# live on the fleet exposition, and at least one tail exemplar from
+# /metrics resolves to a fetchable /v1/jobs/{id}/trace. Runs under
+# -race; CI runs this on every push. See docs/PERFORMANCE.md.
+latency-smoke:
+	$(GO) test -race -run 'TestLatencySmoke' -v -count=1 ./cmd/dmwload
+
 # bench runs the cryptographic inner-loop benchmarks (group, commit) and
 # the end-to-end suites (root package: Table 1 + server throughput) and
 # archives the parsed results as $(BENCH_OUT). Names are verbatim from
@@ -151,4 +161,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzMultiExp -fuzztime $(FUZZTIME) ./internal/group
 	$(GO) test -run xxx -fuzz FuzzRecordRoundTrip -fuzztime $(FUZZTIME) ./internal/journal
 
-ci: build vet test-race e2e-shard e2e-tenant e2e-elastic obs-smoke allocs-gate bench-smoke fuzz-smoke
+ci: build vet test-race e2e-shard e2e-tenant e2e-elastic obs-smoke latency-smoke allocs-gate bench-smoke fuzz-smoke

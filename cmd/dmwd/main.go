@@ -12,6 +12,7 @@
 //	     [-data-dir dir] [-fsync always|interval|never]
 //	     [-fsync-interval 100ms] [-snapshot-every 1024]
 //	     [-tenants tenants.json]
+//	     [-slo 'p99<250ms@30d'] [-slow-threshold 0]
 //	     [-join http://gw:7800] [-advertise http://host:7700]
 //	     [-member-name name] [-member-weight 1]
 //	     [-pprof-addr 127.0.0.1:6060]
@@ -71,6 +72,7 @@ import (
 	"dmw/internal/pprofserve"
 	"dmw/internal/replica"
 	"dmw/internal/server"
+	"dmw/internal/slo"
 	"dmw/internal/tenant"
 )
 
@@ -110,6 +112,9 @@ func run() error {
 
 		paramsCache = flag.String("params-cache", "", "warm precompute tables artifact (dmwparams -tables, or GET /v1/params-cache from a peer); loaded at boot, rebuilt and rewritten if missing or invalid; see docs/PERFORMANCE.md")
 
+		sloSpec = flag.String("slo", "", "comma-separated latency objectives, e.g. 'p99<250ms@30d,p999<2s@30d'; burn-rate gauges on /metrics, verdicts on /healthz; see docs/OBSERVABILITY.md")
+		slowThr = flag.Duration("slow-threshold", 0, "force trace capture and log slow_request for jobs queued longer than this (0 = off)")
+
 		join         = flag.String("join", "", "comma-separated dmwgw base URLs to lease fleet membership from (empty = static deployment); see docs/SCALING.md")
 		advertise    = flag.String("advertise", "", "base URL peers and the gateway reach this daemon at (default http://<bound addr>, with unspecified hosts rewritten to 127.0.0.1)")
 		memberName   = flag.String("member-name", "", "fleet member name for the lease (default: the replica ID, stable across restarts with -data-dir)")
@@ -143,6 +148,14 @@ func run() error {
 		FsyncInterval:      *fsyncInt,
 		SnapshotEvery:      *snapEvery,
 		ParamsCache:        *paramsCache,
+		SlowThreshold:      *slowThr,
+	}
+	if *sloSpec != "" {
+		objectives, err := slo.Parse(*sloSpec)
+		if err != nil {
+			return fmt.Errorf("parsing -slo: %w", err)
+		}
+		cfg.SLOs = objectives
 	}
 	if *pfile != "" {
 		params, err := group.ResolveParams(*pfile, "", func(path string) (io.ReadCloser, error) {

@@ -15,6 +15,7 @@
 //	      [-lease-ttl 10s] [-replication 2] [-addr-file path]
 //	      [-request-timeout 60s] [-pprof-addr addr] [-q]
 //	      [-coalesce-window 0] [-coalesce-max-batch 64] [-no-wire]
+//	      [-slo 'p99<250ms@30d'] [-slow-threshold 0]
 //	      [-log-level info] [-log-format text|json]
 //
 // Backends join in two ways: statically via -backend flags, or
@@ -63,6 +64,7 @@ import (
 	"dmw/internal/gateway"
 	"dmw/internal/obs"
 	"dmw/internal/pprofserve"
+	"dmw/internal/slo"
 )
 
 func main() {
@@ -117,6 +119,8 @@ func run() error {
 		coalesceN  = flag.Int("coalesce-max-batch", 64, "max jobs per coalesced flush (flushes early when full)")
 		noWire     = flag.Bool("no-wire", false, "force JSON intra-fleet bodies (disable binary frame negotiation)")
 		streamTO   = flag.Duration("stream-timeout", 15*time.Minute, "relayed SSE stream lifetime bound (negative = unbounded)")
+		sloSpec    = flag.String("slo", "", "comma-separated latency objectives over fleet-wide backend latency, e.g. 'p99<250ms@30d'; see docs/OBSERVABILITY.md")
+		slowThr    = flag.Duration("slow-threshold", 0, "log slow_request for proxied attempts slower than this (0 = off)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); see docs/PERFORMANCE.md")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 		logFormat  = flag.String("log-format", obs.LogFormatText, "log output format: text | json; see docs/OBSERVABILITY.md")
@@ -145,6 +149,14 @@ func run() error {
 	}
 	defer stopPprof()
 
+	var objectives []slo.Objective
+	if *sloSpec != "" {
+		objectives, err = slo.Parse(*sloSpec)
+		if err != nil {
+			return fmt.Errorf("parsing -slo: %w", err)
+		}
+	}
+
 	g, err := gateway.New(gateway.Config{
 		Backends:         backends,
 		AllowEmptyFleet:  true, // elastic: leases may be the only members
@@ -161,6 +173,8 @@ func run() error {
 		DisableWire:      *noWire,
 		LeaseTTL:         *leaseTTL,
 		Replication:      *replFactor,
+		SLOs:             objectives,
+		SlowThreshold:    *slowThr,
 		Logf:             logf,
 		Logger:           slogger,
 	})

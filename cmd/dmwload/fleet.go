@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"dmw/internal/gateway"
+	"dmw/internal/group"
+	"dmw/internal/server"
+	"dmw/internal/slo"
+)
+
+// fleet is an in-process dmwd fleet behind an in-process dmwgw, served
+// over real loopback HTTP so dmwload exercises the same transport,
+// routing, and scrape paths a deployed fleet does. One dmwload -fleet 2
+// invocation reproduces the archived BENCH report end to end.
+type fleet struct {
+	URL string
+
+	servers []*server.Server
+	gw      *gateway.Gateway
+	https   []*http.Server
+	lns     []net.Listener
+}
+
+// serveLoopback binds a fresh loopback port for h and starts serving.
+func serveLoopback(h http.Handler) (*http.Server, net.Listener, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, ln, "http://" + ln.Addr().String(), nil
+}
+
+// startFleet boots n dmwd replicas and a gateway fronting them. The
+// replicas run with trace capture-on-slow enabled (1ms queue wait) so a
+// realistic fraction of tail jobs leaves fetchable spans, and both
+// tiers run the supplied SLO objectives with a fast burn-rate sampling
+// interval so a short run already exposes burn gauges.
+func startFleet(n int, objectives []slo.Objective) (*fleet, error) {
+	if n < 1 {
+		n = 1
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	f := &fleet{}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	var backends []gateway.Backend
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.Config{
+			Preset:            group.PresetTest64,
+			QueueDepth:        4096,
+			Workers:           workers,
+			ResultTTL:         10 * time.Minute,
+			SLOs:              objectives,
+			SLOSampleInterval: time.Second,
+			SlowThreshold:     time.Millisecond,
+			Logger:            quiet,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.Start()
+		f.servers = append(f.servers, s)
+		srv, ln, url, err := serveLoopback(s.Handler())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.https = append(f.https, srv)
+		f.lns = append(f.lns, ln)
+		backends = append(backends, gateway.Backend{Name: fmt.Sprintf("rep%d", i), URL: url})
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:          backends,
+		HealthInterval:    250 * time.Millisecond,
+		SLOs:              objectives,
+		SLOSampleInterval: time.Second,
+		SlowThreshold:     time.Second,
+		Logger:            quiet,
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.gw = gw
+	srv, ln, url, err := serveLoopback(gw.Handler())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.https = append(f.https, srv)
+	f.lns = append(f.lns, ln)
+	f.URL = url
+	return f, nil
+}
+
+// Close drains the fleet: HTTP servers first, then the gateway prober,
+// then the replicas.
+func (f *fleet) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, srv := range f.https {
+		_ = srv.Shutdown(ctx)
+	}
+	if f.gw != nil {
+		f.gw.Close()
+	}
+	for _, s := range f.servers {
+		_ = s.Shutdown(ctx)
+	}
+}

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	dmwtrace [-width 64] [trace.jsonl]
+//	dmwtrace [-width 64] [-slowest N] [trace.jsonl]
 //
 // With no file argument, spans are read from stdin, so the natural
 // workflow pipes the daemon (or the gateway fronting it) straight in:
 //
 //	curl -s localhost:7700/v1/jobs/<id>/trace | dmwtrace
+//
+// -slowest N keeps only the N slowest spans (plus their descendants
+// and ancestor chains) — the view to reach for when chasing a /metrics
+// exemplar into a large trace: the waterfall shows where the time went
+// without the hundreds of fast spans around it.
 //
 // Submit the job with "trace": true to have dmwd record spans; see
 // docs/OBSERVABILITY.md for the span model (job root, per-task auction
@@ -35,9 +40,10 @@ func main() {
 
 func run() error {
 	width := flag.Int("width", 64, "waterfall bar width in characters")
+	slowest := flag.Int("slowest", 0, "show only the N slowest subtrees (0 = all spans)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dmwtrace [-width n] [trace.jsonl]\nreads span JSONL (GET /v1/jobs/{id}/trace) from the file or stdin\n")
+			"usage: dmwtrace [-width n] [-slowest n] [trace.jsonl]\nreads span JSONL (GET /v1/jobs/{id}/trace) from the file or stdin\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,6 +66,9 @@ func run() error {
 	spans, err := obs.ReadJSONL(in)
 	if err != nil {
 		return fmt.Errorf("reading spans: %w", err)
+	}
+	if *slowest > 0 {
+		spans = obs.SlowestSubtrees(spans, *slowest)
 	}
 	return obs.Waterfall(os.Stdout, spans, *width)
 }

@@ -309,4 +309,3 @@ func verifyEach(g *group.Group, alphaPowers []*big.Int, items []BatchItem) *Veri
 	}
 	return nil
 }
-

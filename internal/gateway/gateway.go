@@ -39,6 +39,7 @@ import (
 	"dmw/internal/membership"
 	"dmw/internal/obs"
 	"dmw/internal/ring"
+	"dmw/internal/slo"
 )
 
 // Backend names one dmwd replica.
@@ -109,6 +110,17 @@ type Config struct {
 	// default is generous (15m); 0 takes the default, negative disables
 	// the bound entirely.
 	StreamTimeout time.Duration
+	// SLOs are latency objectives evaluated against the fleet-merged
+	// backend request histogram (dmwgw_fleet_request_seconds). Empty
+	// disables the burn-rate engine.
+	SLOs []slo.Objective
+	// SLOSampleInterval is the burn-rate sampling period (default 15s).
+	// Samples ride the health-probe goroutine.
+	SLOSampleInterval time.Duration
+	// SlowThreshold, when positive, marks any proxied attempt slower
+	// than it with a structured slow_request log line (request_id,
+	// backend, elapsed) and the dmwgw_slow_requests_total counter.
+	SlowThreshold time.Duration
 	// Logf receives lifecycle logs; nil discards.
 	Logf func(format string, args ...any)
 	// Logger receives structured logs (access lines, failover hops,
@@ -154,6 +166,9 @@ func (c Config) withDefaults() Config {
 	if c.Replication <= 0 {
 		c.Replication = 2
 	}
+	if c.SLOSampleInterval <= 0 {
+		c.SLOSampleInterval = 15 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -178,7 +193,11 @@ type backend struct {
 	// reqHist observes proxied-attempt wall time against this replica
 	// (dmwgw_backend_request_seconds{backend=...}); errors observe too —
 	// a replica that fails slowly is exactly what the histogram is for.
-	reqHist *obs.Histogram
+	// The HDR tier keeps ~5% relative error from microseconds to
+	// minutes and carries tail exemplars (request IDs), and its shared
+	// bucket geometry lets handleMetrics merge replicas exactly into
+	// the fleet rollup.
+	reqHist *obs.HDR
 
 	// leased marks a backend that joined via a membership lease rather
 	// than static config; it leaves the fleet on release or expiry.
@@ -236,6 +255,13 @@ type Gateway struct {
 	epoch atomic.Uint64
 
 	metrics gwMetrics
+	// sloEngine computes multi-window burn rates over the fleet-merged
+	// backend latency series; nil when Config.SLOs is empty (every
+	// method on a nil engine is a no-op).
+	sloEngine *slo.Engine
+	// lastSLOSample is the healthLoop's sample clock; touched only by
+	// that goroutine.
+	lastSLOSample time.Time
 	// relayBufs is the pooled arena backing buffered response bodies
 	// (see pool.go).
 	relayBufs *relayPool
@@ -293,9 +319,23 @@ func New(cfg Config) (*Gateway, error) {
 	// Epoch 1 is "the ring as configured at boot"; every later
 	// membership change increments.
 	g.epoch.Store(1)
+	g.sloEngine = slo.NewEngine(cfg.SLOs, g.fleetLatencySnapshot)
+	g.sloEngine.Sample(time.Now())
 	g.wg.Add(1)
 	go g.healthLoop()
 	return g, nil
+}
+
+// fleetLatencySnapshot merges every backend's request-latency HDR into
+// one fleet-wide snapshot. The merge is exact — all backend histograms
+// share the default HDR bucket geometry — so fleet quantiles carry the
+// same ~5% relative-error bound as any single replica's.
+func (g *Gateway) fleetLatencySnapshot() obs.HDRSnapshot {
+	var s obs.HDRSnapshot
+	for _, b := range g.snapshotBackends() {
+		s = s.Add(b.reqHist.Snapshot())
+	}
+	return s
 }
 
 // newBackend builds the runtime state for one replica (static or
@@ -309,7 +349,7 @@ func (g *Gateway) newBackend(name string, u *url.URL, weight int, leased bool) *
 		weight:  weight,
 		leased:  leased,
 		sem:     make(chan struct{}, g.cfg.MaxInFlight),
-		reqHist: obs.NewHistogram(backendLatencyBucketsS),
+		reqHist: obs.NewHDR(),
 		client: &http.Client{
 			// Keep-alive pool sized for the in-flight bound: every
 			// concurrent request can park its connection instead of

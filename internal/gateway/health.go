@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"dmw/internal/slo"
 )
 
 // backendHealth is the slice of dmwd's /healthz body the prober cares
@@ -31,9 +33,18 @@ func (g *Gateway) healthLoop() {
 		case <-g.stop:
 			return
 		case <-t.C:
-			g.sweepLeases(time.Now())
+			now := time.Now()
+			g.sweepLeases(now)
 			for _, b := range g.snapshotBackends() {
 				g.probe(b)
+			}
+			// Burn-rate samples ride the probe tick: the engine wants
+			// periodic cumulative snapshots, and this loop is already
+			// the gateway's only timer. Ticks faster than the configured
+			// sample interval are absorbed by the engine's horizon.
+			if now.Sub(g.lastSLOSample) >= g.cfg.SLOSampleInterval {
+				g.lastSLOSample = now
+				g.sloEngine.Sample(now)
 			}
 		}
 	}
@@ -113,6 +124,10 @@ type gatewayHealth struct {
 	// change, so a stable value means placement has converged.
 	RingEpoch uint64          `json:"ring_epoch"`
 	Backends  []backendStatus `json:"backends"`
+	// SLO carries one verdict per configured latency objective,
+	// evaluated over the fleet-merged backend latency series; absent
+	// when no objectives are configured.
+	SLO []slo.Verdict `json:"slo,omitempty"`
 }
 
 type backendStatus struct {
@@ -133,6 +148,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hv := gatewayHealth{
 		UptimeSecs: time.Since(g.start).Seconds(),
 		RingEpoch:  g.epoch.Load(),
+		SLO:        g.sloEngine.Verdicts(time.Now()),
 	}
 	now := time.Now()
 	up, total := 0, 0

@@ -17,12 +17,11 @@ import (
 	"dmw/internal/obs"
 )
 
-// backendLatencyBucketsS are the upper bounds (seconds) of the
-// per-backend proxied-request latency histograms
-// (dmwgw_backend_request_seconds{backend=...}). One proxied attempt
-// spans a job submit (fast) up to a ?wait long-poll, so the buckets
-// run from 1ms to a minute.
-var backendLatencyBucketsS = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+// The per-backend proxied-request latency histograms
+// (dmwgw_backend_request_seconds{backend=...}) are HDR tiers on the
+// default log-spaced bounds (obs.LogBuckets): ~5% relative error from
+// microseconds to minutes, replacing the old 15-bucket hand-picked
+// ladder that could not resolve sub-10ms or >1s tails.
 
 // submitBatchBuckets are the coalesced-flush size buckets
 // (dmwgw_submit_batch_size): powers of two up to the batch API limit.
@@ -39,6 +38,7 @@ type gwMetrics struct {
 	streams     atomic.Int64 // SSE relays started (job streams + firehoses)
 
 	backendErrors   atomic.Int64 // transport errors + 5xx from replicas
+	slowRequests    atomic.Int64 // proxied attempts past Config.SlowThreshold
 	ejected         atomic.Int64 // ring ejections by the health prober
 	readmitted      atomic.Int64 // ring re-admissions
 	replicaRestarts atomic.Int64 // replica identity changes behind one address
@@ -85,6 +85,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("dmwgw_batch_shards_total %d\n", g.metrics.batchShards.Load())
 	p("dmwgw_streams_total %d\n", g.metrics.streams.Load())
 	p("dmwgw_backend_errors_total %d\n", g.metrics.backendErrors.Load())
+	p("dmwgw_slow_requests_total %d\n", g.metrics.slowRequests.Load())
 	p("dmwgw_backend_ejections_total %d\n", g.metrics.ejected.Load())
 	p("dmwgw_backend_readmissions_total %d\n", g.metrics.readmitted.Load())
 	p("dmwgw_replica_restarts_total %d\n", g.metrics.replicaRestarts.Load())
@@ -116,11 +117,17 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Fleet rollup: every backend's request HDR merged exactly (shared
+	// bucket geometry), plus the burn-rate gauges computed over it.
+	g.fleetLatencySnapshot().Write(w, "dmwgw_fleet_request_seconds", "")
+	g.sloEngine.WriteMetrics(w, "dmwgw", now)
 	obs.WriteRuntimeMetrics(w, "dmwgw")
 
 	scraped := 0
 	agg := make(map[string]float64)
 	var order []string // first-seen order of series keys, for readability
+	scrapeSecs := make(map[string]float64, len(backends))
+	var exemplars []string
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout)
@@ -130,7 +137,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
-			series, err := scrapeMetrics(ctx, b)
+			scrapeStart := time.Now()
+			series, exLines, err := scrapeMetrics(ctx, b)
+			elapsed := time.Since(scrapeStart).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			// Scrape wall time is recorded for failures too: a replica
+			// that times out is exactly the one whose scrape latency the
+			// dashboard needs to see.
+			scrapeSecs[b.name] = elapsed
 			if err != nil {
 				// Skip-and-count: an unreachable replica or a malformed
 				// body drops that replica from this aggregation pass but
@@ -141,8 +156,6 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 					"backend", b.name, "error", err.Error())
 				return
 			}
-			mu.Lock()
-			defer mu.Unlock()
 			scraped++
 			for _, kv := range series {
 				if _, seen := agg[kv.key]; !seen {
@@ -150,9 +163,15 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				}
 				agg[kv.key] += kv.val
 			}
+			exemplars = append(exemplars, exLines...)
 		}(b)
 	}
 	wg.Wait()
+	for _, b := range backends {
+		if secs, ok := scrapeSecs[b.name]; ok {
+			p("dmwgw_backend_scrape_seconds{backend=%q} %.6f\n", b.name, secs)
+		}
+	}
 	p("dmwgw_backends_scraped %d\n", scraped)
 	// Emitted after the scatter-gather so this exposition reflects its
 	// OWN scrape pass: a skipped replica shows up in the same body whose
@@ -171,6 +190,14 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			p("%s %g\n", seriesName(k), v)
 		}
 	}
+	// Exemplar comment lines collected from replica scrapes ride through
+	// the fleet exposition verbatim: summing destroys identities, but an
+	// exemplar IS an identity, so each survives as-is. Sorted so the
+	// output is deterministic across scrape passes.
+	sort.Strings(exemplars)
+	for _, line := range exemplars {
+		p("%s\n", line)
+	}
 }
 
 func boolToInt(b bool) int {
@@ -186,51 +213,66 @@ type series struct {
 	val float64
 }
 
+// maxScrapeExemplars caps the exemplar comment lines retained from one
+// replica scrape; a replica cannot bloat the fleet exposition.
+const maxScrapeExemplars = 64
+
 // scrapeMetrics fetches and parses one replica's /metrics. A malformed
 // line fails the WHOLE scrape: a body that does not parse cleanly is a
 // body whose other lines cannot be trusted either (truncated responses
 // shear mid-line, and half a counter summed into the fleet total is
 // worse than a missing replica). The caller counts the skip.
-func scrapeMetrics(ctx context.Context, b *backend) ([]series, error) {
+//
+// Exemplar comment lines ("# exemplar ...") are returned separately:
+// they carry request identities that must survive the fleet
+// aggregation verbatim, since summing them is meaningless.
+func scrapeMetrics(ctx context.Context, b *backend) ([]series, []string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.joinPath("/metrics", ""), nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+		return nil, nil, fmt.Errorf("HTTP %d", resp.StatusCode)
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []series
+	var exemplars []string
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, obs.ExemplarPrefix) {
+			if len(exemplars) < maxScrapeExemplars {
+				exemplars = append(exemplars, line)
+			}
+			continue
+		}
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		// "name{labels} value" or "name value"; value is the last field.
 		i := strings.LastIndexByte(line, ' ')
 		if i < 0 {
-			return nil, fmt.Errorf("malformed metrics line %q", line)
+			return nil, nil, fmt.Errorf("malformed metrics line %q", line)
 		}
 		name, valStr := line[:i], line[i+1:]
 		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
-			return nil, fmt.Errorf("malformed metrics value in line %q: %v", line, err)
+			return nil, nil, fmt.Errorf("malformed metrics value in line %q: %v", line, err)
 		}
 		out = append(out, series{key: sortKey(name), val: v})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("scanning metrics body: %w", err)
+		return nil, nil, fmt.Errorf("scanning metrics body: %w", err)
 	}
-	return out, nil
+	return out, exemplars, nil
 }
 
 // sortKey makes histogram buckets sort numerically (le="2" before

@@ -197,8 +197,30 @@ func (g *Gateway) tryBackendOpts(ctx context.Context, b *backend, method, path, 
 
 	// Observe the attempt's wall time whatever its outcome: transport
 	// errors and 5xx answers took real time the fleet dashboard must see.
+	// The exemplar ties a tail-bucket observation back to a concrete
+	// request ID so a p999 outlier on a dashboard resolves to a
+	// fetchable trace; attempts past SlowThreshold additionally leave a
+	// structured slow_request log line with the same correlation ID.
 	start := time.Now()
-	defer func() { b.reqHist.Observe(time.Since(start).Seconds()) }()
+	defer func() {
+		elapsed := time.Since(start)
+		rid := requestIDFrom(ctx)
+		b.reqHist.ObserveEx(elapsed.Seconds(), &obs.Exemplar{
+			RequestID: rid,
+			Tenant:    tenantFrom(ctx),
+			Backend:   b.name,
+		})
+		if g.cfg.SlowThreshold > 0 && elapsed > g.cfg.SlowThreshold {
+			g.metrics.slowRequests.Add(1)
+			g.cfg.Logger.Warn("slow_request",
+				"request_id", rid,
+				"backend", b.name,
+				"method", method,
+				"path", path,
+				"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+				"threshold_ms", float64(g.cfg.SlowThreshold)/float64(time.Millisecond))
+		}
+	}()
 
 	var rd io.Reader
 	if body != nil {

@@ -115,6 +115,74 @@ func Waterfall(w io.Writer, spans []Span, width int) error {
 	return nil
 }
 
+// SlowestSubtrees filters a span set down to the n slowest spans plus
+// everything needed to render them in context: each seed span's
+// descendants (where the time went) and its ancestor chain (where it
+// sits in the trace). Order and parentage are preserved, so the result
+// feeds straight into Waterfall. n <= 0 or n >= len(spans) returns the
+// input unchanged. This is the engine behind `dmwtrace -slowest N`,
+// which keeps exemplar-chased traces readable when a job has hundreds
+// of spans.
+func SlowestSubtrees(spans []Span, n int) []Span {
+	if n <= 0 || n >= len(spans) {
+		return spans
+	}
+	byID := make(map[SpanID]*Span, len(spans))
+	children := make(map[SpanID][]SpanID)
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != 0 && s.Parent != s.ID && byID[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		}
+	}
+
+	seeds := make([]*Span, 0, len(spans))
+	for i := range spans {
+		seeds = append(seeds, &spans[i])
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].DurUS != seeds[j].DurUS {
+			return seeds[i].DurUS > seeds[j].DurUS
+		}
+		return seeds[i].ID < seeds[j].ID
+	})
+
+	keep := make(map[SpanID]bool, 2*n)
+	var markDown func(id SpanID)
+	markDown = func(id SpanID) {
+		if keep[id] {
+			return
+		}
+		keep[id] = true
+		for _, c := range children[id] {
+			markDown(c)
+		}
+	}
+	for _, s := range seeds[:n] {
+		markDown(s.ID)
+		// Ancestors: context only, no sibling fan-out.
+		for p := s.Parent; p != 0; {
+			ps := byID[p]
+			if ps == nil || keep[p] {
+				break
+			}
+			keep[p] = true
+			p = ps.Parent
+		}
+	}
+
+	out := make([]Span, 0, len(keep))
+	for i := range spans {
+		if keep[spans[i].ID] {
+			out = append(out, spans[i])
+		}
+	}
+	return out
+}
+
 // fmtDur keeps durations short and scannable (three significant units
 // max beats time.Duration's full precision in a column).
 func fmtDur(d time.Duration) string {

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSlowestSubtrees pins the -slowest selection: seeds are the N
+// longest spans; their descendants and ancestor chains survive, fast
+// siblings do not.
+func TestSlowestSubtrees(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Name: "job", StartUS: 0, DurUS: 1000},
+		{ID: 2, Parent: 1, Name: "slow", StartUS: 0, DurUS: 900},
+		{ID: 3, Parent: 2, Name: "slow.child", StartUS: 10, DurUS: 100},
+		{ID: 4, Parent: 1, Name: "fast", StartUS: 900, DurUS: 5},
+		{ID: 5, Parent: 4, Name: "fast.child", StartUS: 901, DurUS: 2},
+	}
+	got := SlowestSubtrees(spans, 2) // seeds: job (1000) and slow (900)
+	names := make([]string, len(got))
+	for i, s := range got {
+		names[i] = s.Name
+	}
+	joined := strings.Join(names, ",")
+	// Seeding "job" keeps the whole tree via descendants; that is the
+	// honest answer when the root itself is among the N slowest.
+	if joined != "job,slow,slow.child,fast,fast.child" {
+		t.Fatalf("n=2 kept %q", joined)
+	}
+
+	// Seed only the slow child: its ancestors (slow, job) come along
+	// for context, but the fast subtree is dropped.
+	got = SlowestSubtrees(spans[1:], 1) // spans: slow(900), slow.child, fast, fast.child
+	names = names[:0]
+	for _, s := range got {
+		names = append(names, s.Name)
+	}
+	if strings.Join(names, ",") != "slow,slow.child" {
+		t.Fatalf("n=1 kept %q", strings.Join(names, ","))
+	}
+
+	if out := SlowestSubtrees(spans, 0); len(out) != len(spans) {
+		t.Fatalf("n=0 must pass through, got %d spans", len(out))
+	}
+	if out := SlowestSubtrees(spans, 99); len(out) != len(spans) {
+		t.Fatalf("n>len must pass through, got %d spans", len(out))
+	}
+}

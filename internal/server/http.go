@@ -14,6 +14,7 @@ import (
 	"dmw/internal/group"
 	"dmw/internal/obs"
 	"dmw/internal/replica"
+	"dmw/internal/slo"
 	"dmw/internal/tenant"
 	"dmw/internal/wire"
 )
@@ -109,12 +110,25 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		elapsed := time.Since(start)
 		s.cfg.Logger.Info("http",
 			"request_id", rid,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
-			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
+			"elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+		if s.cfg.SlowThreshold > 0 && elapsed > s.cfg.SlowThreshold {
+			// The structured slow_request event: one greppable line per
+			// request that crossed the capture-on-slow threshold, with
+			// the correlation ID an exemplar chase starts from.
+			s.cfg.Logger.Warn("slow_request",
+				"request_id", rid,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+				"threshold_ms", float64(s.cfg.SlowThreshold)/float64(time.Millisecond))
+		}
 	})
 }
 
@@ -364,6 +378,10 @@ type healthView struct {
 	// Fleet summarizes the replicated results tier once a membership
 	// lease grant has installed a fleet view (absent when static).
 	Fleet *fleetView `json:"fleet,omitempty"`
+	// SLO carries the declared objectives' burn-rate verdicts (absent
+	// without -slo); "breaching" here is the paged condition, not mere
+	// elevated latency. See docs/OBSERVABILITY.md.
+	SLO []slo.Verdict `json:"slo,omitempty"`
 }
 
 // fleetView is the JSON stats surface of the replica tier.
@@ -426,6 +444,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !start.IsZero() {
 		hv.UptimeSecs = time.Since(start).Seconds()
 	}
+	hv.SLO = s.SLOVerdicts()
 	status := http.StatusOK
 	if draining {
 		hv.Status = "draining"

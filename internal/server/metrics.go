@@ -17,9 +17,9 @@ import (
 // latency histogram; the final implicit bucket is +Inf.
 var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
-// phaseBucketsS are the upper bounds (seconds) of the per-phase
-// duration histograms. Phases are fractions of a job, so the buckets
-// reach one decade lower than the job-latency buckets.
+// phaseBucketsS are the upper bounds (seconds) of the replication-push
+// histogram. (The per-phase series they used to back moved to the HDR
+// tier, which resolves the same range at ~5% relative error.)
 var phaseBucketsS = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
 
 // verifyBatchBuckets are the upper bounds (share items per combined
@@ -71,11 +71,25 @@ type metrics struct {
 	groupMultiExpTerms atomic.Uint64
 
 	// latency is the end-to-end job latency histogram in milliseconds
-	// (dmwd_job_latency_ms_*).
+	// (dmwd_job_latency_ms_*), kept for dashboard continuity.
 	latency *obs.Histogram
-	// phases holds one seconds-denominated histogram per phase segment
-	// of phaseOrder (dmwd_phase_seconds{phase=...}).
-	phases map[string]*obs.Histogram
+	// latencyHDR is the tail-resolution job latency series in seconds
+	// (dmwd_job_latency_seconds_*): log-spaced HDR buckets with per-
+	// bucket exemplars, so a p999 outlier on /metrics carries the
+	// X-Request-Id and job ID needed to fetch its trace. This series
+	// also feeds the SLO burn-rate engine.
+	latencyHDR *obs.HDR
+	// phases holds one seconds-denominated HDR histogram per phase
+	// segment of phaseOrder (dmwd_phase_seconds{phase=...}): phase
+	// durations span µs (queue pickup on an idle box) to seconds
+	// (crypto-bound shapes), exactly the range fixed buckets resolve
+	// poorly.
+	phases map[string]*obs.HDR
+	// slowCaptures counts capture-on-slow activations: untraced jobs
+	// whose queue wait crossed Config.SlowThreshold and had span
+	// recording force-enabled for their remaining phases
+	// (dmwd_slow_captures_total).
+	slowCaptures atomic.Int64
 	// verifyBatch records the item count of every combined pass the
 	// share-verification coalescer ran (dmwd_verify_batch_size_*).
 	verifyBatch *obs.Histogram
@@ -114,7 +128,8 @@ type metrics struct {
 func newMetrics() *metrics {
 	m := &metrics{
 		latency:            obs.NewHistogram(latencyBucketsMS),
-		phases:             make(map[string]*obs.Histogram, len(phaseOrder)),
+		latencyHDR:         obs.NewHDR(),
+		phases:             make(map[string]*obs.HDR, len(phaseOrder)),
 		verifyBatch:        obs.NewHistogram(verifyBatchBuckets),
 		replicaPush:        obs.NewHistogram(phaseBucketsS),
 		replicaPushBatch:   obs.NewHistogram(pushBatchBuckets),
@@ -123,14 +138,17 @@ func newMetrics() *metrics {
 		tenantRejected:     make(map[string]map[string]int64),
 	}
 	for _, name := range phaseOrder {
-		m.phases[name] = obs.NewHistogram(phaseBucketsS)
+		m.phases[name] = obs.NewHDR()
 	}
 	return m
 }
 
-// observe records one completed/failed job's end-to-end latency.
-func (m *metrics) observe(d time.Duration) {
+// observe records one completed/failed job's end-to-end latency. The
+// optional exemplar carries the job's request identity into the HDR
+// tier's tail buckets (nil skips exemplar stamping, not observation).
+func (m *metrics) observe(d time.Duration, ex *obs.Exemplar) {
 	m.latency.Observe(float64(d) / float64(time.Millisecond))
+	m.latencyHDR.ObserveEx(d.Seconds(), ex)
 }
 
 // observePhase records one phase segment's duration. Unknown phase
@@ -302,7 +320,9 @@ func (m *metrics) writeTo(w io.Writer, g snapshotGauges) {
 		p("dmwd_journal_enabled 0\n")
 	}
 
+	p("dmwd_slow_captures_total %d\n", m.slowCaptures.Load())
 	m.latency.Write(w, "dmwd_job_latency_ms", "")
+	m.latencyHDR.Write(w, "dmwd_job_latency_seconds", "")
 	m.verifyBatch.Write(w, "dmwd_verify_batch_size", "")
 	m.replicaPush.Write(w, "dmwd_replica_push_seconds", "")
 	m.replicaPushBatch.Write(w, "dmwd_replica_push_batch_size", "")

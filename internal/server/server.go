@@ -41,6 +41,7 @@ import (
 	"dmw/internal/obs"
 	"dmw/internal/replica"
 	"dmw/internal/sched"
+	"dmw/internal/slo"
 	"dmw/internal/tenant"
 )
 
@@ -143,6 +144,22 @@ type Config struct {
 	// DrainTau overrides the drain-rate smoothing constant (default
 	// tenant.DefaultRateTau).
 	DrainTau time.Duration
+
+	// SLOs are the declared latency objectives (the parsed -slo flag,
+	// e.g. "p99<250ms@30d"), evaluated against the job-latency HDR
+	// series by an embedded burn-rate engine: multi-window burn gauges
+	// on /metrics (dmwd_slo_*) and verdicts on /healthz. Empty means no
+	// SLOs — the engine is not created. See internal/slo.
+	SLOs []slo.Objective
+	// SLOSampleInterval is the burn-rate engine's snapshot period
+	// (default 15s; tests shrink it so windows populate quickly).
+	SLOSampleInterval time.Duration
+	// SlowThreshold enables capture-on-slow: an untraced job whose
+	// queue wait exceeds the threshold gets span recording force-
+	// enabled for its remaining phases, so the tail that was too slow
+	// to wait for a re-submission with trace:true still yields a
+	// fetchable trace. Zero disables.
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +198,9 @@ func (c Config) withDefaults() Config {
 	} else if c.SnapshotEvery < 0 {
 		c.SnapshotEvery = 0 // disabled
 	}
+	if c.SLOSampleInterval <= 0 {
+		c.SLOSampleInterval = 15 * time.Second
+	}
 	return c
 }
 
@@ -200,6 +220,9 @@ type Server struct {
 	queue   *tenant.Queue[*Job]
 	store   Store
 	metrics *metrics
+	// sloEngine computes multi-window burn rates over the job-latency
+	// HDR series; nil when no SLOs are declared (all methods nil-safe).
+	sloEngine *slo.Engine
 
 	// registry resolves tenant identities to their admission state;
 	// hub fans job-lifecycle events out to SSE streams; price is the
@@ -294,6 +317,7 @@ func New(cfg Config) (*Server, error) {
 		queue:      tenant.NewQueue[*Job](cfg.QueueDepth),
 	}
 	s.paramsCacheLoaded = cacheLoaded
+	s.sloEngine = slo.NewEngine(cfg.SLOs, s.metrics.latencyHDR.Snapshot)
 	s.verifier = commit.NewCoalescer(grp, cfg.VerifyWindow, cfg.VerifyMaxTerms, func(items int) {
 		s.metrics.verifyBatch.Observe(float64(items))
 	})
@@ -530,6 +554,26 @@ func (s *Server) Start() {
 			}
 		}
 	}()
+
+	if s.sloEngine != nil {
+		// The burn-rate sampler: periodic cumulative snapshots of the
+		// job-latency HDR, diffed at query time into 5m/1h/6h windows.
+		s.sloEngine.Sample(time.Now())
+		s.janitorWG.Add(1)
+		go func() {
+			defer s.janitorWG.Done()
+			t := time.NewTicker(s.cfg.SLOSampleInterval)
+			defer t.Stop()
+			for {
+				select {
+				case now := <-t.C:
+					s.sloEngine.Sample(now)
+				case <-s.stopSweeps:
+					return
+				}
+			}
+		}()
+	}
 	s.cfg.Logf("server started: preset=%s workers=%d queue=%d auction-parallelism=%d ttl=%s",
 		s.cfg.Preset, s.cfg.Workers, s.cfg.QueueDepth, s.cfg.AuctionParallelism, s.cfg.ResultTTL)
 }
@@ -938,6 +982,24 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		g.journalRecoveries = int64(s.recoveries)
 	}
 	s.metrics.writeTo(w, g)
+	// Per-tenant tail series (same HDR geometry as the global series,
+	// so the gateway's fleet scrape merges them exactly); empty tenants
+	// are skipped to keep the exposition proportional to actual
+	// traffic, not to registry size.
+	for _, id := range s.registry.IDs() {
+		tn, ok := s.registry.Lookup(id)
+		if !ok || tn.Tail.Count() == 0 {
+			continue
+		}
+		tn.Tail.Write(w, "dmwd_tenant_job_latency_seconds", `tenant="`+id+`"`)
+	}
+	s.sloEngine.WriteMetrics(w, "dmwd", time.Now())
+}
+
+// SLOVerdicts reports the current objective verdicts (nil without SLOs);
+// the HTTP layer embeds them in /healthz.
+func (s *Server) SLOVerdicts() []slo.Verdict {
+	return s.sloEngine.Verdicts(time.Now())
 }
 
 // JournalStats returns the WAL counters and true when the server is
@@ -1029,15 +1091,32 @@ func (s *Server) runJob(job *Job) {
 
 	// Tracing is per-job opt-in: untraced jobs carry a nil recorder all
 	// the way down (nil *obs.Recorder absorbs every call), so the
-	// benchmark path records nothing and allocates nothing.
+	// benchmark path records nothing and allocates nothing. Capture-on-
+	// slow widens the opt-in: when the queue wait alone already crossed
+	// Config.SlowThreshold, the job is in the tail this server's SLOs
+	// care about, so span recording is force-enabled for its remaining
+	// phases even though the client never asked — the exemplar on
+	// /metrics then points at a trace that actually exists.
+	slowCapture := !job.Spec.Trace && s.cfg.SlowThreshold > 0 &&
+		start.Sub(job.submitted) > s.cfg.SlowThreshold
 	var rec *obs.Recorder
 	var root *obs.ActiveSpan
-	if job.Spec.Trace {
+	if job.Spec.Trace || slowCapture {
 		rec = obs.NewRecorderAt(job.submitted)
 		rec.Record(PhaseQueueWait, 0, job.submitted, start)
-		root = rec.Start("job", 0,
-			obs.Attr{Key: "job_id", Value: job.ID},
-			obs.Attr{Key: "request_id", Value: job.Spec.RequestID})
+		attrs := []obs.Attr{
+			{Key: "job_id", Value: job.ID},
+			{Key: "request_id", Value: job.Spec.RequestID},
+		}
+		if slowCapture {
+			attrs = append(attrs, obs.Attr{Key: "slow_capture", Value: "1"})
+			s.metrics.slowCaptures.Add(1)
+			s.cfg.Logger.Warn("slow_capture",
+				"job_id", job.ID, "request_id", job.Spec.RequestID, "tenant", job.Spec.Tenant,
+				"queue_wait_ms", float64(start.Sub(job.submitted))/float64(time.Millisecond),
+				"threshold_ms", float64(s.cfg.SlowThreshold)/float64(time.Millisecond))
+		}
+		root = rec.Start("job", 0, attrs...)
 	}
 
 	par := s.cfg.AuctionParallelism
@@ -1085,7 +1164,7 @@ func (s *Server) runJob(job *Job) {
 		s.store.Finished(job)
 		s.replicateTerminal(job)
 		s.metrics.failed.Add(1)
-		s.metrics.observe(now.Sub(job.submitted))
+		s.observeJobLatency(job, rec != nil, now)
 		s.publish(job, tenant.Event{Type: tenant.EventFailed, Time: now,
 			Tenant: job.Spec.Tenant, JobID: job.ID, Error: err.Error()})
 		s.cfg.Logf("job %s failed: %v", job.ID, err)
@@ -1112,7 +1191,7 @@ func (s *Server) runJob(job *Job) {
 	s.metrics.groupMul.Add(jr.GroupMul)
 	s.metrics.groupMultiExps.Add(jr.GroupMultiExps)
 	s.metrics.groupMultiExpTerms.Add(jr.GroupMultiExpTerms)
-	s.metrics.observe(now.Sub(job.submitted))
+	s.observeJobLatency(job, rec != nil, now)
 	s.publish(job, tenant.Event{Type: tenant.EventDone, Time: now,
 		Tenant: job.Spec.Tenant, JobID: job.ID})
 	s.cfg.Logger.Info("job done",
@@ -1121,6 +1200,21 @@ func (s *Server) runJob(job *Job) {
 		"matches_centralized", matches,
 		"queue_wait_ms", float64(start.Sub(job.submitted))/float64(time.Millisecond),
 		"run_ms", float64(now.Sub(start))/float64(time.Millisecond))
+}
+
+// observeJobLatency records one terminal job's end-to-end latency into
+// every latency series: the legacy ms histogram, the HDR tier (with an
+// exemplar carrying the job's request identity into the tail buckets),
+// and the tenant's own tail series.
+func (s *Server) observeJobLatency(job *Job, traced bool, now time.Time) {
+	d := now.Sub(job.submitted)
+	s.metrics.observe(d, &obs.Exemplar{
+		RequestID: job.Spec.RequestID,
+		JobID:     job.ID,
+		Tenant:    job.Spec.Tenant,
+		Traced:    traced,
+	})
+	s.registry.Get(job.Spec.Tenant).Tail.Observe(d.Seconds())
 }
 
 // uniformDelays builds the n x n one-way latency matrix for

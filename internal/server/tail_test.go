@@ -1,0 +1,198 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dmw/internal/obs"
+	"dmw/internal/slo"
+)
+
+// TestExemplarResolvesToTrace is the tail-observability round trip: a
+// traced job that lands in the latency tail must surface as an
+// exemplar on dmwd_job_latency_seconds, and that exemplar's job_id
+// must fetch real spans from /v1/jobs/{id}/trace — the p999 outlier on
+// a dashboard resolves to an explanation, not just a number.
+func TestExemplarResolvesToTrace(t *testing.T) {
+	_, ts := startHTTP(t, testConfig())
+
+	// Bulk of fast untraced jobs to fill the body of the distribution.
+	for i := 0; i < 30; i++ {
+		spec := tinyTenantSpec("acme", int64(i))
+		status, view, apiErr := postJob(t, ts, spec)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d (%s)", i, status, apiErr.Error)
+		}
+		var done JobView
+		if st := getJSON(t, ts.URL+"/v1/jobs/"+view.ID+"?wait=30s", &done); st != http.StatusOK || done.State != StateDone {
+			t.Fatalf("job %s: HTTP %d state %s", view.ID, st, done.State)
+		}
+	}
+	// One traced job with WAN link-delay emulation, guaranteed slower
+	// than the bulk: it must own a tail bucket.
+	slow := tinyTenantSpec("acme", 99)
+	slow.Trace = true
+	slow.LinkDelayMS = 50
+	status, view, apiErr := postJob(t, ts, slow)
+	if status != http.StatusAccepted {
+		t.Fatalf("traced submit: HTTP %d (%s)", status, apiErr.Error)
+	}
+	var done JobView
+	if st := getJSON(t, ts.URL+"/v1/jobs/"+view.ID+"?wait=30s", &done); st != http.StatusOK || done.State != StateDone {
+		t.Fatalf("traced job: HTTP %d state %s", st, done.State)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs := obs.ParseExemplars(string(body), "dmwd_job_latency_seconds")
+	if len(exs) == 0 {
+		t.Fatalf("no exemplars on dmwd_job_latency_seconds:\n%s", string(body))
+	}
+	var traced *obs.Exemplar
+	for i := range exs {
+		if exs[i].Traced && exs[i].JobID != "" {
+			traced = &exs[i]
+			break
+		}
+	}
+	if traced == nil {
+		t.Fatalf("no traced exemplar among %v", exs)
+	}
+	if traced.JobID != done.ID {
+		t.Errorf("traced exemplar names job %q, want the slow traced job %q", traced.JobID, done.ID)
+	}
+	if traced.Tenant != "acme" {
+		t.Errorf("exemplar tenant %q, want acme", traced.Tenant)
+	}
+
+	// The exemplar's job ID must fetch spans.
+	tr, err := http.Get(ts.URL + "/v1/jobs/" + traced.JobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch for exemplar job %s: HTTP %d", traced.JobID, tr.StatusCode)
+	}
+	if err != nil || !strings.Contains(string(spans), `"name":"job"`) {
+		t.Errorf("trace body lacks job span: %s", string(spans))
+	}
+
+	// Per-tenant tail series rides the same exposition.
+	if !strings.Contains(string(body), `dmwd_tenant_job_latency_seconds_count{tenant="acme"}`) {
+		t.Error("missing per-tenant tail series for acme")
+	}
+}
+
+// TestSlowCaptureForcesTrace pins capture-on-slow: an UNTRACED job
+// whose queue wait exceeds Config.SlowThreshold gets its recorder
+// force-enabled, so the tail that hurt is the tail that left spans.
+func TestSlowCaptureForcesTrace(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.SlowThreshold = time.Nanosecond // any measurable queue wait trips it
+	s, ts := startHTTP(t, cfg)
+
+	// Two jobs back to back on one worker: the second queues behind the
+	// first, exceeding the threshold.
+	var ids []string
+	for i := 0; i < 2; i++ {
+		spec := tinyTenantSpec("acme", int64(i))
+		spec.LinkDelayMS = 20
+		status, view, apiErr := postJob(t, ts, spec)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d (%s)", i, status, apiErr.Error)
+		}
+		ids = append(ids, view.ID)
+	}
+	captured := 0
+	for _, id := range ids {
+		var done JobView
+		if st := getJSON(t, ts.URL+"/v1/jobs/"+id+"?wait=30s", &done); st != http.StatusOK || done.State != StateDone {
+			t.Fatalf("job %s: HTTP %d state %s", id, st, done.State)
+		}
+		if done.HasTrace {
+			captured++
+			if st := getJSON(t, ts.URL+"/v1/jobs/"+id+"/trace", nil); st != http.StatusOK {
+				t.Errorf("slow-captured job %s: trace HTTP %d", id, st)
+			}
+		}
+	}
+	if captured == 0 {
+		t.Fatal("no job was slow-captured despite 1ns threshold and a serialized queue")
+	}
+	if got := s.metrics.slowCaptures.Load(); got == 0 {
+		t.Error("dmwd_slow_captures_total not incremented")
+	}
+}
+
+// TestHealthzSLOVerdicts pins the /healthz SLO section: with
+// objectives configured, every verdict appears with a parseable
+// status; without them, the section is absent.
+func TestHealthzSLOVerdicts(t *testing.T) {
+	objectives, err := slo.Parse("p99<250ms@30d,p50<5s@30d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.SLOs = objectives
+	_, ts := startHTTP(t, cfg)
+
+	status, view, apiErr := postJob(t, ts, tinyTenantSpec("acme", 1))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d (%s)", status, apiErr.Error)
+	}
+	var done JobView
+	if st := getJSON(t, ts.URL+"/v1/jobs/"+view.ID+"?wait=30s", &done); st != http.StatusOK {
+		t.Fatalf("wait: HTTP %d", st)
+	}
+
+	var hv struct {
+		SLO []slo.Verdict `json:"slo"`
+	}
+	if st := getJSON(t, ts.URL+"/healthz", &hv); st != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", st)
+	}
+	if len(hv.SLO) != 2 {
+		t.Fatalf("healthz slo section has %d verdicts, want 2: %+v", len(hv.SLO), hv.SLO)
+	}
+	for _, v := range hv.SLO {
+		if v.Status != "ok" && v.Status != "breaching" {
+			t.Errorf("verdict %q has status %q", v.Objective, v.Status)
+		}
+	}
+
+	// The burn-rate gauges ride /metrics with one series per
+	// objective-window pair.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dmwd_slo_burn_rate{objective="p99<250ms@30d",window="5m"}`,
+		`dmwd_slo_burn_rate{objective="p99<250ms@30d",window="1h"}`,
+		`dmwd_slo_burn_rate{objective="p99<250ms@30d",window="6h"}`,
+		`dmwd_slo_compliant{objective="p50<5s@30d"}`,
+		`dmwd_slo_quantile_seconds{objective="p99<250ms@30d"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

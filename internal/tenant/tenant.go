@@ -24,6 +24,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dmw/internal/obs"
 )
 
 // DefaultTenant is the identity of requests that carry no (or an
@@ -257,6 +259,14 @@ type Tenant struct {
 	ID string
 	// Limits is the policy this tenant admits under (immutable).
 	Limits Limits
+	// Tail is the tenant's job-latency tail series (seconds): an HDR
+	// histogram sharing the fleet-wide geometry, so per-tenant p99/p999
+	// stay meaningful per tenant instead of being averaged away in the
+	// global series — the per-agent view the mechanism framing wants
+	// (tenants are the strategic agents; their individual experience is
+	// the thing the policy layer shapes). The server observes it on job
+	// completion and exposes it as dmwd_tenant_job_latency_seconds.
+	Tail *obs.HDR
 
 	// tb is nil for rate-unlimited tenants: the common single-tenant
 	// path never touches a bucket.
@@ -268,7 +278,7 @@ type Tenant struct {
 
 func newTenant(id string, l Limits) *Tenant {
 	l = l.withDefaults()
-	t := &Tenant{ID: id, Limits: l}
+	t := &Tenant{ID: id, Limits: l, Tail: obs.NewHDR()}
 	if l.Rate > 0 {
 		t.tb = &bucket{rate: l.Rate, burst: float64(l.Burst)}
 	}
